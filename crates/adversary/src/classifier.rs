@@ -1,0 +1,304 @@
+//! A learning adversary: a multinomial naive-Bayes topic classifier.
+//!
+//! Section IV-D analyzes attacks that reuse the LDA model. A stronger —
+//! and in an enterprise entirely realistic — adversary trains a dedicated
+//! *supervised* classifier on the corpus it hosts (it knows its own
+//! document taxonomy) and classifies the query stream:
+//!
+//! - **intention recovery**: classify the bag of all terms the client
+//!   submitted in a cycle and ask whether the predicted topic is the
+//!   user's true interest;
+//! - **genuine-query identification**: classify every query of a cycle
+//!   separately and call the one the classifier is most confident about
+//!   the genuine query.
+//!
+//! Against an unprotected query the classifier is a near-oracle (that is
+//! the point of training it), so the attack isolates exactly what the
+//! ghost queries buy.
+
+use serde::{Deserialize, Serialize};
+use toppriv_core::CycleResult;
+use tsearch_text::TermId;
+
+/// A multinomial naive-Bayes classifier over term ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NaiveBayes {
+    num_classes: usize,
+    vocab_size: usize,
+    /// `ln Pr(c)`.
+    log_prior: Vec<f64>,
+    /// `ln Pr(w|c)`, class-major: `log_like[c * V + w]`.
+    log_like: Vec<f64>,
+}
+
+impl NaiveBayes {
+    /// Trains from labeled token sequences with Laplace smoothing
+    /// `smoothing > 0`. Labels must be `< num_classes`.
+    pub fn train(
+        examples: &[(&[TermId], usize)],
+        num_classes: usize,
+        vocab_size: usize,
+        smoothing: f64,
+    ) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        assert!(smoothing > 0.0, "smoothing must be positive");
+        let mut class_count = vec![0u64; num_classes];
+        let mut word_count = vec![0u64; num_classes * vocab_size];
+        let mut class_tokens = vec![0u64; num_classes];
+        for (tokens, label) in examples {
+            assert!(*label < num_classes, "label {label} out of range");
+            class_count[*label] += 1;
+            class_tokens[*label] += tokens.len() as u64;
+            for &w in *tokens {
+                word_count[*label * vocab_size + w as usize] += 1;
+            }
+        }
+        let total = examples.len().max(1) as f64;
+        let log_prior: Vec<f64> = class_count
+            .iter()
+            .map(|&n| ((n as f64 + smoothing) / (total + smoothing * num_classes as f64)).ln())
+            .collect();
+        let mut log_like = vec![0.0f64; num_classes * vocab_size];
+        for c in 0..num_classes {
+            let denom = class_tokens[c] as f64 + smoothing * vocab_size as f64;
+            for w in 0..vocab_size {
+                let n = word_count[c * vocab_size + w] as f64;
+                log_like[c * vocab_size + w] = ((n + smoothing) / denom).ln();
+            }
+        }
+        NaiveBayes {
+            num_classes,
+            vocab_size,
+            log_prior,
+            log_like,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Normalized posterior `Pr(c|tokens)` via log-sum-exp.
+    pub fn posterior(&self, tokens: &[TermId]) -> Vec<f64> {
+        let mut scores = self.log_prior.clone();
+        for &w in tokens {
+            debug_assert!((w as usize) < self.vocab_size, "token in vocabulary");
+            for (c, s) in scores.iter_mut().enumerate() {
+                *s += self.log_like[c * self.vocab_size + w as usize];
+            }
+        }
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for s in scores.iter_mut() {
+            *s = (*s - max).exp();
+            sum += *s;
+        }
+        scores.iter_mut().for_each(|s| *s /= sum);
+        scores
+    }
+
+    /// The maximum-posterior class and its probability.
+    pub fn classify(&self, tokens: &[TermId]) -> (usize, f64) {
+        let post = self.posterior(tokens);
+        post.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite posterior"))
+            .map(|(c, &p)| (c, p))
+            .expect("at least one class")
+    }
+}
+
+/// Outcome of the classifier attack over a batch of cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierAttackReport {
+    /// Accuracy of the classifier on the *unprotected* genuine queries —
+    /// the oracle reference showing the classifier itself works.
+    pub unprotected_recovery: f64,
+    /// Fraction of cycles whose pooled term bag classifies to the user's
+    /// true topic.
+    pub cycle_recovery: f64,
+    /// Chance rate of topic recovery (1 / number of classes).
+    pub topic_chance: f64,
+    /// Fraction of cycles where the maximum-confidence query is genuine.
+    pub genuine_identification: f64,
+    /// Chance rate of genuine identification (mean 1/υ).
+    pub genuine_chance: f64,
+    /// Cycles evaluated.
+    pub cycles: usize,
+}
+
+/// Runs the classifier attack. `true_topics[i]` is the ground-truth topic
+/// of cycle `i`'s user query (the workload's first target topic).
+pub fn run_classifier_attack(
+    classifier: &NaiveBayes,
+    cycles: &[CycleResult],
+    true_topics: &[usize],
+) -> ClassifierAttackReport {
+    assert_eq!(cycles.len(), true_topics.len(), "one label per cycle");
+    let mut unprotected = 0usize;
+    let mut pooled = 0usize;
+    let mut ident = 0usize;
+    let mut chance = 0.0f64;
+    for (cycle, &truth) in cycles.iter().zip(true_topics) {
+        let genuine = &cycle.genuine().tokens;
+        if classifier.classify(genuine).0 == truth {
+            unprotected += 1;
+        }
+        let bag: Vec<TermId> = cycle
+            .cycle
+            .iter()
+            .flat_map(|q| q.tokens.iter().copied())
+            .collect();
+        if classifier.classify(&bag).0 == truth {
+            pooled += 1;
+        }
+        let best = cycle
+            .cycle
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i, classifier.classify(&q.tokens).1))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite confidence"))
+            .map(|(i, _)| i)
+            .expect("non-empty cycle");
+        if best == cycle.genuine_index {
+            ident += 1;
+        }
+        chance += 1.0 / cycle.cycle_len() as f64;
+    }
+    let n = cycles.len().max(1) as f64;
+    ClassifierAttackReport {
+        unprotected_recovery: unprotected as f64 / n,
+        cycle_recovery: pooled as f64 / n,
+        topic_chance: 1.0 / classifier.num_classes() as f64,
+        genuine_identification: ident as f64 / n,
+        genuine_chance: chance / n,
+        cycles: cycles.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toppriv_core::{CycleQuery, PrivacyMetrics};
+
+    /// Two word blocks: class 0 uses words 0–4, class 1 uses 5–9.
+    fn toy_nb() -> NaiveBayes {
+        let docs: Vec<(Vec<TermId>, usize)> = (0..40)
+            .map(|d| {
+                let class = d % 2;
+                let tokens: Vec<TermId> =
+                    (0..30).map(|i| (class as u32 * 5) + i % 5).collect();
+                (tokens, class)
+            })
+            .collect();
+        let refs: Vec<(&[TermId], usize)> =
+            docs.iter().map(|(t, c)| (t.as_slice(), *c)).collect();
+        NaiveBayes::train(&refs, 2, 10, 1.0)
+    }
+
+    #[test]
+    fn learns_block_structure() {
+        let nb = toy_nb();
+        let (c0, conf0) = nb.classify(&[0, 1, 2]);
+        let (c1, conf1) = nb.classify(&[5, 6, 7]);
+        assert_eq!(c0, 0);
+        assert_eq!(c1, 1);
+        assert!(conf0 > 0.9 && conf1 > 0.9);
+    }
+
+    #[test]
+    fn posterior_is_a_distribution() {
+        let nb = toy_nb();
+        for tokens in [&[0u32, 5][..], &[9], &[]] {
+            let post = nb.posterior(tokens);
+            assert_eq!(post.len(), 2);
+            assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(post.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn empty_query_falls_back_to_prior() {
+        let nb = toy_nb();
+        let post = nb.posterior(&[]);
+        assert!((post[0] - 0.5).abs() < 1e-9, "balanced training set");
+    }
+
+    #[test]
+    fn smoothing_handles_unseen_mixtures() {
+        let nb = toy_nb();
+        // A mixed query does not crash and yields a proper argmax.
+        let (c, conf) = nb.classify(&[0, 5, 1, 6]);
+        assert!(c < 2);
+        assert!(conf >= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn rejects_out_of_range_labels() {
+        NaiveBayes::train(&[(&[0u32][..], 5)], 2, 10, 1.0);
+    }
+
+    fn mk_cycle(queries: Vec<Vec<TermId>>, genuine_index: usize) -> CycleResult {
+        let cycle: Vec<CycleQuery> = queries
+            .into_iter()
+            .enumerate()
+            .map(|(i, tokens)| CycleQuery {
+                tokens,
+                is_genuine: i == genuine_index,
+                masking_topic: (i != genuine_index).then_some(0),
+            })
+            .collect();
+        CycleResult {
+            cycle,
+            genuine_index,
+            intention: vec![0],
+            solo_boosts: vec![],
+            cycle_boosts: vec![],
+            masking_topics: vec![],
+            ineffective_topics: vec![],
+            satisfied: true,
+            metrics: PrivacyMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn attack_recovers_unprotected_topic() {
+        let nb = toy_nb();
+        // Cycle = genuine alone: pooled bag == genuine query.
+        let cycles = vec![mk_cycle(vec![vec![0, 1, 2, 3]], 0)];
+        let report = run_classifier_attack(&nb, &cycles, &[0]);
+        assert_eq!(report.unprotected_recovery, 1.0);
+        assert_eq!(report.cycle_recovery, 1.0);
+    }
+
+    #[test]
+    fn decoys_from_other_class_flip_pooled_classification() {
+        let nb = toy_nb();
+        // Genuine on class 0, two heavier ghosts on class 1.
+        let cycles = vec![mk_cycle(
+            vec![
+                vec![0, 1, 2],
+                vec![5, 6, 7, 8, 9, 5, 6, 7],
+                vec![9, 8, 7, 6, 5, 9, 8, 7],
+            ],
+            0,
+        )];
+        let report = run_classifier_attack(&nb, &cycles, &[0]);
+        assert_eq!(report.unprotected_recovery, 1.0, "oracle still works solo");
+        assert_eq!(report.cycle_recovery, 0.0, "pooled bag points elsewhere");
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per cycle")]
+    fn attack_requires_aligned_labels() {
+        let nb = toy_nb();
+        run_classifier_attack(&nb, &[], &[1]);
+    }
+}

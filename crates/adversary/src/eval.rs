@@ -1,0 +1,208 @@
+//! Attack evaluation: runs attacks over a batch of protected cycles and
+//! aggregates success rates against ground truth.
+
+use crate::attacks::{CoherenceAttack, ExposureRankAttack, ProbingAttack, TermEliminationAttack};
+use serde::{Deserialize, Serialize};
+use toppriv_core::CycleResult;
+use tsearch_lda::LdaModel;
+use tsearch_text::TermId;
+
+/// Aggregated outcome of one attack over many cycles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackReport {
+    /// Attack name.
+    pub attack: String,
+    /// Fraction of trials where the attack succeeded (meaning depends on
+    /// the attack; see each runner).
+    pub success_rate: f64,
+    /// Expected success rate of uninformed guessing.
+    pub chance_rate: f64,
+    /// Number of cycles evaluated.
+    pub trials: usize,
+}
+
+impl AttackReport {
+    /// The attack's advantage over guessing (≤ 0 means no advantage).
+    pub fn advantage(&self) -> f64 {
+        self.success_rate - self.chance_rate
+    }
+}
+
+/// Jaccard similarity of two topic sets.
+pub fn jaccard(a: &[usize], b: &[usize]) -> f64 {
+    let sa: std::collections::HashSet<usize> = a.iter().copied().collect();
+    let sb: std::collections::HashSet<usize> = b.iter().copied().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    if union == 0.0 {
+        1.0 // both empty: identical
+    } else {
+        inter / union
+    }
+}
+
+/// Runs the coherence attack over cycles: success = genuine query
+/// identified exactly. Chance = mean 1/υ.
+pub fn run_coherence_attack(model: &LdaModel, cycles: &[CycleResult]) -> AttackReport {
+    let attack = CoherenceAttack::new(model);
+    let mut hits = 0usize;
+    let mut chance = 0.0;
+    for c in cycles {
+        let tokens = c.cycle_tokens();
+        if attack.guess_genuine(&tokens) == c.genuine_index {
+            hits += 1;
+        }
+        chance += 1.0 / c.cycle_len() as f64;
+    }
+    AttackReport {
+        attack: "coherence (discount ghost queries)".into(),
+        success_rate: rate(hits, cycles.len()),
+        chance_rate: chance / cycles.len().max(1) as f64,
+        trials: cycles.len(),
+    }
+}
+
+/// Runs the exposure-rank attack: success = the guessed top-m topic set
+/// contains *all* genuine intention topics. Chance = probability of that
+/// under uniform topic guessing.
+pub fn run_exposure_attack(
+    model: &LdaModel,
+    cycles: &[CycleResult],
+    guess_m: usize,
+) -> AttackReport {
+    let attack = ExposureRankAttack::new(model, guess_m);
+    let k = model.num_topics();
+    let mut hits = 0usize;
+    let mut chance_sum = 0.0;
+    let mut scored = 0usize;
+    for c in cycles {
+        if c.intention.is_empty() {
+            continue;
+        }
+        scored += 1;
+        let guess = attack.guess_intention(&c.cycle_tokens());
+        if c.intention.iter().all(|t| guess.contains(t)) {
+            hits += 1;
+        }
+        // Chance of covering |U| specific topics when picking m of K
+        // uniformly: C(K-|U|, m-|U|) / C(K, m).
+        chance_sum += hypergeom_cover(k, c.intention.len(), guess_m);
+    }
+    AttackReport {
+        attack: format!("exposure rank (top-{guess_m} topics)"),
+        success_rate: rate(hits, scored),
+        chance_rate: chance_sum / scored.max(1) as f64,
+        trials: scored,
+    }
+}
+
+/// Runs the term-elimination attack: success measured as Jaccard overlap
+/// between the recovered intention and the true one (averaged). Chance is
+/// the expected Jaccard of a random same-size guess (approximated as
+/// |U| / K for small sets).
+pub fn run_term_elimination_attack(
+    model: &LdaModel,
+    cycles: &[CycleResult],
+    topics_to_discount: usize,
+    word_pool: usize,
+    eps1_guess: f64,
+) -> AttackReport {
+    let attack = TermEliminationAttack::new(model, topics_to_discount, word_pool, eps1_guess);
+    let mut total = 0.0;
+    let mut scored = 0usize;
+    let mut chance = 0.0;
+    for c in cycles {
+        if c.intention.is_empty() {
+            continue;
+        }
+        scored += 1;
+        let recovered = attack.recover_intention(&c.cycle_tokens());
+        total += jaccard(&recovered, &c.intention);
+        chance += c.intention.len() as f64 / model.num_topics() as f64;
+    }
+    AttackReport {
+        attack: "term elimination".into(),
+        success_rate: total / scored.max(1) as f64,
+        chance_rate: chance / scored.max(1) as f64,
+        trials: scored,
+    }
+}
+
+/// Runs the probing/replay attack: success = genuine query identified.
+pub fn run_probing_attack(
+    model: &LdaModel,
+    cycles: &[CycleResult],
+    requirement: toppriv_core::PrivacyRequirement,
+    replays: usize,
+) -> AttackReport {
+    let attack = ProbingAttack::new(model, requirement, replays);
+    let mut hits = 0usize;
+    let mut chance = 0.0;
+    for c in cycles {
+        let tokens: Vec<&[TermId]> = c.cycle_tokens();
+        if attack.guess_genuine(&tokens) == c.genuine_index {
+            hits += 1;
+        }
+        chance += 1.0 / c.cycle_len() as f64;
+    }
+    AttackReport {
+        attack: "probing (replay ghost generation)".into(),
+        success_rate: rate(hits, cycles.len()),
+        chance_rate: chance / cycles.len().max(1) as f64,
+        trials: cycles.len(),
+    }
+}
+
+fn rate(hits: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Probability that a uniform m-subset of K topics covers a fixed u-subset.
+fn hypergeom_cover(k: usize, u: usize, m: usize) -> f64 {
+    if u > m || u > k {
+        return 0.0;
+    }
+    // C(K-u, m-u) / C(K, m) = prod_{i=0..u-1} (m-i)/(K-i)
+    let mut p = 1.0;
+    for i in 0..u {
+        p *= (m - i) as f64 / (k - i) as f64;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(jaccard(&[1], &[2]), 0.0);
+        assert!((jaccard(&[1, 2], &[2, 3]) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn hypergeom_cover_sane() {
+        assert_eq!(hypergeom_cover(10, 0, 3), 1.0);
+        assert!((hypergeom_cover(10, 1, 3) - 0.3).abs() < 1e-12);
+        assert_eq!(hypergeom_cover(10, 4, 3), 0.0);
+        // u=2, m=3, K=4: 3/4 * 2/3 = 1/2.
+        assert!((hypergeom_cover(4, 2, 3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_advantage() {
+        let r = AttackReport {
+            attack: "x".into(),
+            success_rate: 0.4,
+            chance_rate: 0.25,
+            trials: 100,
+        };
+        assert!((r.advantage() - 0.15).abs() < 1e-12);
+    }
+}

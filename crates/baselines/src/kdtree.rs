@@ -1,0 +1,238 @@
+//! A kd-tree over factor-space points.
+//!
+//! Reference \[10\] builds its canonical queries with "a kd-tree nearest
+//! neighbor retrieval" over the LSI factor space; this is that structure.
+
+use serde::{Deserialize, Serialize};
+
+/// A static kd-tree over fixed-dimension points, built once from a batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KdTree {
+    dim: usize,
+    /// Flattened points in original insertion order.
+    points: Vec<f64>,
+    /// Tree nodes (indices into `points`), stored as a binary heap layout
+    /// is avoided; explicit node records instead.
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    /// Index of the point this node holds.
+    point: usize,
+    /// Split axis.
+    axis: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl KdTree {
+    /// Builds a tree over `points` (each of dimension `dim`).
+    pub fn build(points: &[Vec<f64>], dim: usize) -> Self {
+        assert!(points.iter().all(|p| p.len() == dim), "dimension mismatch");
+        let flat: Vec<f64> = points.iter().flat_map(|p| p.iter().copied()).collect();
+        let mut tree = KdTree {
+            dim,
+            points: flat,
+            nodes: Vec::with_capacity(points.len()),
+            root: None,
+        };
+        let mut indices: Vec<usize> = (0..points.len()).collect();
+        tree.root = tree.build_recursive(&mut indices, 0);
+        tree
+    }
+
+    fn coord(&self, point: usize, axis: usize) -> f64 {
+        self.points[point * self.dim + axis]
+    }
+
+    fn point(&self, point: usize) -> &[f64] {
+        &self.points[point * self.dim..(point + 1) * self.dim]
+    }
+
+    fn build_recursive(&mut self, indices: &mut [usize], depth: usize) -> Option<usize> {
+        if indices.is_empty() {
+            return None;
+        }
+        let axis = depth % self.dim.max(1);
+        indices.sort_by(|&a, &b| {
+            self.coord(a, axis)
+                .partial_cmp(&self.coord(b, axis))
+                .expect("finite coordinates")
+        });
+        let mid = indices.len() / 2;
+        let point = indices[mid];
+        let node_index = self.nodes.len();
+        self.nodes.push(Node {
+            point,
+            axis,
+            left: None,
+            right: None,
+        });
+        // Split into owned halves to satisfy the borrow checker.
+        let mut left: Vec<usize> = indices[..mid].to_vec();
+        let mut right: Vec<usize> = indices[mid + 1..].to_vec();
+        let left_child = self.build_recursive(&mut left, depth + 1);
+        let right_child = self.build_recursive(&mut right, depth + 1);
+        self.nodes[node_index].left = left_child;
+        self.nodes[node_index].right = right_child;
+        Some(node_index)
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nearest neighbor of `query` by Euclidean distance, excluding point
+    /// indices for which `exclude` returns true. Returns `(index, dist)`.
+    pub fn nearest_filtered(
+        &self,
+        query: &[f64],
+        exclude: &dyn Fn(usize) -> bool,
+    ) -> Option<(usize, f64)> {
+        assert_eq!(query.len(), self.dim);
+        let mut best: Option<(usize, f64)> = None;
+        if let Some(root) = self.root {
+            self.search(root, query, exclude, &mut best);
+        }
+        best.map(|(i, d2)| (i, d2.sqrt()))
+    }
+
+    /// Nearest neighbor of `query` (no exclusion).
+    pub fn nearest(&self, query: &[f64]) -> Option<(usize, f64)> {
+        self.nearest_filtered(query, &|_| false)
+    }
+
+    /// The `k` nearest neighbors, closest first (simple repeated-search
+    /// implementation; fine for the small canonical-query sets of \[10\]).
+    pub fn k_nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let mut found: Vec<(usize, f64)> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let taken: Vec<usize> = found.iter().map(|&(i, _)| i).collect();
+            match self.nearest_filtered(query, &|i| taken.contains(&i)) {
+                Some(hit) => found.push(hit),
+                None => break,
+            }
+        }
+        found
+    }
+
+    fn search(
+        &self,
+        node_index: usize,
+        query: &[f64],
+        exclude: &dyn Fn(usize) -> bool,
+        best: &mut Option<(usize, f64)>,
+    ) {
+        let node = &self.nodes[node_index];
+        let point = self.point(node.point);
+        if !exclude(node.point) {
+            let d2: f64 = point
+                .iter()
+                .zip(query)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if best.map(|(_, bd)| d2 < bd).unwrap_or(true) {
+                *best = Some((node.point, d2));
+            }
+        }
+        let diff = query[node.axis] - self.coord(node.point, node.axis);
+        let (near, far) = if diff < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.search(n, query, exclude, best);
+        }
+        // Visit the far side only if the splitting plane is closer than
+        // the current best.
+        let must_check_far = best.map(|(_, bd)| diff * diff < bd).unwrap_or(true);
+        if must_check_far {
+            if let Some(f) = far {
+                self.search(f, query, exclude, best);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_nearest(points: &[Vec<f64>], query: &[f64]) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, p) in points.iter().enumerate() {
+            let d2: f64 = p.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d2 < best.1 {
+                best = (i, d2);
+            }
+        }
+        (best.0, best.1.sqrt())
+    }
+
+    #[test]
+    fn matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for dim in [2usize, 5, 10] {
+            let points: Vec<Vec<f64>> = (0..200)
+                .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+                .collect();
+            let tree = KdTree::build(&points, dim);
+            for _ in 0..50 {
+                let q: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+                let (ti, td) = tree.nearest(&q).unwrap();
+                let (bi, bd) = brute_nearest(&points, &q);
+                assert_eq!(ti, bi, "dim {dim}");
+                assert!((td - bd).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_sorted_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points: Vec<Vec<f64>> = (0..100)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let tree = KdTree::build(&points, 2);
+        let q = vec![0.5, 0.5];
+        let knn = tree.k_nearest(&q, 10);
+        assert_eq!(knn.len(), 10);
+        for pair in knn.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        let set: std::collections::HashSet<usize> = knn.iter().map(|&(i, _)| i).collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn exclusion_filter() {
+        let points = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let tree = KdTree::build(&points, 2);
+        let (i, _) = tree.nearest(&[0.1, 0.1]).unwrap();
+        assert_eq!(i, 0);
+        let (i, _) = tree.nearest_filtered(&[0.1, 0.1], &|p| p == 0).unwrap();
+        assert_eq!(i, 1);
+        assert!(tree
+            .nearest_filtered(&[0.1, 0.1], &|_| true)
+            .is_none());
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = KdTree::build(&[], 3);
+        assert!(tree.is_empty());
+        assert!(tree.nearest(&[0.0, 0.0, 0.0]).is_none());
+        assert!(tree.k_nearest(&[0.0, 0.0, 0.0], 5).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! # toppriv-baselines
+//!
+//! The comparison schemes of the paper's evaluation:
+//!
+//! - [`PdxEmbellisher`]: the PDX query-embellishment baseline of
+//!   reference \[11\] (decoy terms matched on specificity and thesaurus
+//!   association), used in Figures 4 and 5;
+//! - [`Thesaurus`]: the PMI co-occurrence thesaurus PDX draws decoys from;
+//! - [`TrackMeNot`]: uniform-random ghost queries (reference \[9\]), the
+//!   incoherent strawman of the introduction;
+//! - [`SpaceComparison`]: the naive download-the-index alternative of
+//!   Section V-D / Figure 6;
+//! - [`McScheme`]: the Murugesan & Clifton plausibly-deniable-search
+//!   baseline of reference \[10\] (LSI factor space + kd-tree canonical
+//!   queries + cover groups), whose result distortion experiment `mc1`
+//!   quantifies.
+//!
+//! All baselines operate on the same analyzed token streams as TopPriv, so
+//! exposure comparisons are apples-to-apples under the same LDA models.
+
+pub mod kdtree;
+pub mod lsi;
+pub mod mc;
+pub mod naive;
+pub mod pdx;
+pub mod thesaurus;
+pub mod trackmenot;
+
+pub use kdtree::KdTree;
+pub use lsi::{cosine, LsiConfig, LsiModel};
+pub use mc::{CanonicalQuery, McConfig, McScheme, Substitution};
+pub use naive::SpaceComparison;
+pub use pdx::{EmbellishedQuery, PdxConfig, PdxEmbellisher};
+pub use thesaurus::{Thesaurus, ThesaurusConfig};
+pub use trackmenot::{TrackMeNot, TrackMeNotConfig};

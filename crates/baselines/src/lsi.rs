@@ -1,0 +1,346 @@
+//! Latent Semantic Indexing (truncated SVD of the term–document matrix).
+//!
+//! Needed by the Murugesan & Clifton baseline (the paper's reference
+//! \[10\]), which maps dictionary terms into a low-dimensional factor space
+//! with LSI before forming canonical queries. Also discussed (and
+//! dismissed for large corpora) in the paper's Appendix A.
+//!
+//! The left singular vectors of the tf-idf weighted term–document matrix
+//! `A (V×D)` are computed by block subspace iteration on `A·Aᵀ`, touching
+//! only the sparse nonzeros of `A` — no dense `V×D` materialization, which
+//! is exactly the obstacle the paper cites for WSJ-scale LSA.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tsearch_text::TermId;
+
+/// LSI training parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LsiConfig {
+    /// Number of latent factors (reference \[10\] uses 30).
+    pub factors: usize,
+    /// Subspace-iteration rounds.
+    pub iterations: usize,
+    /// RNG seed for the starting block.
+    pub seed: u64,
+}
+
+impl Default for LsiConfig {
+    fn default() -> Self {
+        Self {
+            factors: 30,
+            iterations: 30,
+            seed: 0x151,
+        }
+    }
+}
+
+/// A trained LSI model: the top left singular vectors of the weighted
+/// term–document matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LsiModel {
+    factors: usize,
+    vocab_size: usize,
+    /// `U`, word-major: `term_factors[w * F + k]`.
+    term_factors: Vec<f64>,
+    /// Approximate singular values, descending.
+    singular_values: Vec<f64>,
+    /// Per-term idf used for query projection.
+    idfs: Vec<f64>,
+}
+
+/// Sparse column-compressed view of the weighted term-doc matrix.
+struct SparseMatrix {
+    /// (term, weight) entries per document.
+    cols: Vec<Vec<(u32, f64)>>,
+}
+
+impl SparseMatrix {
+    /// y += A * x_col for every doc column: y[w] += weight * z[d] where
+    /// z = Aᵀ x. Computes `A (Aᵀ x)` in two sparse passes.
+    fn ata_multiply(&self, x: &[f64], y: &mut [f64]) {
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for col in &self.cols {
+            // z_d = Σ_w A[w,d] * x[w]
+            let mut z = 0.0;
+            for &(w, weight) in col {
+                z += weight * x[w as usize];
+            }
+            if z == 0.0 {
+                continue;
+            }
+            for &(w, weight) in col {
+                y[w as usize] += weight * z;
+            }
+        }
+    }
+}
+
+impl LsiModel {
+    /// Trains LSI on token documents with `ln(1+tf)·idf` weighting.
+    pub fn train(docs: &[&[TermId]], vocab_size: usize, config: LsiConfig) -> Self {
+        assert!(config.factors >= 1);
+        assert!(vocab_size > 0);
+        let f = config.factors.min(vocab_size);
+        // Document frequencies -> idf.
+        let mut df = vec![0u32; vocab_size];
+        for doc in docs {
+            let mut seen: Vec<u32> = doc.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            for w in seen {
+                df[w as usize] += 1;
+            }
+        }
+        let n = docs.len().max(1) as f64;
+        let idfs: Vec<f64> = df
+            .iter()
+            .map(|&d| if d == 0 { 0.0 } else { (n / d as f64).ln().max(1e-9) })
+            .collect();
+        // Sparse weighted matrix, one column per document.
+        let cols: Vec<Vec<(u32, f64)>> = docs
+            .iter()
+            .map(|doc| {
+                let mut sorted: Vec<u32> = doc.to_vec();
+                sorted.sort_unstable();
+                let mut entries = Vec::new();
+                let mut i = 0;
+                while i < sorted.len() {
+                    let w = sorted[i];
+                    let mut j = i;
+                    while j < sorted.len() && sorted[j] == w {
+                        j += 1;
+                    }
+                    let tf = (j - i) as f64;
+                    let weight = (1.0 + tf.ln()) * idfs[w as usize];
+                    if weight > 0.0 {
+                        entries.push((w, weight));
+                    }
+                    i = j;
+                }
+                entries
+            })
+            .collect();
+        let matrix = SparseMatrix { cols };
+
+        // Block subspace iteration for the top-f eigenvectors of A Aᵀ.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut basis: Vec<Vec<f64>> = (0..f)
+            .map(|_| (0..vocab_size).map(|_| rng.gen::<f64>() - 0.5).collect())
+            .collect();
+        orthonormalize(&mut basis);
+        let mut scratch = vec![0.0f64; vocab_size];
+        for _ in 0..config.iterations {
+            for vec in basis.iter_mut() {
+                matrix.ata_multiply(vec, &mut scratch);
+                std::mem::swap(vec, &mut scratch);
+            }
+            orthonormalize(&mut basis);
+        }
+        // Rayleigh quotients give eigenvalues of A Aᵀ = squared singular
+        // values.
+        let mut eigen: Vec<(f64, Vec<f64>)> = basis
+            .into_iter()
+            .map(|v| {
+                matrix.ata_multiply(&v, &mut scratch);
+                let lambda: f64 = v.iter().zip(&scratch).map(|(a, b)| a * b).sum();
+                (lambda.max(0.0), v)
+            })
+            .collect();
+        eigen.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+
+        let singular_values: Vec<f64> = eigen.iter().map(|(l, _)| l.sqrt()).collect();
+        let mut term_factors = vec![0.0f64; vocab_size * f];
+        for (k, (_, v)) in eigen.iter().enumerate() {
+            for (w, &value) in v.iter().enumerate() {
+                term_factors[w * f + k] = value;
+            }
+        }
+        LsiModel {
+            factors: f,
+            vocab_size,
+            term_factors,
+            singular_values,
+            idfs,
+        }
+    }
+
+    /// Number of factors F.
+    pub fn factors(&self) -> usize {
+        self.factors
+    }
+
+    /// Vocabulary size V.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Approximate singular values, descending.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// The factor-space embedding of one term (a row of `U`).
+    pub fn term_vector(&self, term: TermId) -> &[f64] {
+        let start = term as usize * self.factors;
+        &self.term_factors[start..start + self.factors]
+    }
+
+    /// Projects a bag-of-words query into factor space: `Uᵀ q` with the
+    /// same `ln(1+tf)·idf` weighting used in training.
+    pub fn project_query(&self, tokens: &[TermId]) -> Vec<f64> {
+        let mut point = vec![0.0f64; self.factors];
+        let mut sorted: Vec<u32> = tokens.to_vec();
+        sorted.sort_unstable();
+        let mut i = 0;
+        while i < sorted.len() {
+            let w = sorted[i];
+            let mut j = i;
+            while j < sorted.len() && sorted[j] == w {
+                j += 1;
+            }
+            let tf = (j - i) as f64;
+            let weight = (1.0 + tf.ln()) * self.idfs[w as usize];
+            let row = self.term_vector(w);
+            for k in 0..self.factors {
+                point[k] += weight * row[k];
+            }
+            i = j;
+        }
+        point
+    }
+}
+
+/// Modified Gram–Schmidt orthonormalization in place. Degenerate vectors
+/// are re-randomized deterministically.
+fn orthonormalize(basis: &mut [Vec<f64>]) {
+    let dim = basis.first().map(Vec::len).unwrap_or(0);
+    for i in 0..basis.len() {
+        for j in 0..i {
+            let dot: f64 = basis[i].iter().zip(&basis[j]).map(|(a, b)| a * b).sum();
+            let (left, right) = basis.split_at_mut(i);
+            let vj = &left[j];
+            for (a, b) in right[0].iter_mut().zip(vj) {
+                *a -= dot * b;
+            }
+        }
+        let norm: f64 = basis[i].iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            // Deterministic fallback: unit vector on coordinate i.
+            basis[i].iter_mut().for_each(|x| *x = 0.0);
+            basis[i][i % dim.max(1)] = 1.0;
+        } else {
+            basis[i].iter_mut().for_each(|x| *x /= norm);
+        }
+    }
+}
+
+/// Cosine similarity in factor space.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint word blocks -> the top factors separate them.
+    fn block_docs() -> Vec<Vec<TermId>> {
+        let mut docs = Vec::new();
+        for d in 0..60 {
+            let base: u32 = if d % 2 == 0 { 0 } else { 6 };
+            docs.push((0..12).map(|i| base + (i % 6) as u32).collect());
+        }
+        docs
+    }
+
+    fn train(factors: usize) -> LsiModel {
+        let docs = block_docs();
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        LsiModel::train(
+            &refs,
+            12,
+            LsiConfig {
+                factors,
+                iterations: 40,
+                ..LsiConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn singular_values_descend() {
+        let model = train(4);
+        let sv = model.singular_values();
+        assert_eq!(sv.len(), 4);
+        for pair in sv.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-9, "{sv:?}");
+        }
+        assert!(sv[0] > 0.0);
+    }
+
+    #[test]
+    fn same_block_terms_are_close() {
+        let model = train(4);
+        // Terms 0 and 1 co-occur in every even doc; term 6 never with 0.
+        let sim_within = cosine(model.term_vector(0), model.term_vector(1));
+        let sim_across = cosine(model.term_vector(0), model.term_vector(6));
+        assert!(
+            sim_within > sim_across + 0.3,
+            "within {sim_within} vs across {sim_across}"
+        );
+    }
+
+    #[test]
+    fn query_projection_matches_its_block() {
+        let model = train(4);
+        let q_low = model.project_query(&[0, 1, 2]);
+        let q_high = model.project_query(&[6, 7, 8]);
+        let d_low = model.project_query(&[0, 1, 2, 3, 4, 5]);
+        assert!(cosine(&q_low, &d_low) > cosine(&q_high, &d_low) + 0.3);
+    }
+
+    #[test]
+    fn projection_is_linear_in_tf() {
+        let model = train(4);
+        let single = model.project_query(&[0]);
+        assert_eq!(single.len(), 4);
+        // Repeating a term uses log-tf: weight grows but sublinearly.
+        let double = model.project_query(&[0, 0]);
+        let norm1: f64 = single.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let norm2: f64 = double.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(norm2 > norm1);
+        assert!(norm2 < 2.0 * norm1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = train(3);
+        let b = train(3);
+        assert_eq!(a.term_vector(0), b.term_vector(0));
+    }
+
+    #[test]
+    fn factors_capped_by_vocab() {
+        let docs = [vec![0u32, 1]];
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = LsiModel::train(
+            &refs,
+            2,
+            LsiConfig {
+                factors: 10,
+                iterations: 5,
+                ..LsiConfig::default()
+            },
+        );
+        assert_eq!(model.factors(), 2);
+    }
+}

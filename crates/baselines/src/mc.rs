@@ -1,0 +1,322 @@
+//! The Murugesan & Clifton baseline: plausibly deniable search through
+//! canonical query substitution (the paper's reference \[10\]).
+//!
+//! Offline, the scheme (a) maps dictionary terms into an LSI factor
+//! space, (b) forms *canonical queries* from terms that are close in that
+//! space (kd-tree nearest neighbors), and (c) groups canonical queries of
+//! similar popularity from different parts of the space. At runtime a
+//! user query is replaced by the closest canonical query, and the other
+//! members of its group serve as cover queries.
+//!
+//! The ICDE paper's criticism — which experiment `mc1` quantifies — is
+//! that substituting the query changes the result list, degrading the
+//! engine's intended precision/recall, whereas TopPriv returns exact
+//! results.
+
+use crate::kdtree::KdTree;
+use crate::lsi::LsiModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tsearch_text::TermId;
+
+/// Configuration of the canonical-query universe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct McConfig {
+    /// Number of canonical queries to construct.
+    pub num_canonical: usize,
+    /// Terms per canonical query.
+    pub canonical_len: usize,
+    /// Group size k: 1 canonical + (k−1) covers (the deniability set).
+    pub group_size: usize,
+    /// Only the `active_terms` highest-collection-frequency terms seed
+    /// canonical queries (rare terms make meaningless canonicals).
+    pub active_terms: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self {
+            num_canonical: 256,
+            canonical_len: 6,
+            group_size: 4,
+            active_terms: 4000,
+            seed: 0x11C0,
+        }
+    }
+}
+
+/// One canonical query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CanonicalQuery {
+    /// Token ids (term-space form, submitted to the engine verbatim).
+    pub tokens: Vec<TermId>,
+    /// Factor-space centroid.
+    pub point: Vec<f64>,
+    /// The group this canonical belongs to.
+    pub group: usize,
+}
+
+/// The built scheme.
+pub struct McScheme {
+    canonical: Vec<CanonicalQuery>,
+    groups: Vec<Vec<usize>>,
+    tree: KdTree,
+    lsi: LsiModel,
+}
+
+impl McScheme {
+    /// Builds the canonical-query universe from the corpus.
+    ///
+    /// `collection_freq` gives each term's corpus frequency (used to seed
+    /// canonicals from frequent terms and to match popularity in groups).
+    pub fn build(lsi: LsiModel, collection_freq: &[u64], config: McConfig) -> Self {
+        assert_eq!(collection_freq.len(), lsi.vocab_size());
+        assert!(config.group_size >= 2, "need at least one cover query");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Active term pool: most frequent terms.
+        let mut by_freq: Vec<TermId> = (0..lsi.vocab_size() as TermId).collect();
+        by_freq.sort_by_key(|&t| std::cmp::Reverse(collection_freq[t as usize]));
+        by_freq.truncate(config.active_terms.min(by_freq.len()));
+
+        // kd-tree over the active terms' factor vectors for NN retrieval.
+        let term_points: Vec<Vec<f64>> = by_freq
+            .iter()
+            .map(|&t| lsi.term_vector(t).to_vec())
+            .collect();
+        let term_tree = KdTree::build(&term_points, lsi.factors());
+
+        // (a)+(b): canonical queries from factor-space term neighborhoods.
+        let mut canonical: Vec<CanonicalQuery> = Vec::with_capacity(config.num_canonical);
+        let mut attempts = 0usize;
+        while canonical.len() < config.num_canonical && attempts < config.num_canonical * 10 {
+            attempts += 1;
+            let seed_slot = rng.gen_range(0..by_freq.len());
+            let seed_point = &term_points[seed_slot];
+            // Draw the canonical's terms from a slightly wider factor-space
+            // neighborhood of the seed, so different seeds in one region
+            // still yield distinct canonicals.
+            let pool = term_tree.k_nearest(seed_point, config.canonical_len * 2);
+            if pool.len() < config.canonical_len.min(2) {
+                continue;
+            }
+            let mut slots: Vec<usize> = pool.iter().map(|&(slot, _)| slot).collect();
+            // Always keep the seed itself; shuffle the rest.
+            for i in (2..slots.len()).rev() {
+                let j = rng.gen_range(1..=i);
+                slots.swap(i, j);
+            }
+            slots.truncate(config.canonical_len);
+            let mut tokens: Vec<TermId> = slots.into_iter().map(|slot| by_freq[slot]).collect();
+            tokens.sort_unstable();
+            tokens.dedup();
+            if canonical.iter().any(|c| c.tokens == tokens) {
+                continue; // duplicate canonical
+            }
+            let point = lsi.project_query(&tokens);
+            canonical.push(CanonicalQuery {
+                tokens,
+                point,
+                group: usize::MAX,
+            });
+        }
+
+        // (c): group canonicals of similar popularity from different parts
+        // of the space. Popularity = summed collection frequency; sort by
+        // popularity, then deal consecutive popularity-peers into groups
+        // round-robin so each group spans distant regions.
+        let mut order: Vec<usize> = (0..canonical.len()).collect();
+        let popularity = |c: &CanonicalQuery| -> u64 {
+            c.tokens.iter().map(|&t| collection_freq[t as usize]).sum()
+        };
+        order.sort_by_key(|&i| std::cmp::Reverse(popularity(&canonical[i])));
+        let num_groups = canonical.len().div_ceil(config.group_size).max(1);
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); num_groups];
+        for (slot, &ci) in order.iter().enumerate() {
+            // Consecutive popularity ranks land in different groups.
+            let g = slot % num_groups;
+            canonical[ci].group = g;
+            groups[g].push(ci);
+        }
+
+        let points: Vec<Vec<f64>> = canonical.iter().map(|c| c.point.clone()).collect();
+        let tree = KdTree::build(&points, lsi.factors());
+        McScheme {
+            canonical,
+            groups,
+            tree,
+            lsi,
+        }
+    }
+
+    /// Number of canonical queries.
+    pub fn num_canonical(&self) -> usize {
+        self.canonical.len()
+    }
+
+    /// The canonical queries.
+    pub fn canonical(&self) -> &[CanonicalQuery] {
+        &self.canonical
+    }
+
+    /// Runtime substitution: maps a user query to `(canonical index,
+    /// cover indices)` — the canonical replaces the query; the covers are
+    /// submitted alongside it.
+    pub fn substitute(&self, user_tokens: &[TermId]) -> Option<Substitution> {
+        let point = self.lsi.project_query(user_tokens);
+        let (index, distance) = self.tree.nearest(&point)?;
+        let group = self.canonical[index].group;
+        let covers: Vec<usize> = self.groups[group]
+            .iter()
+            .copied()
+            .filter(|&c| c != index)
+            .collect();
+        Some(Substitution {
+            canonical: index,
+            covers,
+            distance,
+        })
+    }
+
+    /// Token form of a canonical query by index.
+    pub fn canonical_tokens(&self, index: usize) -> &[TermId] {
+        &self.canonical[index].tokens
+    }
+}
+
+/// Result of a runtime substitution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Substitution {
+    /// Index of the canonical query replacing the user query.
+    pub canonical: usize,
+    /// Indices of the cover queries (the rest of the group).
+    pub covers: Vec<usize>,
+    /// Factor-space distance from the user query to the canonical.
+    pub distance: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsi::LsiConfig;
+
+    /// Four-block corpus; returns (lsi, collection_freq, docs).
+    fn fixture() -> (LsiModel, Vec<u64>) {
+        let mut docs: Vec<Vec<TermId>> = Vec::new();
+        for d in 0..120u32 {
+            let base = (d % 4) * 8;
+            docs.push((0..24).map(|i| base + (i % 8)).collect());
+        }
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let lsi = LsiModel::train(
+            &refs,
+            32,
+            LsiConfig {
+                factors: 6,
+                iterations: 30,
+                ..LsiConfig::default()
+            },
+        );
+        let mut freq = vec![0u64; 32];
+        for doc in &docs {
+            for &t in doc {
+                freq[t as usize] += 1;
+            }
+        }
+        (lsi, freq)
+    }
+
+    fn scheme() -> McScheme {
+        let (lsi, freq) = fixture();
+        McScheme::build(
+            lsi,
+            &freq,
+            McConfig {
+                num_canonical: 24,
+                canonical_len: 4,
+                group_size: 4,
+                active_terms: 32,
+                ..McConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn canonicals_are_built_and_grouped() {
+        let s = scheme();
+        assert!(s.num_canonical() >= 8, "got {}", s.num_canonical());
+        for c in s.canonical() {
+            assert!(c.group != usize::MAX, "every canonical grouped");
+            assert!(!c.tokens.is_empty());
+        }
+    }
+
+    #[test]
+    fn canonical_queries_are_topically_coherent() {
+        // Terms of one canonical should come from one block (they are
+        // factor-space neighbors).
+        let s = scheme();
+        let mut coherent = 0usize;
+        for c in s.canonical() {
+            let blocks: std::collections::HashSet<u32> =
+                c.tokens.iter().map(|&t| t / 8).collect();
+            if blocks.len() == 1 {
+                coherent += 1;
+            }
+        }
+        assert!(
+            coherent * 2 >= s.num_canonical(),
+            "most canonicals single-block: {coherent}/{}",
+            s.num_canonical()
+        );
+    }
+
+    #[test]
+    fn substitution_picks_matching_block() {
+        let s = scheme();
+        let sub = s.substitute(&[0, 1, 2, 3]).unwrap();
+        let canonical = s.canonical_tokens(sub.canonical);
+        // The canonical should share the user's topic block (block 0).
+        let in_block = canonical.iter().filter(|&&t| t < 8).count();
+        assert!(
+            in_block * 2 >= canonical.len(),
+            "canonical {canonical:?} not from block 0"
+        );
+        // Cover queries come from the same group, minus the canonical.
+        assert!(!sub.covers.is_empty());
+        for &cover in &sub.covers {
+            assert_ne!(cover, sub.canonical);
+        }
+    }
+
+    #[test]
+    fn substitution_changes_the_query() {
+        // The core deficiency the paper points out: the submitted query is
+        // generally NOT the user's query.
+        let s = scheme();
+        let user = vec![0u32, 9, 17]; // deliberately cross-block
+        let sub = s.substitute(&user).unwrap();
+        assert_ne!(s.canonical_tokens(sub.canonical), user.as_slice());
+    }
+
+    #[test]
+    fn groups_span_the_space() {
+        let s = scheme();
+        // A group should contain canonicals from more than one topic block
+        // (that is the whole point of the cover set).
+        let mut any_diverse = false;
+        for group in &s.groups {
+            let blocks: std::collections::HashSet<u32> = group
+                .iter()
+                .flat_map(|&c| s.canonical[c].tokens.iter().map(|&t| t / 8))
+                .collect();
+            if blocks.len() >= 2 {
+                any_diverse = true;
+            }
+        }
+        assert!(any_diverse, "at least some groups span topic blocks");
+    }
+}

@@ -1,0 +1,81 @@
+//! The naive alternative: download the entire inverted index to the client
+//! and run queries locally (Section V-D).
+//!
+//! The paper's Figure 6 compares the client-side space of this approach
+//! (the whole index, growing roughly linearly with the corpus) against
+//! TopPriv's LDA model (whose dominant `Pr(w|t)` matrix levels off with
+//! the vocabulary). This module packages that comparison.
+
+use serde::{Deserialize, Serialize};
+use tsearch_index::InvertedIndex;
+use tsearch_lda::LdaModel;
+
+/// One point of the Figure 6 comparison.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpaceComparison {
+    /// Corpus size (documents) at this point.
+    pub num_docs: usize,
+    /// Observed vocabulary size at this point.
+    pub vocab_size: usize,
+    /// Compressed inverted-index bytes (this implementation's encoding).
+    pub index_bytes: usize,
+    /// Plain `<p_ij, d_j>` pair bytes — the representation the paper's
+    /// size comparison uses (8 bytes per posting pair).
+    pub index_raw_bytes: u64,
+    /// Client-side LDA bytes TopPriv must ship (`Pr(w|t)` + prior).
+    pub lda_client_bytes: usize,
+}
+
+impl SpaceComparison {
+    /// Computes the comparison for one corpus snapshot.
+    pub fn measure(num_docs: usize, index: &InvertedIndex, model: &LdaModel) -> Self {
+        SpaceComparison {
+            num_docs,
+            vocab_size: model.vocab_size(),
+            index_bytes: index.size_breakdown().total(),
+            index_raw_bytes: index.total_postings() * tsearch_index::PIR_PAIR_BYTES as u64,
+            lda_client_bytes: model.size_breakdown().client_bytes(),
+        }
+    }
+
+    /// TopPriv's space saving over the naive approach (positive = smaller),
+    /// against the paper's plain-pair index representation.
+    pub fn saving_ratio(&self) -> f64 {
+        if self.index_raw_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.lda_client_bytes as f64 / self.index_raw_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsearch_text::TermId;
+
+    #[test]
+    fn measures_both_sides() {
+        let docs: Vec<Vec<TermId>> = (0..50)
+            .map(|d| (0..30).map(|i| ((d + i) % 20) as TermId).collect())
+            .collect();
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let index = InvertedIndex::build(&refs, 20);
+        let model = tsearch_lda::LdaTrainer::train(
+            &refs,
+            20,
+            tsearch_lda::LdaConfig {
+                iterations: 5,
+                ..tsearch_lda::LdaConfig::with_topics(4)
+            },
+        );
+        let cmp = SpaceComparison::measure(50, &index, &model);
+        assert_eq!(cmp.num_docs, 50);
+        assert_eq!(cmp.vocab_size, 20);
+        assert!(cmp.index_bytes > 0);
+        assert_eq!(cmp.index_raw_bytes, index.total_postings() * 8);
+        assert!(cmp.index_raw_bytes >= cmp.index_bytes as u64 / 2);
+        // phi: 20 words x 4 topics x 4 bytes + prior 4 x 8.
+        assert_eq!(cmp.lda_client_bytes, 20 * 4 * 4 + 4 * 8);
+        assert!(cmp.saving_ratio() < 1.0);
+    }
+}

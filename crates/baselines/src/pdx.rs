@@ -1,0 +1,323 @@
+//! The PDX baseline: query embellishment with decoy terms.
+//!
+//! Re-implements the scheme of Pang, Ding & Xiao (VLDB 2010) — the paper's
+//! reference \[11\], denoted "PDX" in its evaluation (Section V-C). Each user
+//! query is *embellished* in place with decoy terms that (a) match the
+//! genuine terms in specificity (similar IDF) and (b) are semantically
+//! associated with each other (drawn along thesaurus edges), so the decoys
+//! point to plausible alternative topics.
+//!
+//! PDX needs a modified engine (homomorphic scoring over genuine terms
+//! only) to preserve result quality; here only the *embellished query's
+//! topical exposure* matters, which is what Figures 4 and 5 measure.
+
+use crate::thesaurus::Thesaurus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use tsearch_text::TermId;
+
+/// PDX parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PdxConfig {
+    /// Query expansion factor: `|qe| / |qu|` (the paper sweeps 2–16×).
+    pub expansion_factor: usize,
+    /// Relative IDF band for specificity matching: a decoy for a genuine
+    /// term with idf `x` must have idf in `[x·(1−band), x·(1+band)]`.
+    pub idf_band: f64,
+    /// RNG seed (combined with query content).
+    pub seed: u64,
+}
+
+impl Default for PdxConfig {
+    fn default() -> Self {
+        Self {
+            expansion_factor: 4,
+            idf_band: 0.25,
+            seed: 0x9D_0C,
+        }
+    }
+}
+
+/// The PDX query embellisher.
+pub struct PdxEmbellisher<'t> {
+    thesaurus: &'t Thesaurus,
+    /// Per-term IDF values (index = term id).
+    idfs: Vec<f64>,
+    /// Term ids sorted by IDF, for banded candidate lookup.
+    by_idf: Vec<TermId>,
+    config: PdxConfig,
+}
+
+impl<'t> PdxEmbellisher<'t> {
+    /// Creates an embellisher from a thesaurus and per-term IDF values.
+    pub fn new(thesaurus: &'t Thesaurus, idfs: Vec<f64>, config: PdxConfig) -> Self {
+        assert!(config.expansion_factor >= 1, "expansion factor >= 1");
+        assert_eq!(thesaurus.vocab_size(), idfs.len(), "idf/vocab mismatch");
+        let mut by_idf: Vec<TermId> = (0..idfs.len() as TermId).collect();
+        by_idf.sort_by(|&a, &b| {
+            idfs[a as usize]
+                .partial_cmp(&idfs[b as usize])
+                .expect("finite idf")
+        });
+        Self {
+            thesaurus,
+            idfs,
+            by_idf,
+            config,
+        }
+    }
+
+    /// Embellishes `user_tokens`, returning the full embellished query
+    /// `qe` (genuine terms plus decoys, shuffled).
+    pub fn embellish(&self, user_tokens: &[TermId]) -> EmbellishedQuery {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ token_hash(user_tokens));
+        let decoys_needed = user_tokens
+            .len()
+            .saturating_mul(self.config.expansion_factor.saturating_sub(1));
+        let genuine: HashSet<TermId> = user_tokens.iter().copied().collect();
+        let mut decoys: Vec<TermId> = Vec::with_capacity(decoys_needed);
+        let mut used: HashSet<TermId> = genuine.clone();
+        // Anchor-and-grow: pick an anchor decoy in the IDF band of a
+        // genuine term, then extend along thesaurus edges so the decoy set
+        // stays coherent; start a new anchor when a chain dies out.
+        let mut chain_tail: Option<TermId> = None;
+        let mut gi = 0usize;
+        let mut stall = 0usize;
+        while decoys.len() < decoys_needed && stall < decoys_needed * 20 + 50 {
+            stall += 1;
+            let target = user_tokens[gi % user_tokens.len()];
+            gi += 1;
+            let target_idf = self.idfs[target as usize];
+            let pick = match chain_tail {
+                Some(tail) => self.pick_neighbor(tail, target_idf, &used, &mut rng),
+                None => None,
+            };
+            let pick = pick.or_else(|| self.pick_in_band(target_idf, &used, &mut rng));
+            match pick {
+                Some(d) => {
+                    used.insert(d);
+                    decoys.push(d);
+                    chain_tail = Some(d);
+                }
+                None => {
+                    chain_tail = None;
+                }
+            }
+        }
+        let mut tokens: Vec<TermId> = user_tokens.to_vec();
+        tokens.extend_from_slice(&decoys);
+        shuffle(&mut tokens, &mut rng);
+        EmbellishedQuery {
+            tokens,
+            genuine: user_tokens.to_vec(),
+            decoys,
+        }
+    }
+
+    /// Tries to pick an unused thesaurus neighbor of `tail` inside the IDF
+    /// band of `target_idf`.
+    fn pick_neighbor(
+        &self,
+        tail: TermId,
+        target_idf: f64,
+        used: &HashSet<TermId>,
+        rng: &mut StdRng,
+    ) -> Option<TermId> {
+        let candidates: Vec<TermId> = self
+            .thesaurus
+            .neighbors(tail)
+            .iter()
+            .map(|&(t, _)| t)
+            .filter(|t| !used.contains(t) && self.in_band(*t, target_idf))
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.gen_range(0..candidates.len())])
+        }
+    }
+
+    /// Picks a random unused term whose IDF falls in the band.
+    fn pick_in_band(
+        &self,
+        target_idf: f64,
+        used: &HashSet<TermId>,
+        rng: &mut StdRng,
+    ) -> Option<TermId> {
+        let (lo, hi) = self.band(target_idf);
+        // Binary-search the idf-sorted order for the band borders.
+        let start = self
+            .by_idf
+            .partition_point(|&t| self.idfs[t as usize] < lo);
+        let end = self.by_idf.partition_point(|&t| self.idfs[t as usize] <= hi);
+        if start >= end {
+            return None;
+        }
+        // Rejection-sample inside the band.
+        for _ in 0..32 {
+            let t = self.by_idf[rng.gen_range(start..end)];
+            if !used.contains(&t) {
+                return Some(t);
+            }
+        }
+        self.by_idf[start..end]
+            .iter()
+            .copied()
+            .find(|t| !used.contains(t))
+    }
+
+    fn band(&self, idf: f64) -> (f64, f64) {
+        let b = self.config.idf_band;
+        (idf * (1.0 - b), idf * (1.0 + b))
+    }
+
+    fn in_band(&self, term: TermId, target_idf: f64) -> bool {
+        let (lo, hi) = self.band(target_idf);
+        let idf = self.idfs[term as usize];
+        idf >= lo && idf <= hi
+    }
+}
+
+/// An embellished query with its ground-truth decomposition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbellishedQuery {
+    /// The full embellished token bag `qe` (shuffled).
+    pub tokens: Vec<TermId>,
+    /// The genuine terms (evaluation ground truth).
+    pub genuine: Vec<TermId>,
+    /// The decoy terms (evaluation ground truth).
+    pub decoys: Vec<TermId>,
+}
+
+impl EmbellishedQuery {
+    /// Achieved expansion factor.
+    pub fn expansion(&self) -> f64 {
+        if self.genuine.is_empty() {
+            0.0
+        } else {
+            self.tokens.len() as f64 / self.genuine.len() as f64
+        }
+    }
+}
+
+fn token_hash(tokens: &[TermId]) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    tokens.hash(&mut h);
+    h.finish()
+}
+
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thesaurus::ThesaurusConfig;
+
+    /// Six-block corpus: words 6k..6k+6 co-occur; idf uniform by design.
+    fn fixture() -> (Thesaurus, Vec<f64>) {
+        let mut docs = Vec::new();
+        for d in 0..120u32 {
+            let base = (d % 6) * 6;
+            docs.push((0..18).map(|i| base + (i % 6)).collect::<Vec<TermId>>());
+        }
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let thesaurus = Thesaurus::build(&refs, 36, ThesaurusConfig::default());
+        // All terms appear in 20 of 120 docs -> equal idf.
+        let idfs = vec![(120f64 / 20f64).ln(); 36];
+        (thesaurus, idfs)
+    }
+
+    #[test]
+    fn embellishment_hits_expansion_factor() {
+        let (thesaurus, idfs) = fixture();
+        for factor in [2usize, 4, 8] {
+            let pdx = PdxEmbellisher::new(
+                &thesaurus,
+                idfs.clone(),
+                PdxConfig {
+                    expansion_factor: factor,
+                    ..PdxConfig::default()
+                },
+            );
+            let qe = pdx.embellish(&[0, 1, 2]);
+            assert_eq!(qe.genuine, vec![0, 1, 2]);
+            assert_eq!(qe.decoys.len(), 3 * (factor - 1));
+            assert_eq!(qe.tokens.len(), 3 * factor);
+            assert!((qe.expansion() - factor as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decoys_exclude_genuine_terms() {
+        let (thesaurus, idfs) = fixture();
+        let pdx = PdxEmbellisher::new(&thesaurus, idfs, PdxConfig::default());
+        let qe = pdx.embellish(&[0, 1, 2, 3]);
+        for d in &qe.decoys {
+            assert!(!qe.genuine.contains(d), "decoy {d} is genuine");
+        }
+        // No duplicate decoys.
+        let set: HashSet<_> = qe.decoys.iter().collect();
+        assert_eq!(set.len(), qe.decoys.len());
+    }
+
+    #[test]
+    fn embellishment_is_deterministic() {
+        let (thesaurus, idfs) = fixture();
+        let pdx = PdxEmbellisher::new(&thesaurus, idfs, PdxConfig::default());
+        let a = pdx.embellish(&[6, 7, 8]);
+        let b = pdx.embellish(&[6, 7, 8]);
+        assert_eq!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn decoys_respect_idf_band() {
+        let (thesaurus, _) = fixture();
+        // Give half the vocabulary a very different idf.
+        let mut idfs = vec![2.0f64; 36];
+        idfs[18..36].iter_mut().for_each(|x| *x = 8.0);
+        let pdx = PdxEmbellisher::new(
+            &thesaurus,
+            idfs.clone(),
+            PdxConfig {
+                expansion_factor: 3,
+                idf_band: 0.2,
+                ..PdxConfig::default()
+            },
+        );
+        let qe = pdx.embellish(&[0, 1]); // genuine terms have idf 2.0
+        for &d in &qe.decoys {
+            assert!(
+                (idfs[d as usize] - 2.0).abs() < 2.0 * 0.2 + 1e-9,
+                "decoy {d} idf {} outside band",
+                idfs[d as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_factor_one_adds_nothing() {
+        let (thesaurus, idfs) = fixture();
+        let pdx = PdxEmbellisher::new(
+            &thesaurus,
+            idfs,
+            PdxConfig {
+                expansion_factor: 1,
+                ..PdxConfig::default()
+            },
+        );
+        let qe = pdx.embellish(&[0, 1]);
+        assert!(qe.decoys.is_empty());
+        let mut sorted = qe.tokens.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Co-occurrence thesaurus.
+//!
+//! The PDX baseline \[11\] selects decoy terms that match genuine terms in
+//! *specificity* and *semantic association*, "using information extracted
+//! automatically from a thesaurus". We build that thesaurus from the corpus
+//! itself: windowed co-occurrence counts scored by pointwise mutual
+//! information (PMI), keeping the top-k neighbors of every term.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tsearch_text::TermId;
+
+/// Thesaurus construction parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThesaurusConfig {
+    /// Co-occurrence window (tokens to each side).
+    pub window: usize,
+    /// Minimum pair count for an association to be kept.
+    pub min_count: u32,
+    /// Neighbors retained per term.
+    pub top_k: usize,
+}
+
+impl Default for ThesaurusConfig {
+    fn default() -> Self {
+        Self {
+            window: 6,
+            min_count: 3,
+            top_k: 30,
+        }
+    }
+}
+
+/// A PMI-scored association thesaurus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Thesaurus {
+    /// Per-term neighbor lists `(neighbor, pmi)`, descending by PMI.
+    neighbors: Vec<Vec<(TermId, f64)>>,
+}
+
+impl Thesaurus {
+    /// Builds the thesaurus from token documents.
+    pub fn build(docs: &[&[TermId]], vocab_size: usize, config: ThesaurusConfig) -> Self {
+        let mut unigram = vec![0u64; vocab_size];
+        let mut pair: HashMap<(TermId, TermId), u32> = HashMap::new();
+        let mut total_tokens = 0u64;
+        for doc in docs {
+            total_tokens += doc.len() as u64;
+            for (i, &a) in doc.iter().enumerate() {
+                unigram[a as usize] += 1;
+                let end = (i + 1 + config.window).min(doc.len());
+                for &b in &doc[i + 1..end] {
+                    if a == b {
+                        continue;
+                    }
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    *pair.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        let total = total_tokens.max(1) as f64;
+        let mut neighbors: Vec<Vec<(TermId, f64)>> = vec![Vec::new(); vocab_size];
+        for (&(a, b), &count) in &pair {
+            if count < config.min_count {
+                continue;
+            }
+            let pa = unigram[a as usize] as f64 / total;
+            let pb = unigram[b as usize] as f64 / total;
+            // Window-pair probability, normalized by the pair opportunity
+            // count (approximately window * total).
+            let pab = count as f64 / (total * config.window as f64);
+            let pmi = (pab / (pa * pb)).ln();
+            if pmi <= 0.0 {
+                continue;
+            }
+            neighbors[a as usize].push((b, pmi));
+            neighbors[b as usize].push((a, pmi));
+        }
+        for list in &mut neighbors {
+            list.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite pmi"));
+            list.truncate(config.top_k);
+        }
+        Thesaurus { neighbors }
+    }
+
+    /// Top associated terms of `term`, descending by PMI.
+    pub fn neighbors(&self, term: TermId) -> &[(TermId, f64)] {
+        &self.neighbors[term as usize]
+    }
+
+    /// PMI between two terms (0 if not associated).
+    pub fn association(&self, a: TermId, b: TermId) -> f64 {
+        self.neighbors[a as usize]
+            .iter()
+            .find(|&&(t, _)| t == b)
+            .map(|&(_, pmi)| pmi)
+            .unwrap_or(0.0)
+    }
+
+    /// Number of terms covered.
+    pub fn vocab_size(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Mean neighbor-list length (diagnostics).
+    pub fn mean_degree(&self) -> f64 {
+        if self.neighbors.is_empty() {
+            return 0.0;
+        }
+        self.neighbors.iter().map(Vec::len).sum::<usize>() as f64 / self.neighbors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Docs where words 0,1,2 always co-occur and 3,4,5 always co-occur.
+    fn block_docs() -> Vec<Vec<TermId>> {
+        let mut docs = Vec::new();
+        for d in 0..60 {
+            if d % 2 == 0 {
+                docs.push(vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+            } else {
+                docs.push(vec![3, 4, 5, 3, 4, 5, 3, 4, 5]);
+            }
+        }
+        docs
+    }
+
+    fn build() -> Thesaurus {
+        let docs = block_docs();
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        Thesaurus::build(&refs, 6, ThesaurusConfig::default())
+    }
+
+    #[test]
+    fn within_block_terms_are_associated() {
+        let t = build();
+        assert!(t.association(0, 1) > 0.0);
+        assert!(t.association(0, 2) > 0.0);
+        assert!(t.association(3, 4) > 0.0);
+    }
+
+    #[test]
+    fn cross_block_terms_are_not_associated() {
+        let t = build();
+        assert_eq!(t.association(0, 3), 0.0);
+        assert_eq!(t.association(2, 5), 0.0);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_bounded() {
+        let docs = block_docs();
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let t = Thesaurus::build(
+            &refs,
+            6,
+            ThesaurusConfig {
+                top_k: 1,
+                ..ThesaurusConfig::default()
+            },
+        );
+        for term in 0..6u32 {
+            assert!(t.neighbors(term).len() <= 1);
+        }
+        let full = build();
+        for term in 0..6u32 {
+            let n = full.neighbors(term);
+            for pair in n.windows(2) {
+                assert!(pair[0].1 >= pair[1].1);
+            }
+        }
+        assert!(full.mean_degree() > 0.0);
+        assert_eq!(full.vocab_size(), 6);
+    }
+
+    #[test]
+    fn min_count_filters_rare_pairs() {
+        let docs = [vec![0u32, 1]]; // single co-occurrence
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let t = Thesaurus::build(
+            &refs,
+            2,
+            ThesaurusConfig {
+                min_count: 2,
+                ..ThesaurusConfig::default()
+            },
+        );
+        assert_eq!(t.association(0, 1), 0.0);
+    }
+}

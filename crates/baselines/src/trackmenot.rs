@@ -1,0 +1,155 @@
+//! TrackMeNot-style ghost queries.
+//!
+//! The paper's introduction points out that randomly generated ghost
+//! queries (reference \[9\]) "often can be ruled out easily because their
+//! term combinations are not meaningful", and that a random ghost may not
+//! even mask the topic. This module implements that baseline so the
+//! coherence/exposure ablation can quantify both failure modes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use tsearch_text::TermId;
+
+/// TrackMeNot generator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrackMeNotConfig {
+    /// Ghost queries per user query.
+    pub num_ghosts: usize,
+    /// Ghost length as min multiple of `|qu|`.
+    pub min_len_mult: f64,
+    /// Ghost length as max multiple of `|qu|`.
+    pub max_len_mult: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrackMeNotConfig {
+    fn default() -> Self {
+        Self {
+            num_ghosts: 4,
+            min_len_mult: 1.0,
+            max_len_mult: 2.0,
+            seed: 0x7141,
+        }
+    }
+}
+
+/// Uniform-random ghost query generator over the vocabulary.
+#[derive(Debug, Clone)]
+pub struct TrackMeNot {
+    vocab_size: usize,
+    config: TrackMeNotConfig,
+}
+
+impl TrackMeNot {
+    /// Creates a generator for a vocabulary of the given size.
+    pub fn new(vocab_size: usize, config: TrackMeNotConfig) -> Self {
+        assert!(vocab_size > 0, "need a vocabulary");
+        Self { vocab_size, config }
+    }
+
+    /// Generates the ghost queries for one user query (the user query
+    /// itself is not included).
+    pub fn ghosts(&self, user_tokens: &[TermId]) -> Vec<Vec<TermId>> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ token_hash(user_tokens));
+        let user_len = user_tokens.len().max(1);
+        (0..self.config.num_ghosts)
+            .map(|_| {
+                let mult = if self.config.max_len_mult > self.config.min_len_mult {
+                    rng.gen_range(self.config.min_len_mult..self.config.max_len_mult)
+                } else {
+                    self.config.min_len_mult
+                };
+                let len = ((user_len as f64 * mult).round() as usize).max(1);
+                let mut tokens = Vec::with_capacity(len);
+                let mut used = HashSet::with_capacity(len * 2);
+                while tokens.len() < len && used.len() < self.vocab_size {
+                    let t = rng.gen_range(0..self.vocab_size) as TermId;
+                    if used.insert(t) {
+                        tokens.push(t);
+                    }
+                }
+                tokens.sort_unstable();
+                tokens
+            })
+            .collect()
+    }
+
+    /// Generates the full cycle: ghosts plus the (sorted) user query, in a
+    /// shuffled order. Returns `(cycle, genuine_index)`.
+    pub fn cycle(&self, user_tokens: &[TermId]) -> (Vec<Vec<TermId>>, usize) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ token_hash(user_tokens) ^ 0xC1C);
+        let mut cycle = self.ghosts(user_tokens);
+        let mut user = user_tokens.to_vec();
+        user.sort_unstable();
+        cycle.push(user.clone());
+        for i in (1..cycle.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            cycle.swap(i, j);
+        }
+        let genuine_index = cycle.iter().position(|q| q == &user).expect("present");
+        (cycle, genuine_index)
+    }
+}
+
+fn token_hash(tokens: &[TermId]) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    tokens.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_ghosts() {
+        let tmn = TrackMeNot::new(1000, TrackMeNotConfig::default());
+        let ghosts = tmn.ghosts(&[1, 2, 3]);
+        assert_eq!(ghosts.len(), 4);
+        for g in &ghosts {
+            assert!(g.len() >= 3, "at least |qu| terms");
+            assert!(g.len() <= 6 + 1);
+            let set: HashSet<_> = g.iter().collect();
+            assert_eq!(set.len(), g.len(), "no duplicates");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_query() {
+        let tmn = TrackMeNot::new(1000, TrackMeNotConfig::default());
+        assert_eq!(tmn.ghosts(&[1, 2]), tmn.ghosts(&[1, 2]));
+        assert_ne!(tmn.ghosts(&[1, 2]), tmn.ghosts(&[3, 4]));
+    }
+
+    #[test]
+    fn cycle_contains_user_query_once() {
+        let tmn = TrackMeNot::new(500, TrackMeNotConfig::default());
+        let (cycle, idx) = tmn.cycle(&[10, 5, 7]);
+        assert_eq!(cycle.len(), 5);
+        assert_eq!(cycle[idx], vec![5, 7, 10]);
+        assert_eq!(
+            cycle.iter().filter(|q| **q == vec![5, 7, 10]).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn tiny_vocab_terminates() {
+        let tmn = TrackMeNot::new(
+            2,
+            TrackMeNotConfig {
+                num_ghosts: 1,
+                min_len_mult: 5.0,
+                max_len_mult: 5.0,
+                ..TrackMeNotConfig::default()
+            },
+        );
+        let ghosts = tmn.ghosts(&[0]);
+        assert!(ghosts[0].len() <= 2, "cannot exceed vocabulary");
+    }
+}

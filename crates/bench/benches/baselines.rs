@@ -1,0 +1,87 @@
+//! Microbenchmarks of the baselines: PDX embellishment (per query, by
+//! expansion factor), TrackMeNot ghost generation, and thesaurus build.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use toppriv_baselines::{
+    PdxConfig, PdxEmbellisher, Thesaurus, ThesaurusConfig, TrackMeNot, TrackMeNotConfig,
+};
+use toppriv_bench::Scale;
+use tsearch_corpus::{generate_workload, SyntheticCorpus, WorkloadConfig};
+
+fn fixture() -> (SyntheticCorpus, Vec<Vec<u32>>, Thesaurus, Vec<f64>) {
+    let corpus = SyntheticCorpus::generate(Scale::quick().corpus);
+    let queries: Vec<Vec<u32>> = generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            num_queries: 32,
+            ..WorkloadConfig::default()
+        },
+    )
+    .into_iter()
+    .map(|q| q.tokens)
+    .collect();
+    let docs = corpus.token_docs();
+    let thesaurus = Thesaurus::build(&docs, corpus.vocab.len(), ThesaurusConfig::default());
+    let num_docs = corpus.num_docs();
+    let idfs: Vec<f64> = (0..corpus.vocab.len() as u32)
+        .map(|t| corpus.vocab.idf(t, num_docs))
+        .collect();
+    (corpus, queries, thesaurus, idfs)
+}
+
+fn bench_pdx(c: &mut Criterion) {
+    let (_corpus, queries, thesaurus, idfs) = fixture();
+    let mut group = c.benchmark_group("pdx_embellish");
+    for &factor in &[2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
+            let pdx = PdxEmbellisher::new(
+                &thesaurus,
+                idfs.clone(),
+                PdxConfig {
+                    expansion_factor: f,
+                    ..PdxConfig::default()
+                },
+            );
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(pdx.embellish(q))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trackmenot(c: &mut Criterion) {
+    let (corpus, queries, _thesaurus, _idfs) = fixture();
+    c.bench_function("trackmenot_cycle", |b| {
+        let tmn = TrackMeNot::new(corpus.vocab.len(), TrackMeNotConfig::default());
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(tmn.cycle(q))
+        })
+    });
+}
+
+fn bench_thesaurus_build(c: &mut Criterion) {
+    let corpus = SyntheticCorpus::generate(Scale::quick().corpus);
+    let docs = corpus.token_docs();
+    let mut group = c.benchmark_group("thesaurus_build");
+    group.sample_size(10);
+    group.bench_function("quick_corpus", |b| {
+        b.iter(|| {
+            black_box(Thesaurus::build(
+                &docs,
+                corpus.vocab.len(),
+                ThesaurusConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pdx, bench_trackmenot, bench_thesaurus_build);
+criterion_main!(benches);

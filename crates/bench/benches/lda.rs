@@ -1,0 +1,99 @@
+//! Microbenchmarks of LDA training sweeps and fold-in query inference —
+//! the computational core behind Figures 2(d)/3(d) (generation time).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use toppriv_bench::Scale;
+use tsearch_corpus::SyntheticCorpus;
+use tsearch_lda::{Inferencer, LdaConfig, LdaTrainer};
+
+fn corpus() -> SyntheticCorpus {
+    SyntheticCorpus::generate(Scale::quick().corpus)
+}
+
+fn bench_training_sweep(c: &mut Criterion) {
+    let corpus = corpus();
+    let docs = corpus.token_docs();
+    let tokens: u64 = docs.iter().map(|d| d.len() as u64).sum();
+    let mut group = c.benchmark_group("lda_gibbs_sweep");
+    group.sample_size(10);
+    for &k in &[10usize, 40, 100] {
+        group.throughput(Throughput::Elements(tokens));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut trainer = LdaTrainer::new(
+                &docs,
+                corpus.vocab.len(),
+                LdaConfig {
+                    iterations: 1,
+                    ..LdaConfig::with_topics(k)
+                },
+            );
+            b.iter(|| trainer.sweep());
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let corpus = corpus();
+    let docs = corpus.token_docs();
+    let mut group = c.benchmark_group("lda_query_inference");
+    group.sample_size(30);
+    for &k in &[10usize, 40, 100] {
+        let model = LdaTrainer::train(
+            &docs,
+            corpus.vocab.len(),
+            LdaConfig {
+                iterations: 15,
+                ..LdaConfig::with_topics(k)
+            },
+        );
+        let query: Vec<u32> = corpus.docs[0].tokens[..12.min(corpus.docs[0].tokens.len())].to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &model, |b, m| {
+            let inf = Inferencer::new(m);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(inf.infer_with_seed(&query, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation for the Section V-A reduced-training extension: full-data
+/// training versus document-sampled + vocabulary-pruned training at the
+/// same K and iteration count.
+fn bench_reduced_training(c: &mut Criterion) {
+    use tsearch_lda::{ReducedModel, ReductionConfig};
+    let corpus = corpus();
+    let docs = corpus.token_docs();
+    let mut group = c.benchmark_group("lda_reduced_training");
+    group.sample_size(10);
+    for &(doc_rate, vocab_rate) in &[(1.0f64, 1.0f64), (0.5, 0.5), (0.25, 0.25)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{doc_rate}_v{vocab_rate}")),
+            &(doc_rate, vocab_rate),
+            |b, &(doc_rate, vocab_rate)| {
+                b.iter(|| {
+                    black_box(ReducedModel::train(
+                        &docs,
+                        corpus.vocab.len(),
+                        LdaConfig {
+                            iterations: 5,
+                            ..LdaConfig::with_topics(20)
+                        },
+                        ReductionConfig {
+                            doc_rate,
+                            vocab_rate,
+                            ..Default::default()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_sweep, bench_inference, bench_reduced_training);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks of the postings codec — the substrate whose encoded
+//! sizes feed the Figure 6 space accounting.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tsearch_index::{Posting, PostingsList};
+
+fn make_postings(n: usize, gap: u32) -> Vec<Posting> {
+    (0..n as u32)
+        .map(|i| Posting {
+            doc_id: i * (gap + 1),
+            tf: (i % 7) + 1,
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postings_encode");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let postings = make_postings(n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &postings, |b, p| {
+            b.iter(|| PostingsList::from_postings(black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postings_decode");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let list = PostingsList::from_postings(&make_postings(n, 3));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &list, |b, l| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for p in l.iter() {
+                    acc += p.doc_id as u64 + p.tf as u64;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

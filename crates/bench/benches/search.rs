@@ -1,0 +1,116 @@
+//! Microbenchmarks of the search engine: per-query latency by query
+//! length and scoring model. This is the server-side cost that each ghost
+//! query multiplies — the overhead TopPriv imposes on the engine.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use toppriv_bench::Scale;
+use tsearch_corpus::{generate_workload, SyntheticCorpus, WorkloadConfig};
+use tsearch_search::{Query, ScoringModel, SearchEngine};
+use tsearch_text::Analyzer;
+
+fn engine(model: ScoringModel) -> (SearchEngine, Vec<Vec<u32>>) {
+    let corpus = SyntheticCorpus::generate(Scale::quick().corpus);
+    let docs = corpus.token_docs();
+    let texts: Vec<String> = corpus.docs.iter().map(|d| d.text.clone()).collect();
+    let engine = SearchEngine::build(&docs, &texts, Analyzer::new(), corpus.vocab.clone(), model);
+    let queries: Vec<Vec<u32>> = generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            num_queries: 32,
+            ..WorkloadConfig::default()
+        },
+    )
+    .into_iter()
+    .map(|q| q.tokens)
+    .collect();
+    (engine, queries)
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_topk");
+    for (name, model) in [
+        ("tfidf", ScoringModel::TfIdfCosine),
+        ("bm25", ScoringModel::bm25_default()),
+    ] {
+        let (engine, queries) = engine(model);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            let parsed: Vec<Query> = queries.iter().map(|t| Query::from_tokens(t)).collect();
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &parsed[i % parsed.len()];
+                i += 1;
+                black_box(engine.evaluate(q, 10))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_overhead(c: &mut Criterion) {
+    // Server-side cost of a full cycle (1 genuine + n ghosts) vs one query.
+    let (engine, queries) = engine(ScoringModel::TfIdfCosine);
+    let mut group = c.benchmark_group("search_cycle_overhead");
+    for &cycle_len in &[1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cycle_len),
+            &cycle_len,
+            |b, &v| {
+                let parsed: Vec<Query> = queries.iter().map(|t| Query::from_tokens(t)).collect();
+                let mut i = 0usize;
+                b.iter(|| {
+                    for _ in 0..v {
+                        let q = &parsed[i % parsed.len()];
+                        i += 1;
+                        black_box(engine.evaluate(q, 10));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_concurrent_throughput(c: &mut Criterion) {
+    // Aggregate engine throughput with 1 vs 4 concurrent clients — the
+    // engine's shared state is one query-log mutex, so scaling should be
+    // near-linear until memory bandwidth binds (experiment `load` reports
+    // the derived q/s figures).
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let (engine, queries) = engine(ScoringModel::TfIdfCosine);
+    let parsed: Vec<Query> = queries.iter().map(|t| Query::from_tokens(t)).collect();
+    let mut group = c.benchmark_group("search_concurrent");
+    group.sample_size(20);
+    const BATCH: usize = 256;
+    group.throughput(criterion::Throughput::Elements(BATCH as u64));
+    for &workers in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let next = AtomicUsize::new(0);
+                    std::thread::scope(|s| {
+                        for _ in 0..workers {
+                            s.spawn(|| loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= BATCH {
+                                    break;
+                                }
+                                black_box(engine.evaluate(&parsed[i % parsed.len()], 10));
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_latency,
+    bench_cycle_overhead,
+    bench_concurrent_throughput
+);
+criterion_main!(benches);

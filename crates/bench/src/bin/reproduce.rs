@@ -1,0 +1,141 @@
+//! Reproduction driver: regenerates every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! reproduce [--exp all|fig2|fig3|fig4|fig5|fig6|tables|stats|ablations|adversary|
+//!                  classifier|mc|session|reduced|pacing|quality|load|staleness|appendix]
+//!           [--scale quick|standard] [--out results] [--no-cache] [--quiet]
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+use toppriv_bench::experiments;
+use toppriv_bench::{ExperimentContext, ResultTable, Scale};
+
+struct Args {
+    exps: Vec<String>,
+    scale: Scale,
+    out: PathBuf,
+    cache: bool,
+    quiet: bool,
+}
+
+const ALL_EXPS: &[&str] = &[
+    "stats", "tables", "fig2", "fig3", "fig4", "fig5", "fig6", "ablations", "adversary", "classifier", "mc", "session", "reduced", "pacing", "quality", "load", "staleness", "appendix",
+];
+
+fn parse_args() -> Result<Args, String> {
+    let mut exps = vec!["all".to_string()];
+    let mut scale = Scale::standard();
+    let mut out = PathBuf::from("results");
+    let mut cache = true;
+    let mut quiet = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--exp" => {
+                i += 1;
+                let value = argv.get(i).ok_or("--exp needs a value")?;
+                exps = value.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--scale" => {
+                i += 1;
+                let value = argv.get(i).ok_or("--scale needs a value")?;
+                scale = Scale::by_name(value)
+                    .ok_or_else(|| format!("unknown scale '{value}' (quick|standard)"))?;
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(argv.get(i).ok_or("--out needs a value")?);
+            }
+            "--no-cache" => cache = false,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "reproduce — regenerate the paper's tables and figures\n\
+                     --exp   comma list of {ALL_EXPS:?} or 'all' (default all)\n\
+                     --scale quick|standard (default standard)\n\
+                     --out   output directory (default results/)\n\
+                     --no-cache  retrain LDA models instead of loading cached ones\n\
+                     --quiet     suppress table rendering"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if exps.iter().any(|e| e == "all") {
+        exps = ALL_EXPS.iter().map(|s| s.to_string()).collect();
+    }
+    for e in &exps {
+        if !ALL_EXPS.contains(&e.as_str()) {
+            return Err(format!("unknown experiment '{e}' (choose from {ALL_EXPS:?})"));
+        }
+    }
+    Ok(Args {
+        exps,
+        scale,
+        out,
+        cache,
+        quiet,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cache_dir = args.cache.then(|| args.out.join("cache"));
+    println!(
+        "[reproduce] scale={} experiments={:?}",
+        args.scale.name, args.exps
+    );
+    let t0 = Instant::now();
+    let ctx = ExperimentContext::build(args.scale.clone(), cache_dir.as_deref());
+    println!(
+        "[reproduce] context ready in {:.1}s: {} docs, {} vocab, {} queries, models {:?}",
+        t0.elapsed().as_secs_f64(),
+        ctx.corpus.num_docs(),
+        ctx.corpus.vocab.len(),
+        ctx.queries.len(),
+        ctx.models.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+    );
+
+    for exp in &args.exps {
+        let t = Instant::now();
+        let tables: Vec<ResultTable> = match exp.as_str() {
+            "fig2" => experiments::fig2::run(&ctx),
+            "fig3" => experiments::fig3::run(&ctx),
+            "fig4" => experiments::fig4::run(&ctx),
+            "fig5" => experiments::fig5::run(&ctx),
+            "fig6" => experiments::fig6::run(&ctx),
+            "tables" => experiments::tables::run(&ctx),
+            "stats" => experiments::stats::run(&ctx),
+            "ablations" => experiments::ablations::run(&ctx),
+            "adversary" => experiments::adversary::run(&ctx),
+            "classifier" => experiments::classifier::run(&ctx),
+            "mc" => experiments::mc::run(&ctx),
+            "session" => experiments::session::run(&ctx),
+            "reduced" => experiments::reduced::run(&ctx),
+            "pacing" => experiments::pacing::run(&ctx),
+            "quality" => experiments::quality::run(&ctx),
+            "load" => experiments::load::run(&ctx),
+            "staleness" => experiments::staleness::run(&ctx),
+            "appendix" => experiments::appendix::run(&ctx),
+            _ => unreachable!("validated in parse_args"),
+        };
+        experiments::emit(&tables, &args.out, args.quiet);
+        println!(
+            "[reproduce] {exp}: {} table(s) in {:.1}s",
+            tables.len(),
+            t.elapsed().as_secs_f64()
+        );
+    }
+    println!("[reproduce] done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,116 @@
+//! Experiment `apxA`: the Appendix A topic-model comparison.
+//!
+//! The paper selects LDA over LSA/LSI (memory blow-up on large corpora)
+//! and pLSA (no principled posterior for unseen queries). This experiment
+//! puts numbers behind both claims on our corpus:
+//!
+//! - **fold-in quality**: for each workload query, does the model's
+//!   posterior concentrate on the topic aligned with the query's
+//!   ground-truth topic? (LDA fold-in vs pLSA heuristic re-fit.)
+//! - **memory**: the dense `V×D` matrix LSA would need vs the sparse
+//!   structures LDA/pLSA train from.
+
+use crate::context::ExperimentContext;
+use crate::table::{f3, ResultTable};
+use tsearch_lda::{Inferencer, PlsaConfig, PlsaModel};
+use toppriv_baselines::{LsiConfig, LsiModel};
+
+/// Alignment: for a model's topic set, the topic that best matches a
+/// ground-truth topic is the one with the highest summed probability over
+/// the ground-truth topic's top terms.
+fn align_topic(
+    top_terms: &[(u32, f64)],
+    num_topics: usize,
+    phi: impl Fn(usize, u32) -> f64,
+) -> usize {
+    (0..num_topics)
+        .max_by(|&a, &b| {
+            let sa: f64 = top_terms.iter().map(|&(w, _)| phi(a, w)).sum();
+            let sb: f64 = top_terms.iter().map(|&(w, _)| phi(b, w)).sum();
+            sa.partial_cmp(&sb).expect("finite")
+        })
+        .unwrap_or(0)
+}
+
+/// Runs the comparison on the default-K models.
+pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
+    let k = ctx.scale.default_k;
+    let docs = ctx.corpus.token_docs();
+    let vocab_size = ctx.corpus.vocab.len();
+    let lda = ctx.default_model();
+
+    let t0 = std::time::Instant::now();
+    let plsa = PlsaModel::train(
+        &docs,
+        vocab_size,
+        PlsaConfig {
+            iterations: (ctx.scale.lda_iterations / 2).max(5),
+            ..PlsaConfig::with_topics(k)
+        },
+    );
+    let plsa_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let lsi = LsiModel::train(&docs, vocab_size, LsiConfig::default());
+    let lsi_secs = t1.elapsed().as_secs_f64();
+
+    // Fold-in quality: posterior mass on the aligned topic.
+    let inferencer = Inferencer::new(lda);
+    let mut lda_mass = 0.0;
+    let mut plsa_mass = 0.0;
+    let mut scored = 0usize;
+    for q in ctx.sweep_queries() {
+        let gt = &ctx.corpus.topics[q.target_topics[0]];
+        let top = gt.top_terms(20);
+        let lda_topic = align_topic(top, k, |t, w| lda.phi(t, w));
+        let plsa_topic = align_topic(top, k, |t, w| plsa.phi(t, w));
+        let lda_post = inferencer.infer(&q.tokens);
+        let plsa_post = plsa.heuristic_fold_in(&q.tokens, 20);
+        lda_mass += lda_post[lda_topic];
+        plsa_mass += plsa_post[plsa_topic];
+        scored += 1;
+    }
+    let n = scored.max(1) as f64;
+
+    // Memory accounting: dense LSA input vs model footprints.
+    let dense_lsa_bytes = vocab_size as u64 * ctx.corpus.num_docs() as u64 * 8;
+    let lda_bytes = lda.size_breakdown().total() as u64;
+    let plsa_bytes = (plsa.num_topics() * plsa.vocab_size() * 4) as u64
+        + (plsa.num_topics() * ctx.corpus.num_docs() * 4) as u64;
+    let lsi_bytes = (vocab_size * lsi.factors() * 8) as u64;
+
+    let mut table = ResultTable::new(
+        "apxA_topic_models",
+        format!("Appendix A: topic models at K={k} (LSI uses 30 factors)"),
+        vec![
+            "model".into(),
+            "query_posterior_on_true_topic".into(),
+            "train_secs".into(),
+            "model_MB".into(),
+            "dense_input_MB".into(),
+        ],
+    );
+    let mb = |b: u64| format!("{:.1}", b as f64 / (1024.0 * 1024.0));
+    table.push_row(vec![
+        "LDA (collapsed Gibbs)".into(),
+        f3(lda_mass / n),
+        "(cached)".into(),
+        mb(lda_bytes),
+        "sparse".into(),
+    ]);
+    table.push_row(vec![
+        "pLSA (EM, heuristic fold-in)".into(),
+        f3(plsa_mass / n),
+        format!("{plsa_secs:.1}"),
+        mb(plsa_bytes),
+        "sparse".into(),
+    ]);
+    table.push_row(vec![
+        "LSI/LSA (subspace iteration)".into(),
+        "n/a (no posterior)".into(),
+        format!("{lsi_secs:.1}"),
+        mb(lsi_bytes),
+        mb(dense_lsa_bytes),
+    ]);
+    vec![table]
+}

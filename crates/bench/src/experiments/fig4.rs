@@ -1,0 +1,115 @@
+//! Figure 4: topical exposure of the PDX query-embellishment baseline at
+//! expansion factors 2×–16×, as a function of the relevance threshold used
+//! to define the user intention.
+//!
+//! For each (model, factor, query): `qe` is the PDX-embellished query and
+//! the exposure is `max_{t∈U(ε1)} B(t|qe)` where `U(ε1)` comes from the
+//! *unembellished* query's boosts.
+
+use crate::context::ExperimentContext;
+use crate::scale::Scale;
+use crate::table::{pct, ResultTable};
+use toppriv_core::BeliefEngine;
+use toppriv_baselines::{PdxConfig, PdxEmbellisher, Thesaurus, ThesaurusConfig};
+
+/// Builds the thesaurus and per-term IDFs the PDX baseline needs.
+pub fn build_pdx_inputs(ctx: &ExperimentContext) -> (Thesaurus, Vec<f64>) {
+    let docs = ctx.corpus.token_docs();
+    let thesaurus = Thesaurus::build(&docs, ctx.corpus.vocab.len(), ThesaurusConfig::default());
+    let num_docs = ctx.corpus.num_docs();
+    let idfs: Vec<f64> = (0..ctx.corpus.vocab.len() as u32)
+        .map(|t| ctx.corpus.vocab.idf(t, num_docs))
+        .collect();
+    (thesaurus, idfs)
+}
+
+/// Per-query boost pair: `(B(t|qu), B(t|qe))`.
+type BoostPair = (Vec<f64>, Vec<f64>);
+/// Per-model results: `(K, [(factor, per-query boost pairs)])`.
+type ModelFactorBoosts = (usize, Vec<(usize, Vec<BoostPair>)>);
+
+/// Runs the Figure 4 sweep: one table per expansion factor.
+pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
+    let (thesaurus, idfs) = build_pdx_inputs(ctx);
+    let queries = ctx.sweep_queries();
+
+    // Per (model, factor): for each query, the solo boosts B(t|qu) and the
+    // embellished boosts B(t|qe). Computed in parallel across models.
+    let per_model: Vec<ModelFactorBoosts> = std::thread::scope(|s| {
+            let handles: Vec<_> = ctx
+                .models
+                .iter()
+                .map(|(k, model)| {
+                    let thesaurus = &thesaurus;
+                    let idfs = &idfs;
+                    s.spawn(move || {
+                        let belief = BeliefEngine::new(model);
+                        let solo: Vec<Vec<f64>> =
+                            queries.iter().map(|q| belief.boost(&q.tokens)).collect();
+                        let mut by_factor = Vec::new();
+                        for &factor in &ctx.scale.expansion_factors {
+                            let pdx = PdxEmbellisher::new(
+                                thesaurus,
+                                idfs.clone(),
+                                PdxConfig {
+                                    expansion_factor: factor,
+                                    ..PdxConfig::default()
+                                },
+                            );
+                            let pairs: Vec<BoostPair> = queries
+                                .iter()
+                                .zip(&solo)
+                                .map(|(q, solo_boosts)| {
+                                    let qe = pdx.embellish(&q.tokens);
+                                    (solo_boosts.clone(), belief.boost(&qe.tokens))
+                                })
+                                .collect();
+                            by_factor.push((factor, pairs));
+                        }
+                        (*k, by_factor)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fig4 worker panicked"))
+                .collect()
+        });
+
+    // Render one table per factor: rows = ε1 grid, columns = models.
+    let mut tables = Vec::new();
+    for (fi, &factor) in ctx.scale.expansion_factors.iter().enumerate() {
+        let mut header = vec!["eps_pct".to_string()];
+        header.extend(per_model.iter().map(|(k, _)| Scale::model_label(*k)));
+        let mut table = ResultTable::new(
+            format!("fig4_{factor}x_pdx_exposure"),
+            format!("PDX exposure max B(t|qe) over t in U (%), {factor}x expansion"),
+            header,
+        );
+        for &eps in &ctx.scale.eps_grid {
+            let mut row = vec![pct(eps)];
+            for (_, by_factor) in &per_model {
+                let (_, pairs) = &by_factor[fi];
+                let mut total = 0.0;
+                let mut counted = 0usize;
+                for (solo, embellished) in pairs {
+                    let intention: Vec<usize> = solo
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &b)| b > eps)
+                        .map(|(t, _)| t)
+                        .collect();
+                    if intention.is_empty() {
+                        continue;
+                    }
+                    total += toppriv_core::exposure(embellished, &intention);
+                    counted += 1;
+                }
+                row.push(pct(if counted == 0 { 0.0 } else { total / counted as f64 }));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    tables
+}

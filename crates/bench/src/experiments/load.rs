@@ -1,0 +1,112 @@
+//! Experiment `load` (extension beyond the paper): the server-side cost
+//! of privacy.
+//!
+//! Section V names υ−1 ghost queries per cycle as "the overhead of
+//! privacy protection on the search engine" but never measures it. Here
+//! a pool of worker threads replays the protected workload against the
+//! unmodified engine and we record aggregate throughput:
+//!
+//! - `upsilon = 1` is the unprotected baseline;
+//! - forced cycle lengths 2–8 multiply the query volume;
+//! - the `slowdown` column is the user-visible throughput ratio — it
+//!   should track υ (each ghost costs one real evaluation), which is the
+//!   quantified version of the paper's overhead claim.
+
+use crate::context::ExperimentContext;
+use crate::table::{f3, ResultTable};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use toppriv_core::{BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement};
+use tsearch_text::TermId;
+
+/// Worker threads simulating concurrent clients.
+pub const WORKERS: usize = 4;
+/// Results requested per query.
+pub const TOP_K: usize = 10;
+/// Forced cycle lengths (1 = unprotected baseline).
+pub const CYCLE_LENGTHS: &[usize] = &[1, 2, 4, 8];
+
+/// Minimum submissions per measurement; short streams are replayed in
+/// rounds until this floor is met so wall-clock noise stays small.
+pub const MIN_SUBMISSIONS: usize = 4000;
+
+/// Replays `queries` (in `rounds` rounds) across the worker pool;
+/// returns elapsed seconds.
+fn replay(ctx: &ExperimentContext, queries: &[Vec<TermId>], rounds: usize) -> f64 {
+    let total = queries.len() * rounds;
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..WORKERS {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                // The engine's real evaluation path, including its
+                // adversary-visible query log.
+                let hits = ctx.engine.search_tokens(&queries[i % queries.len()], TOP_K);
+                std::hint::black_box(hits);
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+/// Runs the load experiment on the default model.
+pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
+    let generator = GhostGenerator::new(
+        BeliefEngine::new(ctx.default_model()),
+        PrivacyRequirement::paper_default(),
+        GhostConfig::default(),
+    );
+    let user_queries = ctx.sweep_queries();
+
+    let mut table = ResultTable::new(
+        "ext4_engine_load",
+        "Server-side cost of privacy: throughput of the unmodified engine \
+         under forced cycle lengths (4 worker threads, top-10 retrieval)",
+        vec![
+            "upsilon".into(),
+            "server_queries".into(),
+            "user_qps".into(),
+            "server_qps".into(),
+            "slowdown_vs_unprotected".into(),
+        ],
+    );
+
+    let mut baseline_user_qps = None;
+    for &upsilon in CYCLE_LENGTHS {
+        // Materialize the full submission stream for this cycle length.
+        let stream: Vec<Vec<TermId>> = if upsilon == 1 {
+            user_queries.iter().map(|q| q.tokens.clone()).collect()
+        } else {
+            user_queries
+                .iter()
+                .flat_map(|q| {
+                    let r = generator.generate_with_target(&q.tokens, upsilon);
+                    r.cycle.into_iter().map(|cq| cq.tokens)
+                })
+                .collect()
+        };
+        let rounds = MIN_SUBMISSIONS.div_ceil(stream.len().max(1));
+        ctx.engine.clear_query_log();
+        // Warm-up round (page in postings, size the log), then measure.
+        replay(ctx, &stream, 1);
+        ctx.engine.clear_query_log();
+        let secs = replay(ctx, &stream, rounds);
+        let submissions = stream.len() * rounds;
+        let server_qps = submissions as f64 / secs.max(1e-9);
+        let user_qps = (user_queries.len() * rounds) as f64 / secs.max(1e-9);
+        let baseline = *baseline_user_qps.get_or_insert(user_qps);
+        table.push_row(vec![
+            upsilon.to_string(),
+            submissions.to_string(),
+            f3(user_qps),
+            f3(server_qps),
+            f3(baseline / user_qps.max(1e-9)),
+        ]);
+    }
+    ctx.engine.clear_query_log();
+    vec![table]
+}

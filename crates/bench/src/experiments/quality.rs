@@ -1,0 +1,125 @@
+//! Experiment `quality` (extension of Appendix A): quantitative model
+//! quality, replacing the paper's qualitative word-list inspection.
+//!
+//! Two tables:
+//!
+//! - `apxB_model_quality` — per topic count K: mean UMass coherence of
+//!   the top-10 topic words (the numeric counterpart of "topics are quite
+//!   specific and coherent", Tables II–IV) and held-out perplexity of the
+//!   query workload under fold-in inference (the standard criterion for
+//!   choosing K, which the paper sets by corpus intuition).
+//! - `apxB_ghost_coherence` — corpus-grounded UMass coherence of genuine
+//!   queries vs TopPriv ghosts vs TrackMeNot random ghosts: Definition 3
+//!   demands ghosts be semantically coherent; this scores them against
+//!   the *corpus* rather than the model that generated them.
+
+use crate::context::ExperimentContext;
+use crate::table::{f3, ResultTable};
+use toppriv_baselines::{TrackMeNot, TrackMeNotConfig};
+use toppriv_core::{BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement};
+use tsearch_lda::{
+    held_out_perplexity, model_topic_coherences, query_coherence, CoOccurrenceIndex,
+    InferenceConfig,
+};
+
+/// Top words per topic scored for coherence.
+pub const TOP_N: usize = 10;
+
+/// Runs both quality tables.
+pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
+    let docs = ctx.corpus.token_docs();
+    let held_out: Vec<&[u32]> = ctx.queries.iter().map(|q| q.tokens.as_slice()).collect();
+
+    let mut model_table = ResultTable::new(
+        "apxB_model_quality",
+        "Intrinsic LDA quality per topic count: mean UMass coherence of \
+         top-10 words and held-out query perplexity",
+        vec![
+            "K".into(),
+            "mean_umass_top10".into(),
+            "query_perplexity".into(),
+            "client_mbytes".into(),
+        ],
+    );
+    let rows: Vec<(usize, f64, f64, f64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = ctx
+            .models
+            .iter()
+            .map(|(k, model)| {
+                let docs = &docs;
+                let held_out = &held_out;
+                s.spawn(move || {
+                    let (mean, _) = model_topic_coherences(model, docs, TOP_N);
+                    let ppl = held_out_perplexity(model, held_out, InferenceConfig::default());
+                    let mb =
+                        model.size_breakdown().client_bytes() as f64 / (1024.0 * 1024.0);
+                    (*k, mean, ppl, mb)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("quality worker panicked"))
+            .collect()
+    });
+    for (k, mean, ppl, mb) in rows {
+        model_table.push_row(vec![k.to_string(), f3(mean), f3(ppl), f3(mb)]);
+    }
+
+    // Ghost coherence: genuine vs TopPriv vs TrackMeNot, one shared
+    // co-occurrence index over every word any of them uses.
+    let generator = GhostGenerator::new(
+        BeliefEngine::new(ctx.default_model()),
+        PrivacyRequirement::paper_default(),
+        GhostConfig::default(),
+    );
+    let tmn = TrackMeNot::new(ctx.corpus.vocab.len(), TrackMeNotConfig::default());
+    let queries = ctx.sweep_queries();
+    let mut genuine: Vec<Vec<u32>> = Vec::new();
+    let mut toppriv_ghosts: Vec<Vec<u32>> = Vec::new();
+    let mut tmn_ghosts: Vec<Vec<u32>> = Vec::new();
+    for q in queries {
+        genuine.push(q.tokens.clone());
+        let r = generator.generate(&q.tokens);
+        for (i, cq) in r.cycle.iter().enumerate() {
+            if i != r.genuine_index {
+                toppriv_ghosts.push(cq.tokens.clone());
+            }
+        }
+        tmn_ghosts.extend(tmn.ghosts(&q.tokens));
+    }
+    let all_words: Vec<u32> = genuine
+        .iter()
+        .chain(&toppriv_ghosts)
+        .chain(&tmn_ghosts)
+        .flatten()
+        .copied()
+        .collect();
+    let index = CoOccurrenceIndex::build(&docs, &all_words);
+    let mean_coherence = |set: &[Vec<u32>]| -> f64 {
+        if set.is_empty() {
+            return 0.0;
+        }
+        set.iter().map(|q| query_coherence(&index, q)).sum::<f64>() / set.len() as f64
+    };
+
+    let mut ghost_table = ResultTable::new(
+        "apxB_ghost_coherence",
+        "Corpus-grounded UMass coherence of query word sets (Definition 3): \
+         higher (closer to 0) = words co-occur in real documents",
+        vec!["source".into(), "mean_umass".into(), "queries".into()],
+    );
+    for (source, set) in [
+        ("genuine", &genuine),
+        ("toppriv_ghost", &toppriv_ghosts),
+        ("trackmenot_ghost", &tmn_ghosts),
+    ] {
+        ghost_table.push_row(vec![
+            source.into(),
+            f3(mean_coherence(set)),
+            set.len().to_string(),
+        ]);
+    }
+
+    vec![model_table, ghost_table]
+}

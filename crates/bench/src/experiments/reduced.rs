@@ -1,0 +1,177 @@
+//! Experiment `reduced` — the systematic study of reduced-data LDA
+//! training that Section V-A leaves for future work.
+//!
+//! The paper scales LDA training by suggesting "a representative dataset,
+//! comprising documents sampled from the corpus and/or only the more
+//! 'impactful' words (e.g., as determined by TF-IDF values)". The open
+//! question is whether a model trained on reduced data still drives the
+//! ghost-query generator well enough to hide the user intention *from an
+//! adversary who holds the full model*: the adversary analyzes the query
+//! log with the best model available (the search engine can always train
+//! on everything it hosts), so privacy must be judged in the full model's
+//! topic space, not the reduced model's own.
+//!
+//! For every `(doc_rate, vocab_rate)` grid point we:
+//! 1. train a reduced model at the default K;
+//! 2. run TopPriv with ghosts generated from the reduced model
+//!    (expanded back to the full term space, see
+//!    [`tsearch_lda::ReducedModel::expand`]);
+//! 3. score the produced cycles under the **reference** full-data model:
+//!    intention at ε1, exposure/mask, and the fraction of queries whose
+//!    `(ε1, ε2)` requirement holds in the reference topic space;
+//! 4. record the client-side model bytes and training time.
+
+use crate::context::ExperimentContext;
+use crate::table::{f3, pct, ResultTable};
+use std::time::Instant;
+use toppriv_core::{exposure, mask_level, BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement};
+use tsearch_lda::{LdaConfig, ReducedModel, ReductionConfig};
+
+/// The reduction grid: every combination of these document and vocabulary
+/// rates is trained and evaluated (1.0/1.0 is the reference row).
+pub const DOC_RATES: &[f64] = &[1.0, 0.5, 0.25];
+/// Vocabulary keep-rates (by TF-IDF impact).
+pub const VOCAB_RATES: &[f64] = &[1.0, 0.5, 0.25];
+
+/// Outcome of one grid point.
+struct GridPoint {
+    doc_rate: f64,
+    vocab_rate: f64,
+    client_mb: f64,
+    train_secs: f64,
+    token_drop: f64,
+    self_exposure: f64,
+    ref_exposure: f64,
+    ref_mask: f64,
+    ref_satisfied: f64,
+    cycle_len: f64,
+}
+
+/// Runs the reduced-training study on the default model's K.
+pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
+    let docs = ctx.corpus.token_docs();
+    let vocab_size = ctx.corpus.vocab.len();
+    let k = ctx.scale.default_k;
+    let requirement = PrivacyRequirement::paper_default();
+    let reference = BeliefEngine::new(ctx.default_model());
+    let queries = ctx.sweep_queries();
+
+    // Train all grid points in parallel: each is independent.
+    let grid: Vec<(f64, f64)> = DOC_RATES
+        .iter()
+        .flat_map(|&d| VOCAB_RATES.iter().map(move |&v| (d, v)))
+        .collect();
+    let points: Vec<GridPoint> = std::thread::scope(|s| {
+        let handles: Vec<_> = grid
+            .iter()
+            .map(|&(doc_rate, vocab_rate)| {
+                let docs = &docs;
+                let reference = &reference;
+                s.spawn(move || {
+                    let t0 = Instant::now();
+                    let reduced = ReducedModel::train(
+                        docs,
+                        vocab_size,
+                        LdaConfig {
+                            iterations: ctx.scale.lda_iterations,
+                            ..LdaConfig::with_topics(k)
+                        },
+                        ReductionConfig {
+                            doc_rate,
+                            vocab_rate,
+                            ..Default::default()
+                        },
+                    );
+                    let train_secs = t0.elapsed().as_secs_f64();
+                    let expanded = reduced.expand();
+                    let generator = GhostGenerator::new(
+                        BeliefEngine::new(&expanded),
+                        requirement,
+                        GhostConfig::default(),
+                    );
+                    let mut self_exposure = 0.0;
+                    let mut ref_exposure = 0.0;
+                    let mut ref_mask = 0.0;
+                    let mut ref_satisfied = 0usize;
+                    let mut cycle_len = 0usize;
+                    let mut judged = 0usize;
+                    for q in queries {
+                        let r = generator.generate(&q.tokens);
+                        self_exposure += r.metrics.exposure;
+                        cycle_len += r.cycle_len();
+                        // Adversary's view: the same cycle scored under the
+                        // reference model's topics.
+                        let ref_boost_u = reference.boost(&q.tokens);
+                        let intention = requirement.user_intention(&ref_boost_u);
+                        let posteriors: Vec<Vec<f64>> = r
+                            .cycle_tokens()
+                            .iter()
+                            .map(|t| reference.posterior(t))
+                            .collect();
+                        let cycle_boosts = reference.cycle_boost(&posteriors);
+                        if !intention.is_empty() {
+                            ref_exposure += exposure(&cycle_boosts, &intention);
+                            ref_mask += mask_level(&cycle_boosts, &intention);
+                            if requirement.is_satisfied(&cycle_boosts, &intention) {
+                                ref_satisfied += 1;
+                            }
+                            judged += 1;
+                        }
+                    }
+                    let n = queries.len().max(1) as f64;
+                    let j = judged.max(1) as f64;
+                    GridPoint {
+                        doc_rate,
+                        vocab_rate,
+                        client_mb: reduced.client_bytes() as f64 / (1024.0 * 1024.0),
+                        train_secs,
+                        token_drop: reduced.token_drop_rate(),
+                        self_exposure: self_exposure / n,
+                        ref_exposure: ref_exposure / j,
+                        ref_mask: ref_mask / j,
+                        ref_satisfied: ref_satisfied as f64 / j,
+                        cycle_len: cycle_len as f64 / n,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("grid worker panicked"))
+            .collect()
+    });
+
+    let mut table = ResultTable::new(
+        "ext2_reduced_training",
+        "Reduced-data LDA training (Section V-A future work): ghosts from a \
+         reduced model, privacy judged under the full reference model \
+         (default K, eps=(5%,1%))",
+        vec![
+            "doc_rate".into(),
+            "vocab_rate".into(),
+            "client_mbytes".into(),
+            "train_secs".into(),
+            "token_drop_pct".into(),
+            "self_exposure_pct".into(),
+            "ref_exposure_pct".into(),
+            "ref_mask_pct".into(),
+            "ref_satisfied".into(),
+            "cycle_len".into(),
+        ],
+    );
+    for p in &points {
+        table.push_row(vec![
+            f3(p.doc_rate),
+            f3(p.vocab_rate),
+            f3(p.client_mb),
+            f3(p.train_secs),
+            pct(p.token_drop),
+            pct(p.self_exposure),
+            pct(p.ref_exposure),
+            pct(p.ref_mask),
+            f3(p.ref_satisfied),
+            f3(p.cycle_len),
+        ]);
+    }
+    vec![table]
+}

@@ -1,0 +1,22 @@
+//! # toppriv-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index). The
+//! `reproduce` binary drives everything:
+//!
+//! ```text
+//! cargo run -p toppriv-bench --release --bin reproduce -- --exp all --scale standard
+//! ```
+//!
+//! Criterion microbenchmarks for the hot paths (ghost generation, LDA
+//! training/inference, search, postings codec, baselines) live under
+//! `benches/`.
+
+pub mod context;
+pub mod experiments;
+pub mod scale;
+pub mod table;
+
+pub use context::ExperimentContext;
+pub use scale::Scale;
+pub use table::ResultTable;

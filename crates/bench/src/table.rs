@@ -1,0 +1,145 @@
+//! Minimal result-table abstraction with CSV output and console rendering.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// A rectangular result table (one per figure panel / paper table).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResultTable {
+    /// Identifier, e.g. `fig2a_exposure`.
+    pub name: String,
+    /// Human caption.
+    pub caption: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(
+        name: impl Into<String>,
+        caption: impl Into<String>,
+        header: Vec<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            caption: caption.into(),
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Serializes to CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<dir>/<name>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Renders an aligned console view.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.name, self.caption));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, &w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percent with two decimals ("1.23").
+pub fn pct(x: f64) -> String {
+    format!("{:.3}", x * 100.0)
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = ResultTable::new(
+            "demo",
+            "a demo",
+            vec!["x".into(), "y".into()],
+        );
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["3".into(), "4".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "x,y\n1,2\n3,4\n");
+        let rendered = t.render();
+        assert!(rendered.contains("demo"));
+        assert!(rendered.contains("3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_enforced() {
+        let mut t = ResultTable::new("demo", "", vec!["x".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_written_to_disk() {
+        let mut t = ResultTable::new("disk_demo", "", vec!["a".into()]);
+        t.push_row(vec!["42".into()]);
+        let dir = std::env::temp_dir().join("toppriv-table-test");
+        let path = t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("42"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.01234), "1.234");
+        assert_eq!(f3(2.5), "2.500");
+    }
+}

@@ -1,0 +1,64 @@
+//! Smoke test for the whole reproduction harness: every experiment runs
+//! at quick scale and produces well-formed tables (non-empty, rectangular,
+//! CSV-serializable). Guards the `reproduce` binary's full surface.
+
+use toppriv_bench::experiments;
+use toppriv_bench::{ExperimentContext, ResultTable, Scale};
+
+fn check(tables: &[ResultTable], exp: &str) {
+    assert!(!tables.is_empty(), "{exp}: no tables");
+    for t in tables {
+        assert!(!t.header.is_empty(), "{exp}/{}: empty header", t.name);
+        assert!(!t.rows.is_empty(), "{exp}/{}: no rows", t.name);
+        for (i, row) in t.rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                t.header.len(),
+                "{exp}/{}: row {i} is ragged",
+                t.name
+            );
+        }
+        let csv = t.to_csv();
+        assert_eq!(
+            csv.lines().count(),
+            t.rows.len() + 1,
+            "{exp}/{}: csv line count",
+            t.name
+        );
+    }
+}
+
+type ExperimentFn = fn(&ExperimentContext) -> Vec<ResultTable>;
+
+#[test]
+fn every_experiment_runs_at_quick_scale() {
+    let ctx = ExperimentContext::build(Scale::quick(), None);
+    let runs: Vec<(&str, ExperimentFn)> = vec![
+        ("stats", experiments::stats::run),
+        ("tables", experiments::tables::run),
+        ("fig2", experiments::fig2::run),
+        ("fig3", experiments::fig3::run),
+        ("fig4", experiments::fig4::run),
+        ("fig5", experiments::fig5::run),
+        ("fig6", experiments::fig6::run),
+        ("ablations", experiments::ablations::run),
+        ("adversary", experiments::adversary::run),
+        ("classifier", experiments::classifier::run),
+        ("mc", experiments::mc::run),
+        ("session", experiments::session::run),
+        ("reduced", experiments::reduced::run),
+        ("pacing", experiments::pacing::run),
+        ("quality", experiments::quality::run),
+        ("load", experiments::load::run),
+        ("staleness", experiments::staleness::run),
+        ("appendix", experiments::appendix::run),
+    ];
+    let expected: usize = runs.len();
+    let mut ran = 0usize;
+    for (exp, f) in runs {
+        let tables = f(&ctx);
+        check(&tables, exp);
+        ran += 1;
+    }
+    assert_eq!(ran, expected);
+}

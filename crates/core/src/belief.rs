@@ -1,0 +1,154 @@
+//! The belief engine: prior, posterior, and boost-in-belief computations
+//! from Section IV-A/B of the paper.
+//!
+//! - Prior `Pr(t)`: the topic coverage of the corpus, Equation (1)
+//!   (precomputed by the LDA model).
+//! - Posterior `Pr(t|q)`: LDA fold-in inference over the query tokens.
+//! - Boost `B(t|q) = Pr(t|q) − Pr(t)`: the quantity the `(ε1, ε2)` model
+//!   constrains.
+
+use tsearch_lda::{Inferencer, InferenceConfig, LdaModel};
+use tsearch_text::TermId;
+
+/// Belief computations bound to one LDA model.
+#[derive(Debug, Clone)]
+pub struct BeliefEngine<'m> {
+    inferencer: Inferencer<'m>,
+}
+
+impl<'m> BeliefEngine<'m> {
+    /// Creates a belief engine with default inference parameters.
+    pub fn new(model: &'m LdaModel) -> Self {
+        Self {
+            inferencer: Inferencer::new(model),
+        }
+    }
+
+    /// Creates a belief engine with explicit inference parameters.
+    pub fn with_config(model: &'m LdaModel, config: InferenceConfig) -> Self {
+        Self {
+            inferencer: Inferencer::with_config(model, config),
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &LdaModel {
+        self.inferencer.model()
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.model().num_topics()
+    }
+
+    /// The corpus prior `Pr(t)`.
+    pub fn prior(&self) -> &[f64] {
+        self.model().prior()
+    }
+
+    /// Posterior `Pr(t|q)` of one query.
+    pub fn posterior(&self, tokens: &[TermId]) -> Vec<f64> {
+        self.inferencer.infer(tokens)
+    }
+
+    /// Boost in belief `B(t|q)` of one query, for all topics.
+    pub fn boost(&self, tokens: &[TermId]) -> Vec<f64> {
+        Self::boost_from_posterior(&self.posterior(tokens), self.prior())
+    }
+
+    /// Converts a posterior into boosts against `prior`.
+    pub fn boost_from_posterior(posterior: &[f64], prior: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(posterior.len(), prior.len());
+        posterior
+            .iter()
+            .zip(prior)
+            .map(|(&post, &pri)| post - pri)
+            .collect()
+    }
+
+    /// Cycle posterior per Equation (2), from cached per-query posteriors.
+    pub fn cycle_posterior(posteriors: &[Vec<f64>]) -> Vec<f64> {
+        Inferencer::combine_posteriors(posteriors)
+    }
+
+    /// Cycle boosts: `B(t|C)` for all topics, from cached posteriors.
+    pub fn cycle_boost(&self, posteriors: &[Vec<f64>]) -> Vec<f64> {
+        Self::boost_from_posterior(&Self::cycle_posterior(posteriors), self.prior())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsearch_lda::{LdaConfig, LdaTrainer};
+
+    fn trained_model() -> LdaModel {
+        let mut docs = Vec::new();
+        for d in 0..40 {
+            let base: u32 = if d % 2 == 0 { 0 } else { 5 };
+            docs.push((0..30).map(|i| base + (i % 5) as u32).collect::<Vec<_>>());
+        }
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        LdaTrainer::train(
+            &refs,
+            10,
+            LdaConfig {
+                iterations: 60,
+                alpha: Some(0.5),
+                ..LdaConfig::with_topics(2)
+            },
+        )
+    }
+
+    #[test]
+    fn boosts_sum_to_zero() {
+        let model = trained_model();
+        let engine = BeliefEngine::new(&model);
+        let boosts = engine.boost(&[0, 1, 2]);
+        // Posterior and prior both sum to 1, so boosts sum to 0.
+        let sum: f64 = boosts.iter().sum();
+        assert!(sum.abs() < 1e-9, "boost sum {sum}");
+    }
+
+    #[test]
+    fn on_topic_query_boosts_its_topic() {
+        let model = trained_model();
+        let engine = BeliefEngine::new(&model);
+        let low_topic = if model.phi(0, 0) > model.phi(1, 0) { 0 } else { 1 };
+        let boosts = engine.boost(&[0, 1, 2, 3]);
+        assert!(
+            boosts[low_topic] > 0.0,
+            "topic {low_topic} should gain: {boosts:?}"
+        );
+        assert!(boosts[1 - low_topic] < 0.0);
+    }
+
+    #[test]
+    fn cycle_boost_averages() {
+        let model = trained_model();
+        let engine = BeliefEngine::new(&model);
+        let p1 = engine.posterior(&[0, 1]);
+        let p2 = engine.posterior(&[5, 6]);
+        let cycle = engine.cycle_boost(&[p1.clone(), p2.clone()]);
+        let prior = engine.prior();
+        for t in 0..2 {
+            let expected = (p1[t] + p2[t]) / 2.0 - prior[t];
+            assert!((cycle[t] - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixing_an_off_topic_query_reduces_boost() {
+        let model = trained_model();
+        let engine = BeliefEngine::new(&model);
+        let low_topic = if model.phi(0, 0) > model.phi(1, 0) { 0 } else { 1 };
+        let p_user = engine.posterior(&[0, 1, 2, 3]);
+        let p_ghost = engine.posterior(&[5, 6, 7, 8]);
+        let solo = BeliefEngine::boost_from_posterior(&p_user, engine.prior());
+        let mixed = engine.cycle_boost(&[p_user.clone(), p_ghost]);
+        assert!(
+            mixed[low_topic] < solo[low_topic],
+            "ghost should dilute the genuine topic"
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! The trusted client module (Figure 1 of the paper).
+//!
+//! Sits between the user and the unmodified search engine: it formulates
+//! the cycle (user query + ghosts), submits every query in the cycle,
+//! discards the ghost results, and returns only the genuine result — so
+//! the ghosts are completely transparent to the user and the engine sees
+//! a mixed trace.
+
+use crate::belief::BeliefEngine;
+use crate::ghost::{CycleResult, GhostConfig, GhostGenerator};
+use crate::privacy::PrivacyRequirement;
+use std::sync::Arc;
+use tsearch_search::{SearchEngine, SearchHit};
+use tsearch_text::TermId;
+
+/// Result of one private search.
+#[derive(Debug, Clone)]
+pub struct PrivateSearchResult {
+    /// The genuine query's hits — exactly what an unprotected search would
+    /// have returned.
+    pub hits: Vec<SearchHit>,
+    /// The cycle and its privacy accounting.
+    pub report: CycleResult,
+}
+
+/// The trusted client.
+pub struct TrustedClient<'m> {
+    engine: Arc<SearchEngine>,
+    generator: GhostGenerator<'m>,
+}
+
+impl<'m> TrustedClient<'m> {
+    /// Builds a client around an engine and a ghost generator.
+    pub fn new(engine: Arc<SearchEngine>, generator: GhostGenerator<'m>) -> Self {
+        Self { engine, generator }
+    }
+
+    /// Convenience constructor from the parts.
+    pub fn with_parts(
+        engine: Arc<SearchEngine>,
+        belief: BeliefEngine<'m>,
+        requirement: PrivacyRequirement,
+        config: GhostConfig,
+    ) -> Self {
+        Self::new(engine, GhostGenerator::new(belief, requirement, config))
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &SearchEngine {
+        &self.engine
+    }
+
+    /// The ghost generator.
+    pub fn generator(&self) -> &GhostGenerator<'m> {
+        &self.generator
+    }
+
+    /// Steps 1–5 of the paper's search process: formulate the cycle, submit
+    /// every query, filter ghost results, return the genuine result.
+    pub fn search(&self, text: &str, k: usize) -> PrivateSearchResult {
+        let tokens = self
+            .engine
+            .analyzer()
+            .analyze_frozen(text, self.engine.vocab());
+        self.search_tokens(&tokens, k)
+    }
+
+    /// Token-level variant of [`TrustedClient::search`].
+    pub fn search_tokens(&self, tokens: &[TermId], k: usize) -> PrivateSearchResult {
+        let report = self.generator.generate(tokens);
+        let mut genuine_hits = Vec::new();
+        for query in &report.cycle {
+            let hits = self.engine.search_tokens(&query.tokens, k);
+            if query.is_genuine {
+                genuine_hits = hits;
+            }
+            // Ghost results are dropped on the floor (Step 4).
+        }
+        PrivateSearchResult {
+            hits: genuine_hits,
+            report,
+        }
+    }
+
+    /// Reference search without privacy protection, for verifying that the
+    /// filtered result is identical to the unprotected one. Does not log.
+    pub fn unprotected_search(&self, tokens: &[TermId], k: usize) -> Vec<SearchHit> {
+        let query = tsearch_search::Query::from_tokens(tokens);
+        self.engine.evaluate(&query, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privacy::PrivacyRequirement;
+    use tsearch_lda::{LdaConfig, LdaModel, LdaTrainer};
+    use tsearch_search::{result_lists_identical, ScoringModel};
+    use tsearch_text::{Analyzer, Vocabulary};
+
+    struct Fixture {
+        engine: Arc<SearchEngine>,
+        model: LdaModel,
+    }
+
+    /// Corpus of 4 topical word blocks, 8 words each, plus engine + model.
+    fn fixture() -> Fixture {
+        let mut vocab = Vocabulary::new();
+        let words: Vec<String> = (0..32).map(|i| format!("term{i:02}x")).collect();
+        for w in &words {
+            vocab.intern(w);
+        }
+        let mut docs: Vec<Vec<TermId>> = Vec::new();
+        let mut texts: Vec<String> = Vec::new();
+        for d in 0..120u32 {
+            let base = (d % 4) * 8;
+            let tokens: Vec<TermId> = (0..40).map(|i| base + (i % 8)).collect();
+            let text = tokens
+                .iter()
+                .map(|&t| words[t as usize].as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            docs.push(tokens);
+            texts.push(text);
+        }
+        for d in &docs {
+            vocab.observe_document(d);
+        }
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = LdaTrainer::train(
+            &refs,
+            32,
+            LdaConfig {
+                iterations: 80,
+                alpha: Some(0.3),
+                ..LdaConfig::with_topics(4)
+            },
+        );
+        let engine = Arc::new(SearchEngine::build(
+            &refs,
+            &texts,
+            Analyzer::new(),
+            vocab,
+            ScoringModel::TfIdfCosine,
+        ));
+        Fixture { engine, model }
+    }
+
+    fn client<'m>(fx: &'m Fixture) -> TrustedClient<'m> {
+        TrustedClient::with_parts(
+            fx.engine.clone(),
+            BeliefEngine::new(&fx.model),
+            PrivacyRequirement::new(0.10, 0.05).unwrap(),
+            GhostConfig::default(),
+        )
+    }
+
+    #[test]
+    fn filtered_results_equal_unprotected_results() {
+        let fx = fixture();
+        let c = client(&fx);
+        let user: Vec<TermId> = vec![0, 1, 2];
+        let private = c.search_tokens(&user, 10);
+        // The genuine tokens get sorted inside the cycle; sorting does not
+        // change a bag-of-words query, so results must be identical.
+        let plain = c.unprotected_search(&user, 10);
+        assert!(
+            result_lists_identical(&private.hits, &plain),
+            "TopPriv must not change the genuine result list"
+        );
+        assert!(!private.hits.is_empty());
+    }
+
+    #[test]
+    fn server_sees_the_whole_cycle() {
+        let fx = fixture();
+        let c = client(&fx);
+        fx.engine.clear_query_log();
+        let result = c.search_tokens(&[0, 1, 2], 5);
+        let log = fx.engine.query_log();
+        assert_eq!(log.len(), result.report.cycle_len());
+        // The log order matches the shuffled cycle order, and the genuine
+        // query is somewhere inside.
+        let genuine_tokens = &result.report.genuine().tokens;
+        assert!(log.iter().any(|q| &q.tokens == genuine_tokens));
+    }
+
+    #[test]
+    fn text_interface_works() {
+        let fx = fixture();
+        let c = client(&fx);
+        let result = c.search("term00x term01x term02x", 5);
+        assert!(!result.hits.is_empty());
+        assert_eq!(
+            result.report.genuine().tokens,
+            vec![0, 1, 2],
+            "text should analyze to the expected tokens"
+        );
+    }
+
+    #[test]
+    fn ghost_results_are_discarded() {
+        let fx = fixture();
+        let c = client(&fx);
+        let result = c.search_tokens(&[8, 9, 10], 5);
+        // Every returned hit must be a doc matching the *genuine* query's
+        // block (docs with base 8 are topic block 1: doc ids ≡ 1 mod 4).
+        for hit in &result.hits {
+            assert_eq!(hit.doc_id % 4, 1, "hit {} from wrong block", hit.doc_id);
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Submission pacing — closing the timing side channel of cycle delivery.
+//!
+//! The `(ε1, ε2)` guarantee of Definition 4 is computed under Equation (2),
+//! which assumes every query in a cycle "appears equally likely to the
+//! adversary". The paper enforces this in *content* (Step 4 shuffles the
+//! cycle, token order is sorted away), but an adversary also sees **when**
+//! each query arrives. A naive client submits the genuine query immediately
+//! (the user is waiting for results) and the ghosts right after, so
+//! "first query of a burst" identifies the genuine query with probability
+//! ≈ 1 and the guarantee collapses to nothing.
+//!
+//! This module provides a simulated-time scheduler with three strategies:
+//!
+//! - [`PacingStrategy::NaiveImmediate`] — the broken straw man: genuine
+//!   first, ghosts trail at machine-regular gaps;
+//! - [`PacingStrategy::ShuffledBurst`] — the paper's implied behaviour:
+//!   the whole (shuffled) cycle is sent as one burst, position carries no
+//!   information but the burst itself cleanly delimits cycles;
+//! - [`PacingStrategy::PoissonSpread`] — ghosts spread over a window by a
+//!   Poisson-like process (TrackMeNot-style background chatter), with the
+//!   genuine query placed at a random position subject to a latency cap.
+//!
+//! Time is simulated (`f64` seconds) — nothing sleeps; the output is a
+//! schedule that both the client simulation and the timing adversary of
+//! `toppriv-adversary` consume.
+
+use crate::ghost::CycleResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tsearch_text::TermId;
+
+/// How a cycle's queries are spread over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PacingStrategy {
+    /// Genuine query at once, ghosts after it at `burst_gap_secs`
+    /// intervals. Vulnerable by design; the experiment baseline.
+    NaiveImmediate,
+    /// The whole shuffled cycle back-to-back at `burst_gap_secs` intervals
+    /// starting immediately.
+    ShuffledBurst,
+    /// Queries at exponential(-ish) spacing over roughly `window_secs`,
+    /// genuine query at a shuffled position but never later than
+    /// `max_genuine_delay_secs`.
+    PoissonSpread {
+        /// Target width of the submission window in seconds.
+        window_secs: f64,
+        /// Hard cap on how long the user waits for her own result.
+        max_genuine_delay_secs: f64,
+    },
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacingConfig {
+    /// Strategy to apply.
+    pub strategy: PacingStrategy,
+    /// Gap between consecutive queries of a burst (seconds). Real clients
+    /// are bounded by request latency; a few tens of milliseconds.
+    pub burst_gap_secs: f64,
+    /// Relative jitter applied to every gap (0 = none, 0.5 = ±50%).
+    pub jitter: f64,
+    /// RNG seed (per client).
+    pub seed: u64,
+}
+
+impl Default for PacingConfig {
+    fn default() -> Self {
+        PacingConfig {
+            strategy: PacingStrategy::ShuffledBurst,
+            burst_gap_secs: 0.05,
+            jitter: 0.2,
+            seed: 0x7ac1_46e5,
+        }
+    }
+}
+
+/// One scheduled submission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduledQuery {
+    /// Absolute simulated submission time in seconds.
+    pub time_secs: f64,
+    /// The submitted tokens.
+    pub tokens: Vec<TermId>,
+    /// Ground-truth label (evaluation only; invisible to the server).
+    pub is_genuine: bool,
+    /// Ground-truth cycle id (evaluation only).
+    pub cycle_id: usize,
+}
+
+/// Schedules cycles onto a simulated clock.
+#[derive(Debug, Clone)]
+pub struct PacingScheduler {
+    config: PacingConfig,
+    rng: StdRng,
+    next_cycle_id: usize,
+}
+
+impl PacingScheduler {
+    /// Creates a scheduler.
+    pub fn new(config: PacingConfig) -> Self {
+        assert!(config.burst_gap_secs >= 0.0, "gap must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&config.jitter),
+            "jitter must be in [0, 1)"
+        );
+        let rng = StdRng::seed_from_u64(config.seed);
+        PacingScheduler {
+            config,
+            rng,
+            next_cycle_id: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PacingConfig {
+        &self.config
+    }
+
+    /// Schedules one cycle starting at `start_secs`. Returns submissions
+    /// sorted by time. The relative order of ghost queries never carries
+    /// information (they are already shuffled by the generator); what the
+    /// strategy controls is *where the genuine query sits in time*.
+    pub fn schedule(&mut self, cycle: &CycleResult, start_secs: f64) -> Vec<ScheduledQuery> {
+        let cycle_id = self.next_cycle_id;
+        self.next_cycle_id += 1;
+        let n = cycle.cycle_len();
+        let offsets = self.offsets(n, cycle.genuine_index);
+        let mut out: Vec<ScheduledQuery> = cycle
+            .cycle
+            .iter()
+            .zip(offsets)
+            .map(|(q, offset)| ScheduledQuery {
+                time_secs: start_secs + offset,
+                tokens: q.tokens.clone(),
+                is_genuine: q.is_genuine,
+                cycle_id,
+            })
+            .collect();
+        out.sort_by(|a, b| a.time_secs.partial_cmp(&b.time_secs).expect("finite time"));
+        out
+    }
+
+    /// Latency the user pays: the genuine query's submission delay.
+    pub fn genuine_delay(schedule: &[ScheduledQuery], start_secs: f64) -> f64 {
+        schedule
+            .iter()
+            .find(|q| q.is_genuine)
+            .map(|q| q.time_secs - start_secs)
+            .unwrap_or(0.0)
+    }
+
+    /// Per-query offsets, index-aligned with `cycle.cycle`.
+    fn offsets(&mut self, n: usize, genuine_index: usize) -> Vec<f64> {
+        match self.config.strategy {
+            PacingStrategy::NaiveImmediate => {
+                // Genuine at t=0; ghosts follow in cycle order.
+                let mut offsets = vec![0.0f64; n];
+                let mut t = 0.0;
+                for (i, slot) in offsets.iter_mut().enumerate() {
+                    if i == genuine_index {
+                        continue;
+                    }
+                    t += self.gap();
+                    *slot = t;
+                }
+                offsets
+            }
+            PacingStrategy::ShuffledBurst => {
+                // Burst in (already shuffled) cycle order.
+                let mut t = 0.0;
+                (0..n)
+                    .map(|i| {
+                        if i > 0 {
+                            t += self.gap();
+                        }
+                        t
+                    })
+                    .collect()
+            }
+            PacingStrategy::PoissonSpread {
+                window_secs,
+                max_genuine_delay_secs,
+            } => {
+                // n exponential inter-arrival gaps with mean window/n give
+                // a Poisson-process look over roughly the window.
+                let mean_gap = window_secs / n.max(1) as f64;
+                let mut times: Vec<f64> = Vec::with_capacity(n);
+                let mut t = 0.0;
+                for _ in 0..n {
+                    // Inverse-CDF exponential sample.
+                    let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                    t += -mean_gap * u.ln();
+                    times.push(t);
+                }
+                // The genuine query takes a random slot whose time respects
+                // the latency cap; ghosts fill the remaining slots.
+                let eligible: Vec<usize> = times
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &ts)| ts <= max_genuine_delay_secs)
+                    .map(|(i, _)| i)
+                    .collect();
+                let genuine_slot = if eligible.is_empty() {
+                    // Cap tighter than the first arrival: submit genuine
+                    // immediately and keep the sampled times for ghosts.
+                    None
+                } else {
+                    Some(eligible[self.rng.gen_range(0..eligible.len())])
+                };
+                let mut offsets = vec![0.0f64; n];
+                match genuine_slot {
+                    Some(slot) => {
+                        let mut ghost_slots =
+                            (0..n).filter(|&s| s != slot).collect::<Vec<_>>().into_iter();
+                        for (i, slot_time) in offsets.iter_mut().enumerate() {
+                            if i == genuine_index {
+                                *slot_time = times[slot];
+                            } else {
+                                *slot_time = times[ghost_slots.next().expect("slot per ghost")];
+                            }
+                        }
+                    }
+                    None => {
+                        let mut ghost_slots = (0..n.saturating_sub(1)).map(|s| times[s]);
+                        for (i, slot_time) in offsets.iter_mut().enumerate() {
+                            if i == genuine_index {
+                                *slot_time = 0.0;
+                            } else {
+                                *slot_time = ghost_slots.next().expect("slot per ghost");
+                            }
+                        }
+                    }
+                }
+                offsets
+            }
+        }
+    }
+
+    /// One jittered burst gap.
+    fn gap(&mut self) -> f64 {
+        let base = self.config.burst_gap_secs;
+        if self.config.jitter == 0.0 {
+            return base;
+        }
+        let j = self.config.jitter;
+        base * self.rng.gen_range(1.0 - j..1.0 + j)
+    }
+}
+
+/// A full simulated query log: many users' cycles merged on one clock,
+/// sorted by time — exactly what the search engine's log records.
+pub fn merge_schedules(mut schedules: Vec<ScheduledQuery>) -> Vec<ScheduledQuery> {
+    schedules.sort_by(|a, b| a.time_secs.partial_cmp(&b.time_secs).expect("finite time"));
+    schedules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ghost::{CycleQuery, CycleResult};
+    use crate::metrics::PrivacyMetrics;
+
+    fn fake_cycle(n: usize, genuine_index: usize) -> CycleResult {
+        let cycle: Vec<CycleQuery> = (0..n)
+            .map(|i| CycleQuery {
+                tokens: vec![i as u32],
+                is_genuine: i == genuine_index,
+                masking_topic: (i != genuine_index).then_some(i),
+            })
+            .collect();
+        CycleResult {
+            cycle,
+            genuine_index,
+            intention: vec![0],
+            solo_boosts: vec![0.1],
+            cycle_boosts: vec![0.005],
+            masking_topics: vec![],
+            ineffective_topics: vec![],
+            satisfied: true,
+            metrics: PrivacyMetrics::default(),
+        }
+    }
+
+    fn scheduler(strategy: PacingStrategy) -> PacingScheduler {
+        PacingScheduler::new(PacingConfig {
+            strategy,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn naive_puts_genuine_first() {
+        let mut s = scheduler(PacingStrategy::NaiveImmediate);
+        for genuine in [0usize, 2, 4] {
+            let sched = s.schedule(&fake_cycle(5, genuine), 100.0);
+            assert_eq!(sched.len(), 5);
+            assert!(sched[0].is_genuine, "genuine is always earliest");
+            assert!((sched[0].time_secs - 100.0).abs() < 1e-12);
+            assert!(sched.windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
+        }
+    }
+
+    #[test]
+    fn burst_spacing_respects_gap_and_jitter() {
+        let mut s = PacingScheduler::new(PacingConfig {
+            strategy: PacingStrategy::ShuffledBurst,
+            burst_gap_secs: 0.1,
+            jitter: 0.2,
+            seed: 1,
+        });
+        let sched = s.schedule(&fake_cycle(6, 3), 0.0);
+        for w in sched.windows(2) {
+            let gap = w[1].time_secs - w[0].time_secs;
+            assert!((0.08 - 1e-12..=0.12 + 1e-12).contains(&gap), "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn burst_genuine_position_is_cycle_position() {
+        // In a shuffled burst the genuine query sits wherever the shuffle
+        // put it — not at a fixed schedule position.
+        let mut s = scheduler(PacingStrategy::ShuffledBurst);
+        let sched = s.schedule(&fake_cycle(5, 2), 0.0);
+        let pos = sched.iter().position(|q| q.is_genuine).unwrap();
+        assert_eq!(pos, 2);
+    }
+
+    #[test]
+    fn poisson_respects_latency_cap() {
+        let mut s = scheduler(PacingStrategy::PoissonSpread {
+            window_secs: 60.0,
+            max_genuine_delay_secs: 5.0,
+        });
+        for trial in 0..50 {
+            let sched = s.schedule(&fake_cycle(8, trial % 8), trial as f64 * 1000.0);
+            let delay = PacingScheduler::genuine_delay(&sched, trial as f64 * 1000.0);
+            assert!(delay <= 5.0 + 1e-9, "latency cap violated: {delay}");
+        }
+    }
+
+    #[test]
+    fn poisson_genuine_not_always_first() {
+        let mut s = scheduler(PacingStrategy::PoissonSpread {
+            window_secs: 10.0,
+            max_genuine_delay_secs: 10.0,
+        });
+        let mut first_count = 0;
+        let trials = 60;
+        for t in 0..trials {
+            let sched = s.schedule(&fake_cycle(6, t % 6), 0.0);
+            if sched[0].is_genuine {
+                first_count += 1;
+            }
+        }
+        // Unbiased placement ⇒ genuine first ≈ 1/6 of the time.
+        assert!(
+            first_count < trials / 2,
+            "genuine leads {first_count}/{trials} bursts — placement is biased"
+        );
+    }
+
+    #[test]
+    fn poisson_tight_cap_degrades_to_immediate() {
+        let mut s = scheduler(PacingStrategy::PoissonSpread {
+            window_secs: 100.0,
+            max_genuine_delay_secs: 0.0,
+        });
+        let sched = s.schedule(&fake_cycle(4, 1), 7.0);
+        let delay = PacingScheduler::genuine_delay(&sched, 7.0);
+        assert!(delay.abs() < 1e-12, "cap 0 forces immediate submission");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk = || {
+            PacingScheduler::new(PacingConfig {
+                strategy: PacingStrategy::PoissonSpread {
+                    window_secs: 30.0,
+                    max_genuine_delay_secs: 8.0,
+                },
+                burst_gap_secs: 0.05,
+                jitter: 0.3,
+                seed: 99,
+            })
+        };
+        let a: Vec<f64> = mk()
+            .schedule(&fake_cycle(5, 2), 0.0)
+            .iter()
+            .map(|q| q.time_secs)
+            .collect();
+        let b: Vec<f64> = mk()
+            .schedule(&fake_cycle(5, 2), 0.0)
+            .iter()
+            .map(|q| q.time_secs)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_orders_globally() {
+        let mut s1 = scheduler(PacingStrategy::ShuffledBurst);
+        let mut s2 = scheduler(PacingStrategy::ShuffledBurst);
+        let mut all = s1.schedule(&fake_cycle(3, 0), 10.0);
+        all.extend(s2.schedule(&fake_cycle(3, 1), 9.95));
+        let merged = merge_schedules(all);
+        assert!(merged.windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
+        assert_eq!(merged.len(), 6);
+    }
+
+    #[test]
+    fn cycle_ids_increment() {
+        let mut s = scheduler(PacingStrategy::ShuffledBurst);
+        let a = s.schedule(&fake_cycle(2, 0), 0.0);
+        let b = s.schedule(&fake_cycle(2, 0), 100.0);
+        assert_eq!(a[0].cycle_id, 0);
+        assert_eq!(b[0].cycle_id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn rejects_bad_jitter() {
+        PacingScheduler::new(PacingConfig {
+            jitter: 1.5,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,163 @@
+//! The `(ε1, ε2)`-privacy model (Definitions 1–4 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// A user's `(ε1, ε2)`-privacy requirement.
+///
+/// - Topics with boost `B(t|qu) > ε1` are **relevant** and form the user
+///   intention `U` (Definitions 1–2).
+/// - The requirement is met when every `t ∈ U` has cycle boost
+///   `B(t|C) ≤ ε2` (Definition 4).
+/// - The model requires `ε1 ≥ ε2 > 0` so that suppressed topics fall below
+///   the relevance bar, creating reasonable doubt (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyRequirement {
+    /// Relevance threshold ε1 (e.g. 0.05 for the paper's default 5%).
+    pub eps1: f64,
+    /// Exposure threshold ε2 (e.g. 0.01 for the paper's default 1%).
+    pub eps2: f64,
+}
+
+impl PrivacyRequirement {
+    /// Creates a requirement, enforcing `ε1 ≥ ε2 > 0`.
+    pub fn new(eps1: f64, eps2: f64) -> Result<Self, PrivacyModelError> {
+        if !(eps2 > 0.0 && eps1 >= eps2 && eps1 < 1.0) {
+            return Err(PrivacyModelError::InvalidThresholds { eps1, eps2 });
+        }
+        Ok(Self { eps1, eps2 })
+    }
+
+    /// The paper's default setting: ε1 = 5%, ε2 = 1%.
+    pub fn paper_default() -> Self {
+        Self {
+            eps1: 0.05,
+            eps2: 0.01,
+        }
+    }
+
+    /// Definition 2: the user intention `U` — topics whose boost exceeds ε1.
+    pub fn user_intention(&self, boosts: &[f64]) -> Vec<usize> {
+        boosts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > self.eps1)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Definition 4: whether a cycle's boosts satisfy the requirement for
+    /// the given intention. Vacuously true for an empty intention.
+    pub fn is_satisfied(&self, cycle_boosts: &[f64], intention: &[usize]) -> bool {
+        intention.iter().all(|&t| cycle_boosts[t] <= self.eps2)
+    }
+
+    /// Produces a full certificate for audit/reporting.
+    pub fn certify(&self, cycle_boosts: &[f64], intention: &[usize]) -> PrivacyCertificate {
+        let exposure = intention
+            .iter()
+            .map(|&t| cycle_boosts[t])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let exposure = if intention.is_empty() { 0.0 } else { exposure };
+        PrivacyCertificate {
+            requirement: *self,
+            intention: intention.to_vec(),
+            exposure,
+            satisfied: self.is_satisfied(cycle_boosts, intention),
+        }
+    }
+}
+
+/// Errors of the privacy model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PrivacyModelError {
+    /// Thresholds violate `ε1 ≥ ε2 > 0` (or ε1 ≥ 1).
+    InvalidThresholds {
+        /// Offending ε1.
+        eps1: f64,
+        /// Offending ε2.
+        eps2: f64,
+    },
+}
+
+impl std::fmt::Display for PrivacyModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrivacyModelError::InvalidThresholds { eps1, eps2 } => write!(
+                f,
+                "invalid (ε1, ε2) = ({eps1}, {eps2}): the model requires ε1 ≥ ε2 > 0 and ε1 < 1"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrivacyModelError {}
+
+/// Outcome of checking a cycle against a requirement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyCertificate {
+    /// The requirement checked against.
+    pub requirement: PrivacyRequirement,
+    /// The user intention `U` that was protected.
+    pub intention: Vec<usize>,
+    /// `max_{t∈U} B(t|C)` (0 when `U` is empty).
+    pub exposure: f64,
+    /// Whether Definition 4 holds.
+    pub satisfied: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_validated() {
+        assert!(PrivacyRequirement::new(0.05, 0.01).is_ok());
+        assert!(PrivacyRequirement::new(0.05, 0.05).is_ok());
+        assert!(PrivacyRequirement::new(0.01, 0.05).is_err(), "ε1 < ε2");
+        assert!(PrivacyRequirement::new(0.05, 0.0).is_err(), "ε2 = 0");
+        assert!(PrivacyRequirement::new(0.05, -0.1).is_err());
+        assert!(PrivacyRequirement::new(1.5, 0.1).is_err());
+        let err = PrivacyRequirement::new(0.01, 0.05).unwrap_err();
+        assert!(format!("{err}").contains("ε1 ≥ ε2"));
+    }
+
+    #[test]
+    fn paper_default() {
+        let req = PrivacyRequirement::paper_default();
+        assert_eq!(req.eps1, 0.05);
+        assert_eq!(req.eps2, 0.01);
+    }
+
+    #[test]
+    fn intention_extraction() {
+        let req = PrivacyRequirement::new(0.05, 0.01).unwrap();
+        let boosts = vec![0.20, 0.01, 0.06, -0.02, 0.05];
+        // Strictly greater than ε1: topic 4 at exactly 0.05 is excluded.
+        assert_eq!(req.user_intention(&boosts), vec![0, 2]);
+    }
+
+    #[test]
+    fn satisfaction_definition() {
+        let req = PrivacyRequirement::new(0.05, 0.01).unwrap();
+        let intention = vec![0, 2];
+        assert!(req.is_satisfied(&[0.01, 0.5, 0.005, 0.0], &intention));
+        assert!(!req.is_satisfied(&[0.02, 0.0, 0.0, 0.0], &intention));
+        // Boundary: B = ε2 is allowed (≤).
+        assert!(req.is_satisfied(&[0.01, 0.0, 0.01, 0.0], &intention));
+        // Empty intention is vacuously private.
+        assert!(req.is_satisfied(&[0.9, 0.9], &[]));
+    }
+
+    #[test]
+    fn certificate_reports_exposure() {
+        let req = PrivacyRequirement::new(0.05, 0.01).unwrap();
+        let cert = req.certify(&[0.008, 0.3, 0.002], &[0, 2]);
+        assert!((cert.exposure - 0.008).abs() < 1e-12);
+        assert!(cert.satisfied);
+        let cert2 = req.certify(&[0.2, 0.0, 0.0], &[0]);
+        assert!(!cert2.satisfied);
+        let empty = req.certify(&[0.2], &[]);
+        assert_eq!(empty.exposure, 0.0);
+        assert!(empty.satisfied);
+    }
+}

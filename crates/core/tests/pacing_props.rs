@@ -1,0 +1,105 @@
+//! Property tests for the pacing scheduler: for every strategy and cycle
+//! shape, the schedule is time-sorted, complete, content-preserving,
+//! latency-capped, and deterministic under a fixed seed.
+
+use proptest::prelude::*;
+use toppriv_core::{
+    CycleQuery, CycleResult, PacingConfig, PacingScheduler, PacingStrategy, PrivacyMetrics,
+};
+
+fn fake_cycle(n: usize, genuine_index: usize) -> CycleResult {
+    let cycle: Vec<CycleQuery> = (0..n)
+        .map(|i| CycleQuery {
+            tokens: vec![i as u32, (i * 7 + 1) as u32],
+            is_genuine: i == genuine_index,
+            masking_topic: (i != genuine_index).then_some(i),
+        })
+        .collect();
+    CycleResult {
+        cycle,
+        genuine_index,
+        intention: vec![0],
+        solo_boosts: vec![0.2],
+        cycle_boosts: vec![0.005],
+        masking_topics: vec![],
+        ineffective_topics: vec![],
+        satisfied: true,
+        metrics: PrivacyMetrics::default(),
+    }
+}
+
+fn strategy_strategy() -> impl Strategy<Value = PacingStrategy> {
+    prop_oneof![
+        Just(PacingStrategy::NaiveImmediate),
+        Just(PacingStrategy::ShuffledBurst),
+        (1.0f64..120.0, 0.0f64..20.0).prop_map(|(window_secs, max_genuine_delay_secs)| {
+            PacingStrategy::PoissonSpread {
+                window_secs,
+                max_genuine_delay_secs,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn schedule_is_sound(
+        strategy in strategy_strategy(),
+        n in 1usize..12,
+        genuine_offset in 0usize..12,
+        seed: u64,
+        start in 0.0f64..1e6,
+    ) {
+        let genuine_index = genuine_offset % n;
+        let cycle = fake_cycle(n, genuine_index);
+        let mut scheduler = PacingScheduler::new(PacingConfig {
+            strategy,
+            seed,
+            ..Default::default()
+        });
+        let sched = scheduler.schedule(&cycle, start);
+
+        // Complete: one submission per cycle query, exactly one genuine.
+        prop_assert_eq!(sched.len(), n);
+        prop_assert_eq!(sched.iter().filter(|q| q.is_genuine).count(), 1);
+
+        // Sorted and never before the cycle start.
+        prop_assert!(sched.windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
+        prop_assert!(sched.iter().all(|q| q.time_secs >= start - 1e-9));
+
+        // Content-preserving: the submitted token multiset is the cycle's.
+        let mut sent: Vec<Vec<u32>> = sched.iter().map(|q| q.tokens.clone()).collect();
+        let mut expected: Vec<Vec<u32>> =
+            cycle.cycle.iter().map(|q| q.tokens.clone()).collect();
+        sent.sort();
+        expected.sort();
+        prop_assert_eq!(sent, expected);
+
+        // Latency cap for the spread strategy.
+        if let PacingStrategy::PoissonSpread { max_genuine_delay_secs, .. } = strategy {
+            let delay = PacingScheduler::genuine_delay(&sched, start);
+            prop_assert!(
+                delay <= max_genuine_delay_secs + 1e-9,
+                "delay {} over cap {}", delay, max_genuine_delay_secs
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic(
+        strategy in strategy_strategy(),
+        n in 1usize..10,
+        seed: u64,
+    ) {
+        let cycle = fake_cycle(n, 0);
+        let times = |s: u64| -> Vec<f64> {
+            let mut sch = PacingScheduler::new(PacingConfig {
+                strategy,
+                seed: s,
+                ..Default::default()
+            });
+            sch.schedule(&cycle, 42.0).iter().map(|q| q.time_secs).collect()
+        };
+        prop_assert_eq!(times(seed), times(seed));
+    }
+}

@@ -1,0 +1,267 @@
+//! Sampling distributions used by the generative corpus model.
+//!
+//! Only `rand`'s uniform primitives are taken as given; Gamma (and hence
+//! Dirichlet), log-normal, and Zipf sampling are implemented here so the
+//! workspace has no dependency on `rand_distr`.
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples from LogNormal(mu, sigma) (parameters of the underlying normal).
+pub fn sample_log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * sample_standard_normal(rng)).exp()
+}
+
+/// Samples from Gamma(shape, 1) using the Marsaglia–Tsang squeeze method,
+/// with the standard boost for shape < 1.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) * U^(1/a)
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Samples a probability vector from a symmetric Dirichlet(alpha) of the
+/// given dimension.
+pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: f64, dim: usize) -> Vec<f64> {
+    assert!(dim > 0, "dirichlet dimension must be positive");
+    let mut draws: Vec<f64> = (0..dim).map(|_| sample_gamma(rng, alpha)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        // Degenerate draw (can happen for very small alpha): fall back to a
+        // one-hot vector on a uniformly chosen coordinate.
+        let hot = rng.gen_range(0..dim);
+        draws.iter_mut().for_each(|x| *x = 0.0);
+        draws[hot] = 1.0;
+        return draws;
+    }
+    draws.iter_mut().for_each(|x| *x /= sum);
+    draws
+}
+
+/// A categorical distribution over `0..n` with O(log n) sampling via a
+/// precomputed cumulative table.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds from non-negative weights (not necessarily normalized).
+    ///
+    /// Returns `None` if the weights are empty or sum to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and >= 0");
+            acc += w;
+            cumulative.push(acc);
+        }
+        if acc <= 0.0 {
+            return None;
+        }
+        Some(Self { cumulative })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether there are zero categories (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Probability of index `i` (normalized).
+    pub fn probability(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let lo = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - lo) / total
+    }
+}
+
+/// Zipf-distributed ranks: weight of rank r (1-based) is r^-exponent.
+///
+/// Backed by a [`Categorical`] over the n ranks, which is exact and fast for
+/// the vocabulary sizes used here.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    categorical: Categorical,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with the given exponent.
+    pub fn new(n: usize, exponent: f64) -> Option<Self> {
+        if n == 0 {
+            return None;
+        }
+        let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-exponent)).collect();
+        Categorical::new(&weights).map(|categorical| Self { categorical })
+    }
+
+    /// Samples a 0-based rank (0 is the most probable).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.categorical.sample(rng)
+    }
+
+    /// Normalized probability of 0-based rank `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.categorical.probability(i)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.categorical.len()
+    }
+
+    /// Never empty for constructed values.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut r = rng();
+        for shape in [0.3, 1.0, 2.5, 10.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| sample_gamma(&mut r, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut r = rng();
+        for alpha in [0.05, 0.5, 5.0] {
+            let v = sample_dirichlet(&mut r, alpha, 17);
+            let sum: f64 = v.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn dirichlet_small_alpha_is_sparse() {
+        let mut r = rng();
+        let v = sample_dirichlet(&mut r, 0.02, 50);
+        let max = v.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 0.5, "small alpha should concentrate mass, max={max}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng();
+        let c = Categorical::new(&[1.0, 0.0, 3.0]).unwrap();
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[c.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+        assert!((c.probability(2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_rejects_degenerate() {
+        assert!(Categorical::new(&[]).is_none());
+        assert!(Categorical::new(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut r = rng();
+        let z = Zipf::new(100, 1.1).unwrap();
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50]);
+        let p0 = z.probability(0);
+        let p9 = z.probability(9);
+        assert!((p0 / p9 - 10f64.powf(1.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut r = rng();
+        let n = 20_000;
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| sample_log_normal(&mut r, (120f64).ln(), 0.4))
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 120.0).abs() < 8.0, "median {median}");
+    }
+}

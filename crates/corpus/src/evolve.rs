@@ -1,0 +1,319 @@
+//! Corpus evolution: new topics and documents arriving after deployment.
+//!
+//! An enterprise corpus is not static — projects start, products launch,
+//! vocabulary grows. TopPriv's client model is trained once ("we train an
+//! LDA model once and retain it for subsequent query processing",
+//! Section IV-B), so topic drift silently erodes protection: a query on a
+//! topic the stale model has never seen infers to *no* intention, gets no
+//! ghosts, and is fully exposed to an adversary whose model is current.
+//!
+//! [`SyntheticCorpus::evolve`] grows a generated corpus with fresh topics
+//! (new term blocks appended after the existing vocabulary, sharing the
+//! old polysemous pool) and new documents biased towards the new topics.
+//! Experiment `staleness` quantifies the resulting exposure and the
+//! retrain/mitigation trade-off.
+
+use crate::dist::{sample_dirichlet, sample_log_normal, Categorical};
+use crate::generator::SyntheticCorpus;
+use crate::spec::{GeneratedDoc, TopicGroundTruth};
+use crate::words::generate_words;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsearch_text::TermId;
+
+/// How the corpus grows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolutionConfig {
+    /// Ground-truth topics to add.
+    pub new_topics: usize,
+    /// Documents to add.
+    pub new_docs: usize,
+    /// Probability that a new document draws its topics from the *new*
+    /// topic set (otherwise from the old set) — topical drift strength.
+    pub new_topic_share: f64,
+    /// Seed for the evolution (independent of the original corpus seed).
+    pub seed: u64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            new_topics: 8,
+            new_docs: 800,
+            new_topic_share: 0.7,
+            seed: 0xeb01_5e5d,
+        }
+    }
+}
+
+impl SyntheticCorpus {
+    /// Returns an evolved copy: the original documents and topics are
+    /// retained verbatim (ids unchanged); `new_topics` fresh topics get
+    /// term blocks appended after the current vocabulary; `new_docs`
+    /// documents mix old and new topics per `new_topic_share`.
+    ///
+    /// The embedded `config` keeps the original generation parameters,
+    /// with `num_docs`/`num_topics` updated; `config.vocab_size()` no
+    /// longer describes the grown vocabulary — use `vocab.len()`.
+    pub fn evolve(&self, evolution: EvolutionConfig) -> SyntheticCorpus {
+        assert!(
+            (0.0..=1.0).contains(&evolution.new_topic_share),
+            "share in [0,1]"
+        );
+        assert!(evolution.new_topics > 0, "evolution must add topics");
+        let config = &self.config;
+        let mut rng = StdRng::seed_from_u64(evolution.seed);
+        let mut corpus = self.clone();
+
+        // --- Vocabulary growth: fresh blocks after the current vocab ----
+        let old_vocab = corpus.vocab.len();
+        let grown = old_vocab + evolution.new_topics * config.terms_per_topic;
+        // generate_words is deterministic and prefix-stable, so the
+        // suffix beyond the old size is collision-free new surface forms.
+        let words = generate_words(grown, 4);
+        for w in &words[old_vocab..] {
+            corpus.vocab.intern(w);
+        }
+        debug_assert_eq!(corpus.vocab.len(), grown);
+
+        // --- New topic distributions (same recipe as generation) --------
+        let shared_start = (config.num_topics * config.terms_per_topic) as u32;
+        let shared_range = shared_start..shared_start + config.shared_pool_terms as u32;
+        let old_num_topics = corpus.topics.len();
+        let mut new_samplers: Vec<(Vec<TermId>, Categorical)> = Vec::new();
+        for i in 0..evolution.new_topics {
+            let t = old_num_topics + i;
+            let start = (old_vocab + i * config.terms_per_topic) as u32;
+            let core: Vec<TermId> = (start..start + config.terms_per_topic as u32).collect();
+            let mut order: Vec<usize> = (0..core.len()).collect();
+            for j in (1..order.len()).rev() {
+                let k = rng.gen_range(0..=j);
+                order.swap(j, k);
+            }
+            let core_mass = 1.0 - config.shared_weight;
+            let zipf_norm: f64 = (1..=core.len())
+                .map(|r| (r as f64).powf(-config.zipf_exponent))
+                .sum();
+            let mut term_weights: Vec<(TermId, f64)> = order
+                .iter()
+                .enumerate()
+                .map(|(rank, &slot)| {
+                    let w = ((rank + 1) as f64).powf(-config.zipf_exponent) / zipf_norm
+                        * core_mass;
+                    (core[slot], w)
+                })
+                .collect();
+            // New topics share the *existing* polysemous pool, so old and
+            // new topics overlap in vocabulary like real drifting corpora.
+            if config.shared_pool_terms > 0 && config.shared_weight > 0.0 {
+                let pick = (config.shared_pool_terms / 6).max(1);
+                let mut pool: Vec<TermId> = shared_range.clone().collect();
+                for j in (1..pool.len()).rev() {
+                    let k = rng.gen_range(0..=j);
+                    pool.swap(j, k);
+                }
+                let per = config.shared_weight / pick as f64;
+                for &term in pool.iter().take(pick) {
+                    term_weights.push((term, per));
+                }
+            }
+            term_weights.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+            let weights: Vec<f64> = term_weights.iter().map(|&(_, w)| w).collect();
+            let terms: Vec<TermId> = term_weights.iter().map(|&(w, _)| w).collect();
+            new_samplers.push((terms, Categorical::new(&weights).expect("weights positive")));
+            corpus.topics.push(TopicGroundTruth {
+                id: t,
+                name: format!("topic-{t:03}"),
+                term_weights,
+            });
+        }
+
+        // Old-topic samplers must be rebuilt from the retained ground
+        // truth (the generator does not persist its samplers).
+        let old_samplers: Vec<(Vec<TermId>, Categorical)> = self
+            .topics
+            .iter()
+            .map(|topic| {
+                let terms: Vec<TermId> = topic.term_weights.iter().map(|&(w, _)| w).collect();
+                let weights: Vec<f64> = topic.term_weights.iter().map(|&(_, w)| w).collect();
+                (terms, Categorical::new(&weights).expect("weights positive"))
+            })
+            .collect();
+
+        // Background distribution, identical to generation.
+        let background_start = shared_range.end;
+        let background_terms: Vec<TermId> =
+            (background_start..background_start + config.background_terms as u32).collect();
+        let background_weights: Vec<f64> = (1..=background_terms.len())
+            .map(|r| (r as f64).powf(-config.zipf_exponent))
+            .collect();
+        let background_sampler =
+            Categorical::new(&background_weights).expect("background weights positive");
+
+        // --- New documents ----------------------------------------------
+        let topic_count_sampler =
+            Categorical::new(&config.topic_count_weights).expect("topic count weights");
+        let num_new_topics = evolution.new_topics;
+        for n in 0..evolution.new_docs {
+            let id = (self.docs.len() + n) as u32;
+            let len = sample_log_normal(&mut rng, config.doc_len_mean.ln(), config.doc_len_sigma)
+                .round() as usize;
+            let len = len.clamp(config.min_doc_len, config.max_doc_len);
+            let from_new = rng.gen::<f64>() < evolution.new_topic_share;
+            let pool_size = if from_new { num_new_topics } else { old_num_topics };
+            let k = (topic_count_sampler.sample(&mut rng) + 1).min(pool_size);
+            let mut chosen: Vec<usize> = Vec::with_capacity(k);
+            while chosen.len() < k {
+                let t = rng.gen_range(0..pool_size);
+                let t = if from_new { old_num_topics + t } else { t };
+                if !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+            let weights = sample_dirichlet(&mut rng, config.mixture_alpha, k);
+            let mut mixture: Vec<(usize, f64)> =
+                chosen.iter().copied().zip(weights.iter().copied()).collect();
+            mixture.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            let mixture_sampler = Categorical::new(&weights).expect("mixture weights");
+
+            let mut tokens: Vec<TermId> = Vec::with_capacity(len);
+            for _ in 0..len {
+                if rng.gen::<f64>() < config.background_weight {
+                    tokens.push(background_terms[background_sampler.sample(&mut rng)]);
+                } else {
+                    let z = chosen[mixture_sampler.sample(&mut rng)];
+                    let (terms, sampler) = if z < old_num_topics {
+                        &old_samplers[z]
+                    } else {
+                        &new_samplers[z - old_num_topics]
+                    };
+                    tokens.push(terms[sampler.sample(&mut rng)]);
+                }
+            }
+            corpus.vocab.observe_document(&tokens);
+            let mut text = String::with_capacity(len * 8);
+            for (i, &tok) in tokens.iter().enumerate() {
+                if i > 0 {
+                    text.push(' ');
+                }
+                text.push_str(corpus.vocab.term(tok));
+            }
+            corpus.docs.push(GeneratedDoc {
+                id,
+                text,
+                tokens,
+                mixture,
+            });
+        }
+
+        corpus.config.num_docs += evolution.new_docs;
+        corpus.config.num_topics += evolution.new_topics;
+        corpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CorpusConfig;
+
+    fn evolved() -> (SyntheticCorpus, SyntheticCorpus, EvolutionConfig) {
+        let base = SyntheticCorpus::generate(CorpusConfig::tiny());
+        let evo = EvolutionConfig {
+            new_topics: 3,
+            new_docs: 40,
+            new_topic_share: 0.8,
+            seed: 7,
+        };
+        let grown = base.evolve(evo);
+        (base, grown, evo)
+    }
+
+    #[test]
+    fn originals_retained_verbatim() {
+        let (base, grown, _) = evolved();
+        assert_eq!(grown.docs.len(), base.docs.len() + 40);
+        for (a, b) in base.docs.iter().zip(&grown.docs) {
+            assert_eq!(a.tokens, b.tokens);
+            assert_eq!(a.id, b.id);
+        }
+        for (a, b) in base.topics.iter().zip(&grown.topics) {
+            assert_eq!(a.term_weights, b.term_weights);
+        }
+    }
+
+    #[test]
+    fn vocabulary_grows_by_new_blocks() {
+        let (base, grown, _) = evolved();
+        assert_eq!(
+            grown.vocab.len(),
+            base.vocab.len() + 3 * base.config.terms_per_topic
+        );
+        assert_eq!(grown.num_topics(), base.num_topics() + 3);
+    }
+
+    #[test]
+    fn new_docs_use_new_terms() {
+        let (base, grown, _) = evolved();
+        let old_vocab = base.vocab.len() as u32;
+        let new_docs = &grown.docs[base.docs.len()..];
+        let uses_new = new_docs
+            .iter()
+            .filter(|d| d.tokens.iter().any(|&t| t >= old_vocab))
+            .count();
+        // 80% of new docs target new topics and should emit new-block terms.
+        assert!(
+            uses_new * 10 >= new_docs.len() * 5,
+            "only {uses_new}/{} new docs touch new vocabulary",
+            new_docs.len()
+        );
+        // Every token id stays within the grown vocabulary.
+        for d in new_docs {
+            assert!(d.tokens.iter().all(|&t| (t as usize) < grown.vocab.len()));
+        }
+    }
+
+    #[test]
+    fn old_docs_never_use_new_terms() {
+        let (base, grown, _) = evolved();
+        let old_vocab = base.vocab.len() as u32;
+        for d in &grown.docs[..base.docs.len()] {
+            assert!(d.tokens.iter().all(|&t| t < old_vocab));
+        }
+    }
+
+    #[test]
+    fn new_topic_mixtures_reference_new_ids() {
+        let (base, grown, _) = evolved();
+        let new_docs = &grown.docs[base.docs.len()..];
+        let targets_new = new_docs
+            .iter()
+            .filter(|d| d.mixture.iter().any(|&(t, _)| t >= base.num_topics()))
+            .count();
+        assert!(targets_new > 0, "some docs must target the new topics");
+        for d in new_docs {
+            let total: f64 = d.mixture.iter().map(|&(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let (_, a, evo) = evolved();
+        let base = SyntheticCorpus::generate(CorpusConfig::tiny());
+        let b = base.evolve(evo);
+        for (da, db) in a.docs.iter().zip(&b.docs) {
+            assert_eq!(da.tokens, db.tokens);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "add topics")]
+    fn rejects_empty_evolution() {
+        let base = SyntheticCorpus::generate(CorpusConfig::tiny());
+        base.evolve(EvolutionConfig {
+            new_topics: 0,
+            ..Default::default()
+        });
+    }
+}

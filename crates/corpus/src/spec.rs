@@ -1,0 +1,226 @@
+//! Configuration and ground-truth types for the synthetic corpus.
+
+use serde::{Deserialize, Serialize};
+use tsearch_text::TermId;
+
+/// Configuration of the generative corpus model.
+///
+/// The generator follows the LDA generative story: each ground-truth topic
+/// owns a block of core terms with Zipf-distributed weights, plus a small
+/// amount of mass on a shared pool (modeling polysemous terms such as
+/// "apache" in the paper), and every document mixes background terms with
+/// terms drawn from its topic mixture.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of documents to generate.
+    pub num_docs: usize,
+    /// Number of ground-truth topics.
+    pub num_topics: usize,
+    /// Core vocabulary terms owned by each topic.
+    pub terms_per_topic: usize,
+    /// Size of the shared (polysemous) term pool every topic can draw from.
+    pub shared_pool_terms: usize,
+    /// Size of the background (general-language) vocabulary.
+    pub background_terms: usize,
+    /// Fraction of document tokens drawn from the background distribution.
+    pub background_weight: f64,
+    /// Fraction of a topic's term distribution allocated to the shared pool.
+    pub shared_weight: f64,
+    /// Median document length in tokens (log-normal).
+    pub doc_len_mean: f64,
+    /// Log-normal sigma for document length.
+    pub doc_len_sigma: f64,
+    /// Hard lower bound on document length.
+    pub min_doc_len: usize,
+    /// Hard upper bound on document length.
+    pub max_doc_len: usize,
+    /// Probability weights for a document covering 1, 2, or 3 topics.
+    pub topic_count_weights: [f64; 3],
+    /// Dirichlet concentration for the mixture over a document's topics.
+    pub mixture_alpha: f64,
+    /// Zipf exponent for within-topic and background term distributions.
+    pub zipf_exponent: f64,
+    /// Probability of inserting a stopword between generated tokens in the
+    /// surface text (exercises the analyzer; stripped before indexing).
+    pub stopword_noise: f64,
+    /// RNG seed; the corpus is fully determined by the config.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            num_docs: 4000,
+            num_topics: 40,
+            terms_per_topic: 250,
+            shared_pool_terms: 300,
+            background_terms: 800,
+            background_weight: 0.25,
+            shared_weight: 0.08,
+            doc_len_mean: 120.0,
+            doc_len_sigma: 0.4,
+            min_doc_len: 30,
+            max_doc_len: 600,
+            topic_count_weights: [0.55, 0.33, 0.12],
+            mixture_alpha: 1.0,
+            zipf_exponent: 1.05,
+            stopword_noise: 0.2,
+            seed: 0x70_50_71_76, // "pPqv"
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small configuration for unit and integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            num_docs: 120,
+            num_topics: 8,
+            terms_per_topic: 40,
+            shared_pool_terms: 30,
+            background_terms: 60,
+            doc_len_mean: 60.0,
+            min_doc_len: 20,
+            max_doc_len: 200,
+            ..Self::default()
+        }
+    }
+
+    /// Total vocabulary size implied by the configuration.
+    pub fn vocab_size(&self) -> usize {
+        self.num_topics * self.terms_per_topic + self.shared_pool_terms + self.background_terms
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_docs == 0 {
+            return Err("num_docs must be positive".into());
+        }
+        if self.num_topics == 0 {
+            return Err("num_topics must be positive".into());
+        }
+        if self.terms_per_topic < 5 {
+            return Err("terms_per_topic must be at least 5".into());
+        }
+        if !(0.0..1.0).contains(&self.background_weight) {
+            return Err("background_weight must be in [0, 1)".into());
+        }
+        if !(0.0..1.0).contains(&self.shared_weight) {
+            return Err("shared_weight must be in [0, 1)".into());
+        }
+        if self.min_doc_len == 0 || self.min_doc_len > self.max_doc_len {
+            return Err("document length bounds are inconsistent".into());
+        }
+        if self.topic_count_weights.iter().sum::<f64>() <= 0.0 {
+            return Err("topic_count_weights must have positive mass".into());
+        }
+        if self.mixture_alpha <= 0.0 {
+            return Err("mixture_alpha must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Ground truth for one synthetic topic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopicGroundTruth {
+    /// Topic index in `0..num_topics`.
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// The topic's term distribution as `(term, weight)` pairs, sorted by
+    /// descending weight. Covers both core-block and shared-pool terms.
+    pub term_weights: Vec<(TermId, f64)>,
+}
+
+impl TopicGroundTruth {
+    /// The `n` most characteristic terms of the topic.
+    pub fn top_terms(&self, n: usize) -> &[(TermId, f64)] {
+        &self.term_weights[..n.min(self.term_weights.len())]
+    }
+}
+
+/// One generated document: surface text plus its analyzed token ids and the
+/// ground-truth topic mixture it was sampled from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratedDoc {
+    /// Dense document id, equal to its position in the corpus.
+    pub id: u32,
+    /// Surface text (includes stopword noise).
+    pub text: String,
+    /// Analyzed token ids (stopwords removed); matches what the shared
+    /// analyzer produces from `text`.
+    pub tokens: Vec<TermId>,
+    /// Ground-truth `(topic, weight)` mixture, descending by weight.
+    pub mixture: Vec<(usize, f64)>,
+}
+
+impl GeneratedDoc {
+    /// The topic carrying the largest mixture weight.
+    pub fn dominant_topic(&self) -> usize {
+        self.mixture
+            .first()
+            .map(|&(t, _)| t)
+            .expect("documents always have at least one topic")
+    }
+
+    /// Ground-truth weight of `topic` in this document.
+    pub fn topic_weight(&self, topic: usize) -> f64 {
+        self.mixture
+            .iter()
+            .find(|&&(t, _)| t == topic)
+            .map(|&(_, w)| w)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(CorpusConfig::default().validate().is_ok());
+        assert!(CorpusConfig::tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn vocab_size_accounting() {
+        let cfg = CorpusConfig::tiny();
+        assert_eq!(cfg.vocab_size(), 8 * 40 + 30 + 60);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = CorpusConfig::tiny();
+        cfg.num_docs = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CorpusConfig::tiny();
+        cfg.background_weight = 1.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CorpusConfig::tiny();
+        cfg.min_doc_len = 500;
+        cfg.max_doc_len = 100;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CorpusConfig::tiny();
+        cfg.mixture_alpha = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn doc_helpers() {
+        let doc = GeneratedDoc {
+            id: 0,
+            text: String::new(),
+            tokens: vec![],
+            mixture: vec![(3, 0.7), (1, 0.3)],
+        };
+        assert_eq!(doc.dominant_topic(), 3);
+        assert_eq!(doc.topic_weight(1), 0.3);
+        assert_eq!(doc.topic_weight(9), 0.0);
+    }
+}

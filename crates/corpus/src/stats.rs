@@ -1,0 +1,175 @@
+//! Corpus-level statistics, mirroring the collection statistics the paper
+//! reports for WSJ (document count, vocabulary size, list lengths).
+
+use crate::generator::SyntheticCorpus;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a generated corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Vocabulary size (distinct terms).
+    pub vocab_size: usize,
+    /// Vocabulary terms that actually occur at least once.
+    pub observed_terms: usize,
+    /// Total token count across all documents.
+    pub total_tokens: u64,
+    /// Mean document length in tokens.
+    pub avg_doc_len: f64,
+    /// Maximum document length.
+    pub max_doc_len: usize,
+    /// Minimum document length.
+    pub min_doc_len: usize,
+    /// Mean document frequency over observed terms (mean inverted-list
+    /// length; 186.7 for the paper's WSJ corpus).
+    pub avg_doc_freq: f64,
+    /// Maximum document frequency (127,848 for the paper's WSJ corpus).
+    pub max_doc_freq: u32,
+}
+
+impl CorpusStats {
+    /// Computes statistics for `corpus`.
+    pub fn compute(corpus: &SyntheticCorpus) -> Self {
+        let num_docs = corpus.num_docs();
+        let vocab_size = corpus.vocab.len();
+        let lengths: Vec<usize> = corpus.docs.iter().map(|d| d.tokens.len()).collect();
+        let total_tokens: u64 = lengths.iter().map(|&l| l as u64).sum();
+        let mut observed = 0usize;
+        let mut df_sum: u64 = 0;
+        let mut df_max: u32 = 0;
+        for id in 0..vocab_size as u32 {
+            let df = corpus.vocab.doc_freq(id);
+            if df > 0 {
+                observed += 1;
+                df_sum += df as u64;
+                df_max = df_max.max(df);
+            }
+        }
+        CorpusStats {
+            num_docs,
+            vocab_size,
+            observed_terms: observed,
+            total_tokens,
+            avg_doc_len: total_tokens as f64 / num_docs.max(1) as f64,
+            max_doc_len: lengths.iter().copied().max().unwrap_or(0),
+            min_doc_len: lengths.iter().copied().min().unwrap_or(0),
+            avg_doc_freq: if observed == 0 {
+                0.0
+            } else {
+                df_sum as f64 / observed as f64
+            },
+            max_doc_freq: df_max,
+        }
+    }
+}
+
+/// Observed vocabulary growth: `(documents, distinct terms)` measured at
+/// geometric prefixes of the corpus. Feeds the Heaps-law argument behind
+/// Figure 6 (vocabulary — and hence the LDA model — grows sublinearly).
+pub fn vocabulary_growth(corpus: &SyntheticCorpus) -> Vec<(usize, usize)> {
+    let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut points = Vec::new();
+    let mut next_checkpoint = 8usize;
+    for (i, doc) in corpus.docs.iter().enumerate() {
+        seen.extend(doc.tokens.iter().copied());
+        if i + 1 == next_checkpoint || i + 1 == corpus.docs.len() {
+            points.push((i + 1, seen.len()));
+            next_checkpoint *= 2;
+        }
+    }
+    points
+}
+
+/// Least-squares fit of Heaps' law `V = k · n^β` in log-log space,
+/// returning `(k, β)`. Needs at least two points.
+pub fn fit_heaps(points: &[(usize, usize)]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(n, v)| n > 0 && v > 0)
+        .map(|&(n, v)| ((n as f64).ln(), (v as f64).ln()))
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|&(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|&(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|&(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|&(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let beta = (n * sxy - sx * sy) / denom;
+    let ln_k = (sy - beta * sx) / n;
+    Some((ln_k.exp(), beta))
+}
+
+impl std::fmt::Display for CorpusStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "documents        : {}", self.num_docs)?;
+        writeln!(f, "vocabulary       : {}", self.vocab_size)?;
+        writeln!(f, "observed terms   : {}", self.observed_terms)?;
+        writeln!(f, "total tokens     : {}", self.total_tokens)?;
+        writeln!(f, "avg doc length   : {:.1}", self.avg_doc_len)?;
+        writeln!(
+            f,
+            "doc length range : [{}, {}]",
+            self.min_doc_len, self.max_doc_len
+        )?;
+        writeln!(f, "avg doc freq     : {:.1}", self.avg_doc_freq)?;
+        writeln!(f, "max doc freq     : {}", self.max_doc_freq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CorpusConfig;
+
+    #[test]
+    fn vocabulary_grows_sublinearly() {
+        let corpus = SyntheticCorpus::generate(CorpusConfig::tiny());
+        let growth = vocabulary_growth(&corpus);
+        assert!(growth.len() >= 3, "need several checkpoints");
+        // Monotone nondecreasing vocabulary.
+        for pair in growth.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        let (_k, beta) = fit_heaps(&growth).unwrap();
+        assert!(
+            beta > 0.0 && beta < 1.0,
+            "Heaps exponent must be sublinear: {beta}"
+        );
+    }
+
+    #[test]
+    fn heaps_fit_recovers_known_exponent() {
+        // Synthetic exact law: V = 3 n^0.5.
+        let points: Vec<(usize, usize)> = [10usize, 100, 1000, 10000]
+            .iter()
+            .map(|&n| (n, (3.0 * (n as f64).powf(0.5)).round() as usize))
+            .collect();
+        let (k, beta) = fit_heaps(&points).unwrap();
+        assert!((beta - 0.5).abs() < 0.02, "beta {beta}");
+        assert!((k - 3.0).abs() < 0.3, "k {k}");
+        assert!(fit_heaps(&points[..1]).is_none());
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let corpus = SyntheticCorpus::generate(CorpusConfig::tiny());
+        let stats = CorpusStats::compute(&corpus);
+        assert_eq!(stats.num_docs, corpus.num_docs());
+        assert_eq!(stats.vocab_size, corpus.vocab.len());
+        assert!(stats.observed_terms <= stats.vocab_size);
+        assert!(stats.avg_doc_len >= stats.min_doc_len as f64);
+        assert!(stats.avg_doc_len <= stats.max_doc_len as f64);
+        assert!(stats.avg_doc_freq >= 1.0);
+        assert!(stats.max_doc_freq as usize <= stats.num_docs);
+        // Display renders without panicking.
+        let _ = format!("{stats}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Synthetic word generation.
+//!
+//! The corpus substitute needs real-looking tokens so the full analysis
+//! pipeline (tokenizer, stopword filter, optional stemmer) is exercised.
+//! Words are composed from consonant-vowel syllables, deterministically from
+//! an integer index, which guarantees (a) reproducibility, (b) uniqueness,
+//! and (c) that no generated word collides with a stopword (every word is
+//! checked and disambiguated with a suffix if needed).
+
+use tsearch_text::StopwordList;
+
+const ONSETS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+    "br", "cr", "dr", "gr", "pr", "tr", "st", "sp", "pl", "cl",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
+const CODAS: &[&str] = &["", "n", "r", "s", "t", "l", "m", "x", "nd", "rk", "st"];
+
+/// Deterministically generates the `index`-th synthetic word.
+///
+/// The word is built from 2–3 syllables selected by mixed-radix decomposition
+/// of the index, yielding well over 10^7 distinct pronounceable words.
+pub fn synth_word(index: u64) -> String {
+    let mut n = index;
+    let mut word = String::new();
+    // First syllable: onset + nucleus.
+    let onset = ONSETS[(n % ONSETS.len() as u64) as usize];
+    n /= ONSETS.len() as u64;
+    let nucleus = NUCLEI[(n % NUCLEI.len() as u64) as usize];
+    n /= NUCLEI.len() as u64;
+    word.push_str(onset);
+    word.push_str(nucleus);
+    // Second syllable: onset + nucleus + coda.
+    let onset2 = ONSETS[(n % ONSETS.len() as u64) as usize];
+    n /= ONSETS.len() as u64;
+    let nucleus2 = NUCLEI[(n % NUCLEI.len() as u64) as usize];
+    n /= NUCLEI.len() as u64;
+    let coda = CODAS[(n % CODAS.len() as u64) as usize];
+    n /= CODAS.len() as u64;
+    word.push_str(onset2);
+    word.push_str(nucleus2);
+    word.push_str(coda);
+    // Optional third syllable for higher indexes, keeps words unique.
+    while n > 0 {
+        let onset3 = ONSETS[(n % ONSETS.len() as u64) as usize];
+        n /= ONSETS.len() as u64;
+        let nucleus3 = NUCLEI[(n % NUCLEI.len() as u64) as usize];
+        n /= NUCLEI.len() as u64;
+        word.push_str(onset3);
+        word.push_str(nucleus3);
+    }
+    word
+}
+
+/// Generates `count` distinct synthetic words, none of which are stopwords
+/// or shorter than `min_len` characters.
+pub fn generate_words(count: usize, min_len: usize) -> Vec<String> {
+    let stopwords = StopwordList::english();
+    let mut words = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::with_capacity(count * 2);
+    let mut index = 0u64;
+    while words.len() < count {
+        let w = synth_word(index);
+        index += 1;
+        if w.len() < min_len || stopwords.contains(&w) || !seen.insert(w.clone()) {
+            continue;
+        }
+        words.push(w);
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsearch_text::Analyzer;
+
+    #[test]
+    fn words_are_distinct_and_lowercase() {
+        let words = generate_words(5000, 4);
+        assert_eq!(words.len(), 5000);
+        let set: std::collections::HashSet<&String> = words.iter().collect();
+        assert_eq!(set.len(), 5000, "all words distinct");
+        for w in &words {
+            assert!(w.len() >= 4);
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "{w}");
+        }
+    }
+
+    #[test]
+    fn words_survive_the_analyzer() {
+        let words = generate_words(2000, 4);
+        let analyzer = Analyzer::new();
+        for w in &words {
+            let toks = analyzer.analyze(w);
+            assert_eq!(toks.len(), 1, "word {w} should be a single token");
+            assert_eq!(&toks[0], w, "word {w} should pass through unchanged");
+        }
+    }
+
+    #[test]
+    fn synth_word_deterministic() {
+        assert_eq!(synth_word(42), synth_word(42));
+        assert_ne!(synth_word(1), synth_word(2));
+    }
+
+    #[test]
+    fn large_indices_stay_unique() {
+        let a = synth_word(1_000_000);
+        let b = synth_word(1_000_001);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,84 @@
+//! Plaintext document store.
+//!
+//! The paper's server hosts the corpus in plaintext; the store keeps the
+//! raw text so the search engine can return result documents (Step 7 of the
+//! search process) and so size accounting can include stored text.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple append-only store of document texts, addressed by dense doc id.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DocumentStore {
+    texts: Vec<String>,
+}
+
+impl DocumentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a store from texts in doc-id order.
+    pub fn from_texts<I, S>(texts: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            texts: texts.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Appends a document, returning its id.
+    pub fn push(&mut self, text: String) -> u32 {
+        let id = self.texts.len() as u32;
+        self.texts.push(text);
+        id
+    }
+
+    /// Fetches a document's text.
+    pub fn get(&self, doc_id: u32) -> Option<&str> {
+        self.texts.get(doc_id as usize).map(String::as_str)
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Total stored text bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.texts.iter().map(String::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut store = DocumentStore::new();
+        let a = store.push("alpha beta".into());
+        let b = store.push("gamma".into());
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(store.get(0), Some("alpha beta"));
+        assert_eq!(store.get(1), Some("gamma"));
+        assert_eq!(store.get(2), None);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.size_bytes(), 15);
+    }
+
+    #[test]
+    fn from_texts() {
+        let store = DocumentStore::from_texts(["a", "b", "c"]);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(2), Some("c"));
+    }
+}

@@ -1,0 +1,285 @@
+//! The inverted index.
+//!
+//! Maintains, for every vocabulary term, a compressed postings list of the
+//! documents containing it — the `<p_ij, d_j>` structure the paper's search
+//! engine model assumes — plus the document lengths needed by the scorers.
+
+use crate::postings::{Posting, PostingsBuilder, PostingsList};
+use serde::{Deserialize, Serialize};
+use tsearch_text::TermId;
+
+/// Immutable inverted index over a document collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    postings: Vec<PostingsList>,
+    doc_lens: Vec<u32>,
+    total_tokens: u64,
+    /// Per-term maximum term frequency, for score upper bounds (MaxScore).
+    max_tfs: Vec<u32>,
+}
+
+impl InvertedIndex {
+    /// Builds an index from token-id documents. `vocab_size` fixes the
+    /// number of postings lists (terms never observed get empty lists).
+    pub fn build(docs: &[&[TermId]], vocab_size: usize) -> Self {
+        let mut builders: Vec<PostingsBuilder> = vec![PostingsBuilder::new(); vocab_size];
+        let mut doc_lens = Vec::with_capacity(docs.len());
+        let mut total_tokens = 0u64;
+        // Accumulate per-document term frequencies, then push doc-ordered.
+        let mut tf_scratch: Vec<(TermId, u32)> = Vec::new();
+        for (doc_id, tokens) in docs.iter().enumerate() {
+            doc_lens.push(tokens.len() as u32);
+            total_tokens += tokens.len() as u64;
+            tf_scratch.clear();
+            let mut sorted: Vec<TermId> = tokens.to_vec();
+            sorted.sort_unstable();
+            let mut i = 0;
+            while i < sorted.len() {
+                let term = sorted[i];
+                let mut j = i;
+                while j < sorted.len() && sorted[j] == term {
+                    j += 1;
+                }
+                tf_scratch.push((term, (j - i) as u32));
+                i = j;
+            }
+            for &(term, tf) in &tf_scratch {
+                assert!(
+                    (term as usize) < vocab_size,
+                    "token id {term} outside vocabulary of size {vocab_size}"
+                );
+                builders[term as usize].push(doc_id as u32, tf);
+            }
+        }
+        let postings: Vec<PostingsList> =
+            builders.into_iter().map(PostingsBuilder::build).collect();
+        let max_tfs = postings
+            .iter()
+            .map(|list| list.iter().map(|p| p.tf).max().unwrap_or(0))
+            .collect();
+        InvertedIndex {
+            postings,
+            doc_lens,
+            total_tokens,
+            max_tfs,
+        }
+    }
+
+    /// Reassembles an index from its parts (the deserialization path).
+    ///
+    /// # Panics
+    /// Panics if `max_tfs` and `postings` lengths disagree — the codec
+    /// validates sizes before calling this.
+    pub fn from_parts(
+        postings: Vec<PostingsList>,
+        doc_lens: Vec<u32>,
+        total_tokens: u64,
+        max_tfs: Vec<u32>,
+    ) -> Self {
+        assert_eq!(postings.len(), max_tfs.len(), "one max-tf per term");
+        InvertedIndex {
+            postings,
+            doc_lens,
+            total_tokens,
+            max_tfs,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// Number of terms (postings lists, including empty ones).
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The postings list of `term`.
+    pub fn postings(&self, term: TermId) -> &PostingsList {
+        &self.postings[term as usize]
+    }
+
+    /// Document frequency of `term`.
+    pub fn doc_freq(&self, term: TermId) -> usize {
+        self.postings(term).len()
+    }
+
+    /// Length (token count) of document `doc_id`.
+    pub fn doc_len(&self, doc_id: u32) -> u32 {
+        self.doc_lens[doc_id as usize]
+    }
+
+    /// Mean document length.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_lens.is_empty() {
+            0.0
+        } else {
+            self.total_tokens as f64 / self.doc_lens.len() as f64
+        }
+    }
+
+    /// Total token occurrences indexed.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Total number of `<p_ij, d_j>` postings pairs across all lists.
+    pub fn total_postings(&self) -> u64 {
+        self.postings.iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// Maximum term frequency of `term` across all documents (0 if the
+    /// term never occurs). Used to derive per-list score upper bounds.
+    pub fn max_tf(&self, term: TermId) -> u32 {
+        self.max_tfs[term as usize]
+    }
+
+    /// Term frequency of `term` in `doc_id` (linear in the postings list;
+    /// used by tests and brute-force verification, not the scoring path).
+    pub fn term_freq(&self, term: TermId, doc_id: u32) -> u32 {
+        self.postings(term)
+            .iter()
+            .find(|p| p.doc_id == doc_id)
+            .map(|p| p.tf)
+            .unwrap_or(0)
+    }
+
+    /// Inverse document frequency `ln(N / df)`; 0 for unseen terms.
+    pub fn idf(&self, term: TermId) -> f64 {
+        let df = self.doc_freq(term);
+        if df == 0 {
+            0.0
+        } else {
+            (self.num_docs() as f64 / df as f64).ln()
+        }
+    }
+
+    /// Size accounting used by Figure 6.
+    pub fn size_breakdown(&self) -> IndexSizeBreakdown {
+        let postings_bytes: usize = self.postings.iter().map(|p| p.size_bytes()).sum();
+        // Dictionary: one offset (8B) + one length (4B) per term — the
+        // in-memory fixed cost of addressing each list.
+        let dictionary_bytes = self.postings.len() * 12;
+        let doc_lens_bytes = self.doc_lens.len() * 4;
+        IndexSizeBreakdown {
+            postings_bytes,
+            dictionary_bytes,
+            doc_lens_bytes,
+        }
+    }
+
+    /// All postings of `term` decoded (convenience for brute-force checks).
+    pub fn postings_vec(&self, term: TermId) -> Vec<Posting> {
+        self.postings(term).to_vec()
+    }
+}
+
+/// Byte-size breakdown of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexSizeBreakdown {
+    /// Compressed postings bytes.
+    pub postings_bytes: usize,
+    /// Dictionary/offset table bytes.
+    pub dictionary_bytes: usize,
+    /// Document length table bytes.
+    pub doc_lens_bytes: usize,
+}
+
+impl IndexSizeBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.postings_bytes + self.dictionary_bytes + self.doc_lens_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<TermId>> {
+        vec![
+            vec![0, 1, 2, 0],    // doc 0: term 0 twice
+            vec![1, 3],          // doc 1
+            vec![0, 3, 3, 3],    // doc 2
+            vec![],              // doc 3: empty
+        ]
+    }
+
+    fn build() -> InvertedIndex {
+        let docs = docs();
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        InvertedIndex::build(&refs, 5)
+    }
+
+    #[test]
+    fn basic_structure() {
+        let idx = build();
+        assert_eq!(idx.num_docs(), 4);
+        assert_eq!(idx.num_terms(), 5);
+        assert_eq!(idx.doc_freq(0), 2);
+        assert_eq!(idx.doc_freq(1), 2);
+        assert_eq!(idx.doc_freq(2), 1);
+        assert_eq!(idx.doc_freq(3), 2);
+        assert_eq!(idx.doc_freq(4), 0);
+        assert_eq!(idx.total_tokens(), 10);
+        assert_eq!(idx.doc_len(0), 4);
+        assert_eq!(idx.doc_len(3), 0);
+    }
+
+    #[test]
+    fn term_frequencies() {
+        let idx = build();
+        assert_eq!(idx.term_freq(0, 0), 2);
+        assert_eq!(idx.term_freq(0, 2), 1);
+        assert_eq!(idx.term_freq(3, 2), 3);
+        assert_eq!(idx.term_freq(4, 0), 0);
+    }
+
+    #[test]
+    fn postings_are_doc_ordered() {
+        let idx = build();
+        for term in 0..5u32 {
+            let list = idx.postings_vec(term);
+            for pair in list.windows(2) {
+                assert!(pair[0].doc_id < pair[1].doc_id);
+            }
+        }
+    }
+
+    #[test]
+    fn max_tf_tracked() {
+        let idx = build();
+        assert_eq!(idx.max_tf(0), 2);
+        assert_eq!(idx.max_tf(3), 3);
+        assert_eq!(idx.max_tf(4), 0);
+    }
+
+    #[test]
+    fn idf_ordering() {
+        let idx = build();
+        assert!(idx.idf(2) > idx.idf(0), "rarer term has higher idf");
+        assert_eq!(idx.idf(4), 0.0);
+    }
+
+    #[test]
+    fn size_breakdown_totals() {
+        let idx = build();
+        let sizes = idx.size_breakdown();
+        assert!(sizes.postings_bytes > 0);
+        assert_eq!(sizes.dictionary_bytes, 5 * 12);
+        assert_eq!(sizes.doc_lens_bytes, 4 * 4);
+        assert_eq!(
+            sizes.total(),
+            sizes.postings_bytes + sizes.dictionary_bytes + sizes.doc_lens_bytes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn out_of_vocab_token_panics() {
+        let doc = vec![9u32];
+        let refs: Vec<&[TermId]> = vec![doc.as_slice()];
+        InvertedIndex::build(&refs, 5);
+    }
+}

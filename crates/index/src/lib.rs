@@ -1,0 +1,31 @@
+//! # tsearch-index
+//!
+//! Inverted index substrate for the TopPriv reproduction: compressed
+//! postings lists (delta + varint), a plaintext document store, and the
+//! size accounting used to reproduce Figure 6 (index size vs LDA model
+//! size) and the PIR-padding argument from the paper's related work.
+//!
+//! ## Example
+//!
+//! ```
+//! use tsearch_index::InvertedIndex;
+//!
+//! let docs: Vec<Vec<u32>> = vec![vec![0, 1, 1], vec![1, 2]];
+//! let refs: Vec<&[u32]> = docs.iter().map(|d| d.as_slice()).collect();
+//! let index = InvertedIndex::build(&refs, 3);
+//! assert_eq!(index.doc_freq(1), 2);
+//! assert_eq!(index.term_freq(1, 0), 2);
+//! ```
+
+pub mod docstore;
+pub mod index;
+pub mod postings;
+pub mod serialize;
+pub mod stats;
+pub mod varint;
+
+pub use docstore::DocumentStore;
+pub use index::{IndexSizeBreakdown, InvertedIndex};
+pub use postings::{Posting, PostingsBuilder, PostingsList};
+pub use serialize::{decode_index, encode_index, IndexCodecError};
+pub use stats::{IndexStats, PIR_PAIR_BYTES};

@@ -1,0 +1,115 @@
+//! Index statistics, including the PIR-padding thought experiment from the
+//! paper's related-work section: to host inverted lists in a PIR server,
+//! every list must be padded to the maximum length, which the paper reports
+//! blows the WSJ index up from 259 MB to 178 GB.
+
+use crate::index::InvertedIndex;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per `<p_ij, d_j>` pair in the uncompressed/PIR representation
+/// (4-byte doc id + 4-byte impact value).
+pub const PIR_PAIR_BYTES: usize = 8;
+
+/// Aggregate statistics of an inverted index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// Number of terms with non-empty postings.
+    pub non_empty_lists: usize,
+    /// Mean postings-list length over non-empty lists (the paper's WSJ
+    /// value is 186.7 pairs).
+    pub avg_list_len: f64,
+    /// Maximum postings-list length (127,848 for WSJ).
+    pub max_list_len: usize,
+    /// Actual compressed index size in bytes.
+    pub actual_bytes: usize,
+    /// Size if every non-empty list were padded to the maximum length at
+    /// [`PIR_PAIR_BYTES`] per pair, as PIR hosting requires.
+    pub pir_padded_bytes: u64,
+}
+
+impl IndexStats {
+    /// Computes statistics for `index`.
+    pub fn compute(index: &InvertedIndex) -> Self {
+        let mut non_empty = 0usize;
+        let mut total_len = 0u64;
+        let mut max_len = 0usize;
+        for term in 0..index.num_terms() as u32 {
+            let len = index.doc_freq(term);
+            if len > 0 {
+                non_empty += 1;
+                total_len += len as u64;
+                max_len = max_len.max(len);
+            }
+        }
+        IndexStats {
+            non_empty_lists: non_empty,
+            avg_list_len: if non_empty == 0 {
+                0.0
+            } else {
+                total_len as f64 / non_empty as f64
+            },
+            max_list_len: max_len,
+            actual_bytes: index.size_breakdown().total(),
+            pir_padded_bytes: non_empty as u64 * max_len as u64 * PIR_PAIR_BYTES as u64,
+        }
+    }
+
+    /// Blowup factor of PIR padding over the actual index.
+    pub fn pir_blowup(&self) -> f64 {
+        if self.actual_bytes == 0 {
+            0.0
+        } else {
+            self.pir_padded_bytes as f64 / self.actual_bytes as f64
+        }
+    }
+}
+
+impl std::fmt::Display for IndexStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "non-empty lists : {}", self.non_empty_lists)?;
+        writeln!(f, "avg list length : {:.1}", self.avg_list_len)?;
+        writeln!(f, "max list length : {}", self.max_list_len)?;
+        writeln!(f, "actual bytes    : {}", self.actual_bytes)?;
+        writeln!(f, "PIR-padded bytes: {}", self.pir_padded_bytes)?;
+        writeln!(f, "PIR blowup      : {:.1}x", self.pir_blowup())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsearch_text::TermId;
+
+    #[test]
+    fn stats_on_skewed_lists() {
+        // Term 0 occurs in all 100 docs, terms 1..=10 in one each.
+        let docs: Vec<Vec<TermId>> = (0..100u32)
+            .map(|d| {
+                let mut v = vec![0u32];
+                if (1..=10).contains(&d) {
+                    v.push(d);
+                }
+                v
+            })
+            .collect();
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let idx = InvertedIndex::build(&refs, 11);
+        let stats = IndexStats::compute(&idx);
+        assert_eq!(stats.non_empty_lists, 11);
+        assert_eq!(stats.max_list_len, 100);
+        assert!((stats.avg_list_len - (100.0 + 10.0) / 11.0).abs() < 1e-9);
+        // PIR padding is dramatically larger than the actual encoded size.
+        assert_eq!(stats.pir_padded_bytes, 11 * 100 * 8);
+        assert!(stats.pir_blowup() > 1.0);
+        let _ = format!("{stats}");
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = InvertedIndex::build(&[], 0);
+        let stats = IndexStats::compute(&idx);
+        assert_eq!(stats.non_empty_lists, 0);
+        assert_eq!(stats.avg_list_len, 0.0);
+        assert_eq!(stats.pir_padded_bytes, 0);
+    }
+}

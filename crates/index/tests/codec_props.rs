@@ -1,0 +1,50 @@
+//! Property tests for the index codec: any corpus round-trips to an
+//! index answering every query identically, and truncated blobs are
+//! always rejected.
+
+use proptest::prelude::*;
+use tsearch_index::{decode_index, encode_index, InvertedIndex};
+
+/// Strategy: a small corpus of token documents over a bounded vocab.
+fn corpus_strategy() -> impl Strategy<Value = (Vec<Vec<u32>>, usize)> {
+    (1usize..40).prop_flat_map(|vocab_size| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(0u32..vocab_size as u32, 0..30),
+                0..20,
+            ),
+            Just(vocab_size),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_preserves_postings((docs, vocab_size) in corpus_strategy()) {
+        let refs: Vec<&[u32]> = docs.iter().map(|d| d.as_slice()).collect();
+        let index = InvertedIndex::build(&refs, vocab_size);
+        let back = decode_index(&encode_index(&index)).expect("fresh blob decodes");
+        prop_assert_eq!(back.num_docs(), index.num_docs());
+        prop_assert_eq!(back.num_terms(), index.num_terms());
+        prop_assert_eq!(back.total_tokens(), index.total_tokens());
+        for t in 0..vocab_size as u32 {
+            prop_assert_eq!(back.postings_vec(t), index.postings_vec(t));
+            prop_assert_eq!(back.max_tf(t), index.max_tf(t));
+        }
+        for d in 0..index.num_docs() as u32 {
+            prop_assert_eq!(back.doc_len(d), index.doc_len(d));
+        }
+    }
+
+    #[test]
+    fn truncation_always_rejected(
+        (docs, vocab_size) in corpus_strategy(),
+        cut in 1usize..64,
+    ) {
+        let refs: Vec<&[u32]> = docs.iter().map(|d| d.as_slice()).collect();
+        let index = InvertedIndex::build(&refs, vocab_size);
+        let blob = encode_index(&index);
+        let cut = cut.min(blob.len());
+        prop_assert!(decode_index(&blob[..blob.len() - cut]).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Intrinsic model-quality evaluation: corpus-grounded topic coherence
+//! and held-out perplexity.
+//!
+//! The paper argues qualitatively (Appendix A, Tables II–IV) that LDA
+//! topics are "quite specific and coherent" at adequate K and indistinct
+//! at tiny K, and Definition 3 calls a query semantically coherent when
+//! its words "describe common or related topics". This module provides
+//! the standard quantitative counterparts:
+//!
+//! - **UMass coherence** ([`umass_coherence`]): the document
+//!   co-occurrence statistic of Mimno et al. — pairs of a topic's top
+//!   words should co-occur in training documents far more often than
+//!   chance. Unlike `toppriv_core::metrics::semantic_coherence` this is
+//!   grounded in the *corpus*, not in the model that produced the words,
+//!   so it can score ghost queries independently of the generator.
+//! - **Held-out perplexity** ([`held_out_perplexity`]): how well a model
+//!   explains unseen token sequences via fold-in inference; used to
+//!   compare topic counts K on an equal footing.
+
+use crate::infer::{InferenceConfig, Inferencer};
+use crate::model::LdaModel;
+use std::collections::HashMap;
+use tsearch_text::TermId;
+
+/// Document-level co-occurrence bitsets for a chosen word set.
+///
+/// One bit per document per indexed word; document frequency is a
+/// popcount and pair co-frequency a popcount of the AND. Construction is
+/// a single corpus scan.
+#[derive(Debug, Clone)]
+pub struct CoOccurrenceIndex {
+    /// word → row in `bits`.
+    rows: HashMap<TermId, usize>,
+    /// Bitset blocks, row-major (`blocks_per_row` u64s per word).
+    bits: Vec<u64>,
+    blocks_per_row: usize,
+    num_docs: usize,
+}
+
+impl CoOccurrenceIndex {
+    /// Indexes `words` (deduplicated) over `docs`.
+    pub fn build(docs: &[&[TermId]], words: &[TermId]) -> Self {
+        let mut rows = HashMap::new();
+        for &w in words {
+            let next = rows.len();
+            rows.entry(w).or_insert(next);
+        }
+        let blocks_per_row = docs.len().div_ceil(64).max(1);
+        let mut bits = vec![0u64; rows.len() * blocks_per_row];
+        for (d, doc) in docs.iter().enumerate() {
+            for &w in *doc {
+                if let Some(&row) = rows.get(&w) {
+                    bits[row * blocks_per_row + d / 64] |= 1 << (d % 64);
+                }
+            }
+        }
+        CoOccurrenceIndex {
+            rows,
+            bits,
+            blocks_per_row,
+            num_docs: docs.len(),
+        }
+    }
+
+    /// Number of documents scanned.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Document frequency `D(w)`; zero for unindexed words.
+    pub fn doc_freq(&self, w: TermId) -> u64 {
+        match self.rows.get(&w) {
+            Some(&row) => self.row(row).iter().map(|b| b.count_ones() as u64).sum(),
+            None => 0,
+        }
+    }
+
+    /// Pair document frequency `D(a, b)`; zero if either is unindexed.
+    pub fn co_doc_freq(&self, a: TermId, b: TermId) -> u64 {
+        match (self.rows.get(&a), self.rows.get(&b)) {
+            (Some(&ra), Some(&rb)) => self
+                .row(ra)
+                .iter()
+                .zip(self.row(rb))
+                .map(|(x, y)| (x & y).count_ones() as u64)
+                .sum(),
+            _ => 0,
+        }
+    }
+
+    fn row(&self, row: usize) -> &[u64] {
+        &self.bits[row * self.blocks_per_row..(row + 1) * self.blocks_per_row]
+    }
+}
+
+/// UMass coherence of an ordered word list (most probable first):
+/// `Σ_{i<j} ln[(D(w_j, w_i) + 1) / D(w_i)]`, skipping conditioning words
+/// that never occur. Higher (closer to zero) is more coherent. A list
+/// with fewer than two scorable words yields `0`.
+pub fn umass_coherence(index: &CoOccurrenceIndex, ordered_words: &[TermId]) -> f64 {
+    let mut score = 0.0;
+    let mut pairs = 0usize;
+    for (i, &wi) in ordered_words.iter().enumerate() {
+        let d_i = index.doc_freq(wi);
+        if d_i == 0 {
+            continue;
+        }
+        for &wj in &ordered_words[i + 1..] {
+            let co = index.co_doc_freq(wj, wi);
+            score += ((co + 1) as f64 / d_i as f64).ln();
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        score / pairs as f64
+    }
+}
+
+/// Mean UMass coherence of every topic's top-`top_n` words, plus the
+/// per-topic scores. One co-occurrence index is shared across topics.
+pub fn model_topic_coherences(
+    model: &LdaModel,
+    docs: &[&[TermId]],
+    top_n: usize,
+) -> (f64, Vec<f64>) {
+    let tops: Vec<Vec<TermId>> = (0..model.num_topics())
+        .map(|t| model.top_words(t, top_n).into_iter().map(|(w, _)| w).collect())
+        .collect();
+    let all: Vec<TermId> = tops.iter().flatten().copied().collect();
+    let index = CoOccurrenceIndex::build(docs, &all);
+    let scores: Vec<f64> = tops.iter().map(|ws| umass_coherence(&index, ws)).collect();
+    let mean = if scores.is_empty() {
+        0.0
+    } else {
+        scores.iter().sum::<f64>() / scores.len() as f64
+    };
+    (mean, scores)
+}
+
+/// Corpus-grounded coherence of an *unordered* token set (e.g. a query):
+/// tokens are ordered by descending document frequency, then scored with
+/// [`umass_coherence`]. Duplicated tokens are collapsed.
+pub fn query_coherence(index: &CoOccurrenceIndex, tokens: &[TermId]) -> f64 {
+    let mut unique: Vec<TermId> = tokens.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    unique.sort_by_key(|&w| std::cmp::Reverse(index.doc_freq(w)));
+    umass_coherence(index, &unique)
+}
+
+/// Held-out perplexity of `docs` under `model`: each document's topic
+/// mixture is folded in with the given inference config, then
+/// `exp(−Σ ln p(w|θ_d) / Σ |d|)`. Empty inputs yield `f64::NAN`.
+pub fn held_out_perplexity(
+    model: &LdaModel,
+    docs: &[&[TermId]],
+    config: InferenceConfig,
+) -> f64 {
+    let inferencer = Inferencer::with_config(model, config);
+    let mut log_lik = 0.0f64;
+    let mut tokens = 0usize;
+    for doc in docs {
+        if doc.is_empty() {
+            continue;
+        }
+        let theta = inferencer.infer(doc);
+        for &w in *doc {
+            let p: f64 = theta
+                .iter()
+                .enumerate()
+                .map(|(t, &th)| th * model.phi(t, w))
+                .sum();
+            log_lik += p.max(f64::MIN_POSITIVE).ln();
+            tokens += 1;
+        }
+    }
+    if tokens == 0 {
+        f64::NAN
+    } else {
+        (-log_lik / tokens as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{LdaConfig, LdaTrainer};
+
+    /// Docs where words 0,1 always co-occur; word 2 lives alone.
+    fn docs() -> Vec<Vec<TermId>> {
+        let mut v = Vec::new();
+        for _ in 0..8 {
+            v.push(vec![0, 1, 0, 1]);
+        }
+        for _ in 0..8 {
+            v.push(vec![2, 2, 3]);
+        }
+        v
+    }
+
+    fn refs(d: &[Vec<TermId>]) -> Vec<&[TermId]> {
+        d.iter().map(|x| x.as_slice()).collect()
+    }
+
+    #[test]
+    fn cooccurrence_counts() {
+        let d = docs();
+        let idx = CoOccurrenceIndex::build(&refs(&d), &[0, 1, 2, 3, 9]);
+        assert_eq!(idx.num_docs(), 16);
+        assert_eq!(idx.doc_freq(0), 8);
+        assert_eq!(idx.doc_freq(2), 8);
+        assert_eq!(idx.doc_freq(9), 0, "absent word");
+        assert_eq!(idx.co_doc_freq(0, 1), 8);
+        assert_eq!(idx.co_doc_freq(0, 2), 0);
+        assert_eq!(idx.co_doc_freq(2, 3), 8);
+        assert_eq!(idx.co_doc_freq(0, 9), 0, "unindexed pair");
+    }
+
+    #[test]
+    fn cooccurrence_handles_many_docs() {
+        // Cross the 64-doc block boundary.
+        let d: Vec<Vec<TermId>> = (0..200).map(|i| vec![(i % 2) as TermId]).collect();
+        let idx = CoOccurrenceIndex::build(&refs(&d), &[0, 1]);
+        assert_eq!(idx.doc_freq(0), 100);
+        assert_eq!(idx.doc_freq(1), 100);
+        assert_eq!(idx.co_doc_freq(0, 1), 0);
+    }
+
+    #[test]
+    fn umass_prefers_cooccurring_words() {
+        let d = docs();
+        let idx = CoOccurrenceIndex::build(&refs(&d), &[0, 1, 2]);
+        let coherent = umass_coherence(&idx, &[0, 1]);
+        let incoherent = umass_coherence(&idx, &[0, 2]);
+        assert!(
+            coherent > incoherent,
+            "coherent {coherent} vs incoherent {incoherent}"
+        );
+        // Perfect co-occurrence: ln((8+1)/8) > 0 — near zero.
+        assert!(coherent > -0.2);
+        // Never co-occur: ln(1/8) < −2.
+        assert!(incoherent < -2.0);
+    }
+
+    #[test]
+    fn umass_degenerate_cases() {
+        let d = docs();
+        let idx = CoOccurrenceIndex::build(&refs(&d), &[0, 9]);
+        assert_eq!(umass_coherence(&idx, &[0]), 0.0, "single word");
+        assert_eq!(umass_coherence(&idx, &[]), 0.0, "empty");
+        // Conditioning on an absent word contributes nothing.
+        assert_eq!(umass_coherence(&idx, &[9, 9]), 0.0);
+    }
+
+    #[test]
+    fn query_coherence_orders_by_frequency() {
+        let d = docs();
+        let idx = CoOccurrenceIndex::build(&refs(&d), &[0, 1, 2, 3]);
+        let good = query_coherence(&idx, &[1, 0, 1, 0]);
+        let bad = query_coherence(&idx, &[0, 2]);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn topic_coherence_separates_trained_topics_from_random() {
+        // Train on two clean word blocks; the fitted topics' top words
+        // should cohere; a shuffled word list should not.
+        let train: Vec<Vec<TermId>> = (0..40)
+            .map(|i| {
+                let base: TermId = if i % 2 == 0 { 0 } else { 5 };
+                (0..20).map(|j| base + j % 5).collect()
+            })
+            .collect();
+        let r = refs(&train);
+        let model = LdaTrainer::train(
+            &r,
+            10,
+            LdaConfig {
+                iterations: 40,
+                seed: 11,
+                ..LdaConfig::with_topics(2)
+            },
+        );
+        let (mean, per_topic) = model_topic_coherences(&model, &r, 4);
+        assert_eq!(per_topic.len(), 2);
+        let all: Vec<TermId> = (0..10).collect();
+        let idx = CoOccurrenceIndex::build(&r, &all);
+        let mixed = umass_coherence(&idx, &[0, 5, 1, 6]);
+        assert!(
+            mean > mixed,
+            "trained topics ({mean}) should cohere more than cross-block words ({mixed})"
+        );
+    }
+
+    #[test]
+    fn perplexity_prefers_matching_model() {
+        let train: Vec<Vec<TermId>> = (0..40)
+            .map(|i| {
+                let base: TermId = if i % 2 == 0 { 0 } else { 5 };
+                (0..20).map(|j| base + j % 5).collect()
+            })
+            .collect();
+        let r = refs(&train);
+        let model = LdaTrainer::train(
+            &r,
+            10,
+            LdaConfig {
+                iterations: 40,
+                seed: 5,
+                ..LdaConfig::with_topics(2)
+            },
+        );
+        // Held-out docs from the same generative blocks.
+        let heldout: Vec<Vec<TermId>> = (0..10)
+            .map(|i| {
+                let base: TermId = if i % 2 == 0 { 0 } else { 5 };
+                (0..15).map(|j| base + (j + 1) % 5).collect()
+            })
+            .collect();
+        let hr = refs(&heldout);
+        let ppl = held_out_perplexity(&model, &hr, InferenceConfig::default());
+        // A block doc uses 5 of 10 words; a fitted model should beat the
+        // uniform bound of 10 and approach 5.
+        assert!(ppl < 9.0, "perplexity {ppl} should beat uniform");
+        assert!(ppl > 1.0);
+        // Mismatched held-out data (cross-block mixtures) scores worse.
+        let shuffled: Vec<Vec<TermId>> = (0..10)
+            .map(|i| (0..15).map(|j| ((i + j) % 10) as TermId).collect())
+            .collect();
+        let sr = refs(&shuffled);
+        let ppl_bad = held_out_perplexity(&model, &sr, InferenceConfig::default());
+        assert!(ppl_bad > ppl, "mismatch {ppl_bad} vs match {ppl}");
+    }
+
+    #[test]
+    fn perplexity_empty_is_nan() {
+        let model = LdaTrainer::train(
+            &[&[0u32, 1][..]],
+            2,
+            LdaConfig {
+                iterations: 2,
+                ..LdaConfig::with_topics(2)
+            },
+        );
+        assert!(held_out_perplexity(&model, &[], InferenceConfig::default()).is_nan());
+    }
+}

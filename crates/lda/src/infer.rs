@@ -1,0 +1,270 @@
+//! Fold-in inference: estimating `Pr(t|q)` for text not seen in training.
+//!
+//! This is the "inference mode" of GibbsLDA++ the paper relies on: the
+//! word-topic statistics (`phi`) are frozen, and Gibbs sweeps resample only
+//! the query's own topic assignments. The posterior is read off the local
+//! counts, averaged over the post-burn-in sweeps for stability.
+
+use crate::model::LdaModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use tsearch_text::TermId;
+
+/// Inference parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// Total Gibbs sweeps over the query tokens.
+    pub sweeps: usize,
+    /// Sweeps discarded before averaging.
+    pub burn_in: usize,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        Self {
+            sweeps: 30,
+            burn_in: 10,
+        }
+    }
+}
+
+/// Query-time inference engine bound to a trained model.
+#[derive(Debug, Clone)]
+pub struct Inferencer<'m> {
+    model: &'m LdaModel,
+    config: InferenceConfig,
+}
+
+impl<'m> Inferencer<'m> {
+    /// Creates an inferencer with default parameters.
+    pub fn new(model: &'m LdaModel) -> Self {
+        Self {
+            model,
+            config: InferenceConfig::default(),
+        }
+    }
+
+    /// Creates an inferencer with explicit parameters.
+    pub fn with_config(model: &'m LdaModel, config: InferenceConfig) -> Self {
+        assert!(config.sweeps > config.burn_in, "need post-burn-in sweeps");
+        Self { model, config }
+    }
+
+    /// The bound model.
+    pub fn model(&self) -> &LdaModel {
+        self.model
+    }
+
+    /// Infers `Pr(t|tokens)`. Deterministic: the RNG is seeded from the
+    /// token content, so the same query text always yields the same
+    /// posterior (matching how a client would cache per-query inferences).
+    pub fn infer(&self, tokens: &[TermId]) -> Vec<f64> {
+        let mut hasher = DefaultHasher::new();
+        tokens.hash(&mut hasher);
+        self.infer_with_seed(tokens, hasher.finish())
+    }
+
+    /// Infers `Pr(t|tokens)` with an explicit seed.
+    pub fn infer_with_seed(&self, tokens: &[TermId], seed: u64) -> Vec<f64> {
+        let k = self.model.num_topics();
+        let alpha = self.model.alpha();
+        let kalpha = k as f64 * alpha;
+        if tokens.is_empty() {
+            // An empty query carries no evidence: posterior equals the
+            // symmetric Dirichlet mean.
+            return vec![1.0 / k as f64; k];
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Local assignments and counts.
+        let mut assignments: Vec<usize> = Vec::with_capacity(tokens.len());
+        let mut ndk = vec![0u32; k];
+        for _ in tokens {
+            let z = rng.gen_range(0..k);
+            assignments.push(z);
+            ndk[z] += 1;
+        }
+        let mut weights = vec![0.0f64; k];
+        let mut accumulated = vec![0.0f64; k];
+        let mut kept = 0usize;
+        for sweep in 0..self.config.sweeps {
+            for (i, &w) in tokens.iter().enumerate() {
+                let old = assignments[i];
+                ndk[old] -= 1;
+                let phi_row = self.model.word_topics(w);
+                let mut total = 0.0;
+                for t in 0..k {
+                    let p = phi_row[t] * (ndk[t] as f64 + alpha);
+                    total += p;
+                    weights[t] = total;
+                }
+                let new = if total > 0.0 {
+                    let u = rng.gen::<f64>() * total;
+                    weights
+                        .iter()
+                        .position(|&cum| u < cum)
+                        .unwrap_or(k - 1)
+                } else {
+                    rng.gen_range(0..k)
+                };
+                assignments[i] = new;
+                ndk[new] += 1;
+            }
+            if sweep >= self.config.burn_in {
+                kept += 1;
+                let denom = tokens.len() as f64 + kalpha;
+                for t in 0..k {
+                    accumulated[t] += (ndk[t] as f64 + alpha) / denom;
+                }
+            }
+        }
+        let kept = kept.max(1) as f64;
+        accumulated.iter_mut().for_each(|p| *p /= kept);
+        accumulated
+    }
+
+    /// Posterior of a *cycle* of queries per Equation (2):
+    /// `Pr(t|{q1..qv}) = (1/v) Σ Pr(t|q)`, assuming all queries in the
+    /// cycle look equally likely to the adversary.
+    pub fn infer_cycle(&self, queries: &[&[TermId]]) -> Vec<f64> {
+        let k = self.model.num_topics();
+        if queries.is_empty() {
+            return vec![1.0 / k as f64; k];
+        }
+        let mut mean = vec![0.0f64; k];
+        for q in queries {
+            let post = self.infer(q);
+            for t in 0..k {
+                mean[t] += post[t];
+            }
+        }
+        mean.iter_mut().for_each(|p| *p /= queries.len() as f64);
+        mean
+    }
+
+    /// Combines precomputed per-query posteriors per Equation (2). The
+    /// client caches each query's posterior and calls this to evaluate a
+    /// growing cycle without re-inferring earlier members.
+    pub fn combine_posteriors(posteriors: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!posteriors.is_empty(), "cycle must be non-empty");
+        let k = posteriors[0].len();
+        let mut mean = vec![0.0f64; k];
+        for p in posteriors {
+            assert_eq!(p.len(), k, "posterior dimension mismatch");
+            for t in 0..k {
+                mean[t] += p[t];
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= posteriors.len() as f64);
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{LdaConfig, LdaTrainer};
+
+    /// Train a tiny model on two separated word blocks.
+    fn trained_model() -> LdaModel {
+        let mut docs = Vec::new();
+        for d in 0..40 {
+            let base: u32 = if d % 2 == 0 { 0 } else { 5 };
+            docs.push((0..30).map(|i| base + (i % 5) as u32).collect::<Vec<_>>());
+        }
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        LdaTrainer::train(
+            &refs,
+            10,
+            LdaConfig {
+                iterations: 60,
+                alpha: Some(0.5),
+                ..LdaConfig::with_topics(2)
+            },
+        )
+    }
+
+    #[test]
+    fn posterior_is_a_distribution() {
+        let model = trained_model();
+        let inf = Inferencer::new(&model);
+        let post = inf.infer(&[0, 1, 2]);
+        assert_eq!(post.len(), 2);
+        let sum: f64 = post.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sums to {sum}");
+        assert!(post.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn posterior_favors_the_right_topic() {
+        let model = trained_model();
+        let inf = Inferencer::new(&model);
+        // Which trained topic owns the low block?
+        let low_topic = if model.phi(0, 0) > model.phi(1, 0) { 0 } else { 1 };
+        let post_low = inf.infer(&[0, 1, 2, 3]);
+        let post_high = inf.infer(&[5, 6, 7, 8]);
+        assert!(
+            post_low[low_topic] > 0.7,
+            "low-block query should load topic {low_topic}: {post_low:?}"
+        );
+        assert!(
+            post_high[1 - low_topic] > 0.7,
+            "high-block query should load the other topic: {post_high:?}"
+        );
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let model = trained_model();
+        let inf = Inferencer::new(&model);
+        assert_eq!(inf.infer(&[0, 5, 1]), inf.infer(&[0, 5, 1]));
+    }
+
+    #[test]
+    fn empty_query_is_uniform() {
+        let model = trained_model();
+        let inf = Inferencer::new(&model);
+        let post = inf.infer(&[]);
+        assert_eq!(post, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn cycle_posterior_is_mean() {
+        let model = trained_model();
+        let inf = Inferencer::new(&model);
+        let q1: Vec<TermId> = vec![0, 1, 2];
+        let q2: Vec<TermId> = vec![5, 6, 7];
+        let p1 = inf.infer(&q1);
+        let p2 = inf.infer(&q2);
+        let cycle = inf.infer_cycle(&[&q1, &q2]);
+        for t in 0..2 {
+            assert!((cycle[t] - (p1[t] + p2[t]) / 2.0).abs() < 1e-12);
+        }
+        let combined = Inferencer::combine_posteriors(&[p1.clone(), p2.clone()]);
+        assert_eq!(cycle, combined);
+    }
+
+    #[test]
+    fn mixed_query_splits_mass() {
+        let model = trained_model();
+        let inf = Inferencer::new(&model);
+        let post = inf.infer(&[0, 1, 5, 6]);
+        // Both topics should get substantial mass.
+        assert!(post[0] > 0.2 && post[1] > 0.2, "{post:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "post-burn-in")]
+    fn bad_config_rejected() {
+        let model = trained_model();
+        let _ = Inferencer::with_config(
+            &model,
+            InferenceConfig {
+                sweeps: 5,
+                burn_in: 5,
+            },
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! The trained LDA model.
+//!
+//! Holds the two conditional-probability families the paper uses
+//! (Section IV-B): `Pr(w|t)` for all words and topics, and `Pr(t|d)` for
+//! all topics and documents, plus the corpus prior `Pr(t)` of Equation (1).
+
+use serde::{Deserialize, Serialize};
+use tsearch_text::TermId;
+
+/// A trained Latent Dirichlet Allocation model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LdaModel {
+    /// Number of topics K.
+    num_topics: usize,
+    /// Vocabulary size V.
+    vocab_size: usize,
+    /// Dirichlet hyperparameter on document-topic mixtures.
+    alpha: f64,
+    /// Dirichlet hyperparameter on topic-word distributions.
+    beta: f64,
+    /// `Pr(w|t)`, stored word-major: `phi_wk[w * K + k]`. Word-major layout
+    /// makes the query-inference inner loop (all topics of one word)
+    /// contiguous.
+    phi_wk: Vec<f64>,
+    /// `Pr(t|d)`, stored document-major: `theta_dk[d * K + k]`.
+    theta_dk: Vec<f64>,
+    /// Corpus prior `Pr(t)` per Equation (1).
+    prior: Vec<f64>,
+}
+
+impl LdaModel {
+    /// Assembles a model from raw estimates. `phi_wk` must be word-major
+    /// `V×K`, `theta_dk` document-major `D×K`.
+    pub fn from_parts(
+        num_topics: usize,
+        vocab_size: usize,
+        alpha: f64,
+        beta: f64,
+        phi_wk: Vec<f64>,
+        theta_dk: Vec<f64>,
+    ) -> Self {
+        assert_eq!(phi_wk.len(), num_topics * vocab_size, "phi shape");
+        assert_eq!(theta_dk.len() % num_topics, 0, "theta shape");
+        let num_docs = theta_dk.len() / num_topics;
+        // Equation (1): Pr(t) = (1/|D|) sum_d Pr(t|d).
+        let mut prior = vec![0.0f64; num_topics];
+        for d in 0..num_docs {
+            for k in 0..num_topics {
+                prior[k] += theta_dk[d * num_topics + k];
+            }
+        }
+        if num_docs > 0 {
+            prior.iter_mut().for_each(|p| *p /= num_docs as f64);
+        }
+        LdaModel {
+            num_topics,
+            vocab_size,
+            alpha,
+            beta,
+            phi_wk,
+            theta_dk,
+            prior,
+        }
+    }
+
+    /// Number of topics K.
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// Vocabulary size V.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Number of training documents D.
+    pub fn num_docs(&self) -> usize {
+        self.theta_dk.len().checked_div(self.num_topics).unwrap_or(0)
+    }
+
+    /// Hyperparameter alpha.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Hyperparameter beta.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// `Pr(w|t)`.
+    pub fn phi(&self, topic: usize, word: TermId) -> f64 {
+        self.phi_wk[word as usize * self.num_topics + topic]
+    }
+
+    /// The topic row of one word: `Pr(w|t)` for all `t` (contiguous slice).
+    pub fn word_topics(&self, word: TermId) -> &[f64] {
+        let start = word as usize * self.num_topics;
+        &self.phi_wk[start..start + self.num_topics]
+    }
+
+    /// `Pr(t|d)` for a training document.
+    pub fn theta(&self, doc: usize, topic: usize) -> f64 {
+        self.theta_dk[doc * self.num_topics + topic]
+    }
+
+    /// The full mixture of a training document.
+    pub fn doc_topics(&self, doc: usize) -> &[f64] {
+        let start = doc * self.num_topics;
+        &self.theta_dk[start..start + self.num_topics]
+    }
+
+    /// Corpus prior `Pr(t)` (Equation 1).
+    pub fn prior(&self) -> &[f64] {
+        &self.prior
+    }
+
+    /// The word distribution of one topic: `Pr(w|t)` for all `w`
+    /// (strided gather; used by ghost-query generation and reports).
+    pub fn topic_word_dist(&self, topic: usize) -> Vec<f64> {
+        (0..self.vocab_size)
+            .map(|w| self.phi_wk[w * self.num_topics + topic])
+            .collect()
+    }
+
+    /// The `n` highest-probability words of `topic` as `(word, Pr(w|t))`,
+    /// descending.
+    pub fn top_words(&self, topic: usize, n: usize) -> Vec<(TermId, f64)> {
+        let mut pairs: Vec<(TermId, f64)> = (0..self.vocab_size)
+            .map(|w| (w as TermId, self.phi_wk[w * self.num_topics + topic]))
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite phi"));
+        pairs.truncate(n);
+        pairs
+    }
+
+    /// Size accounting for Figure 6: the serialized footprint of the model
+    /// structures at 4 bytes per probability (single precision, matching
+    /// the ~140 MB the paper reports for LDA200 over the 182k-term WSJ
+    /// vocabulary).
+    pub fn size_breakdown(&self) -> LdaSizeBreakdown {
+        LdaSizeBreakdown {
+            phi_bytes: self.phi_wk.len() * 4,
+            theta_bytes: self.theta_dk.len() * 4,
+            prior_bytes: self.prior.len() * 8,
+        }
+    }
+
+    /// Checks internal consistency: every stored distribution sums to 1.
+    pub fn validate(&self) -> Result<(), String> {
+        for k in 0..self.num_topics {
+            let sum: f64 = (0..self.vocab_size)
+                .map(|w| self.phi_wk[w * self.num_topics + k])
+                .sum();
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(format!("phi for topic {k} sums to {sum}"));
+            }
+        }
+        for d in 0..self.num_docs() {
+            let sum: f64 = self.doc_topics(d).iter().sum();
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(format!("theta for doc {d} sums to {sum}"));
+            }
+        }
+        let prior_sum: f64 = self.prior.iter().sum();
+        if self.num_docs() > 0 && (prior_sum - 1.0).abs() > 1e-6 {
+            return Err(format!("prior sums to {prior_sum}"));
+        }
+        Ok(())
+    }
+}
+
+/// Byte-size breakdown of an LDA model (Figure 6 accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LdaSizeBreakdown {
+    /// `Pr(w|t)` matrix bytes — the dominant structure.
+    pub phi_bytes: usize,
+    /// `Pr(t|d)` matrix bytes.
+    pub theta_bytes: usize,
+    /// Prior vector bytes.
+    pub prior_bytes: usize,
+}
+
+impl LdaSizeBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.phi_bytes + self.theta_bytes + self.prior_bytes
+    }
+
+    /// The client-side footprint: the client needs `Pr(w|t)` and the prior
+    /// but not the per-document mixtures.
+    pub fn client_bytes(&self) -> usize {
+        self.phi_bytes + self.prior_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built 2-topic, 3-word, 2-doc model.
+    fn toy() -> LdaModel {
+        // phi word-major: word0: [0.7, 0.1], word1: [0.2, 0.3], word2: [0.1, 0.6]
+        let phi = vec![0.7, 0.1, 0.2, 0.3, 0.1, 0.6];
+        // theta doc-major: doc0: [0.9, 0.1], doc1: [0.3, 0.7]
+        let theta = vec![0.9, 0.1, 0.3, 0.7];
+        LdaModel::from_parts(2, 3, 25.0, 0.1, phi, theta)
+    }
+
+    #[test]
+    fn accessors() {
+        let m = toy();
+        assert_eq!(m.num_topics(), 2);
+        assert_eq!(m.vocab_size(), 3);
+        assert_eq!(m.num_docs(), 2);
+        assert_eq!(m.phi(0, 0), 0.7);
+        assert_eq!(m.phi(1, 2), 0.6);
+        assert_eq!(m.theta(1, 1), 0.7);
+        assert_eq!(m.word_topics(1), &[0.2, 0.3]);
+        assert_eq!(m.doc_topics(0), &[0.9, 0.1]);
+    }
+
+    #[test]
+    fn prior_is_mean_theta() {
+        let m = toy();
+        assert!((m.prior()[0] - 0.6).abs() < 1e-12);
+        assert!((m.prior()[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_words_sorted() {
+        let m = toy();
+        let top = m.top_words(0, 2);
+        assert_eq!(top[0].0, 0);
+        assert_eq!(top[1].0, 1);
+        let dist = m.topic_word_dist(1);
+        assert_eq!(dist, vec![0.1, 0.3, 0.6]);
+    }
+
+    #[test]
+    fn validation_accepts_toy() {
+        toy().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_broken_phi() {
+        let phi = vec![0.9, 0.1, 0.2, 0.3, 0.1, 0.6]; // topic 0 sums to 1.2
+        let theta = vec![1.0, 0.0];
+        let m = LdaModel::from_parts(2, 3, 1.0, 0.1, phi, theta);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn size_breakdown() {
+        let m = toy();
+        let s = m.size_breakdown();
+        assert_eq!(s.phi_bytes, 6 * 4);
+        assert_eq!(s.theta_bytes, 4 * 4);
+        assert_eq!(s.prior_bytes, 2 * 8);
+        assert_eq!(s.total(), 24 + 16 + 16);
+        assert_eq!(s.client_bytes(), 24 + 16);
+    }
+}

@@ -1,0 +1,338 @@
+//! Probabilistic Latent Semantic Analysis (pLSA) via EM.
+//!
+//! Appendix A of the paper discusses pLSA as an alternative topic model
+//! and rejects it because "the generative semantics of pLSA is not well
+//! defined … it is not clear how to assign probability to a query
+//! encountered at runtime that was not part of the training corpus". This
+//! module implements pLSA so that limitation can be demonstrated rather
+//! than asserted: training recovers `Pr(w|t)` / `Pr(t|d)` tables of the
+//! same shape as LDA's, but there is no principled fold-in posterior —
+//! only the heuristic re-fitting also provided here for comparison.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tsearch_text::TermId;
+
+/// pLSA training parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PlsaConfig {
+    /// Number of topics K.
+    pub num_topics: usize,
+    /// EM iterations.
+    pub iterations: usize,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl PlsaConfig {
+    /// Default configuration for K topics.
+    pub fn with_topics(num_topics: usize) -> Self {
+        Self {
+            num_topics,
+            iterations: 50,
+            seed: 0x915A,
+        }
+    }
+}
+
+/// A trained pLSA model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlsaModel {
+    num_topics: usize,
+    vocab_size: usize,
+    /// `Pr(w|t)`, word-major (`phi[w * K + t]`).
+    phi_wk: Vec<f64>,
+    /// `Pr(t|d)`, doc-major.
+    theta_dk: Vec<f64>,
+    /// Final training log-likelihood.
+    log_likelihood: f64,
+}
+
+/// Per-document distinct-term counts, the sufficient statistics of pLSA.
+fn term_counts(doc: &[TermId]) -> Vec<(u32, f64)> {
+    let mut sorted: Vec<u32> = doc.to_vec();
+    sorted.sort_unstable();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let w = sorted[i];
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == w {
+            j += 1;
+        }
+        out.push((w, (j - i) as f64));
+        i = j;
+    }
+    out
+}
+
+impl PlsaModel {
+    /// Trains pLSA with EM on token documents.
+    pub fn train(docs: &[&[TermId]], vocab_size: usize, config: PlsaConfig) -> Self {
+        let k = config.num_topics;
+        assert!(k > 0 && vocab_size > 0);
+        let counts: Vec<Vec<(u32, f64)>> = docs.iter().map(|d| term_counts(d)).collect();
+        let num_docs = docs.len();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Random-normalized initialization.
+        let mut phi = vec![0.0f64; vocab_size * k];
+        for t in 0..k {
+            let mut sum = 0.0;
+            for w in 0..vocab_size {
+                let v = 0.5 + rng.gen::<f64>();
+                phi[w * k + t] = v;
+                sum += v;
+            }
+            for w in 0..vocab_size {
+                phi[w * k + t] /= sum;
+            }
+        }
+        let mut theta = vec![0.0f64; num_docs * k];
+        for d in 0..num_docs {
+            let mut sum = 0.0;
+            for t in 0..k {
+                let v = 0.5 + rng.gen::<f64>();
+                theta[d * k + t] = v;
+                sum += v;
+            }
+            for t in 0..k {
+                theta[d * k + t] /= sum;
+            }
+        }
+
+        let mut log_likelihood = f64::NEG_INFINITY;
+        let mut phi_acc = vec![0.0f64; vocab_size * k];
+        let mut post = vec![0.0f64; k];
+        for _ in 0..config.iterations {
+            phi_acc.iter_mut().for_each(|x| *x = 0.0);
+            let mut ll = 0.0;
+            for (d, doc_counts) in counts.iter().enumerate() {
+                let theta_row = &theta[d * k..(d + 1) * k];
+                let mut theta_acc = vec![0.0f64; k];
+                for &(w, n) in doc_counts {
+                    // E-step: Pr(t | d, w) ∝ Pr(w|t) Pr(t|d).
+                    let phi_row = &phi[w as usize * k..(w as usize + 1) * k];
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        post[t] = phi_row[t] * theta_row[t];
+                        total += post[t];
+                    }
+                    if total <= 0.0 {
+                        continue;
+                    }
+                    ll += n * total.ln();
+                    // M-step accumulation.
+                    for t in 0..k {
+                        let r = n * post[t] / total;
+                        phi_acc[w as usize * k + t] += r;
+                        theta_acc[t] += r;
+                    }
+                }
+                // M-step for theta of this doc.
+                let doc_total: f64 = theta_acc.iter().sum();
+                if doc_total > 0.0 {
+                    for t in 0..k {
+                        theta[d * k + t] = theta_acc[t] / doc_total;
+                    }
+                }
+            }
+            // M-step for phi.
+            for t in 0..k {
+                let mut sum = 0.0;
+                for w in 0..vocab_size {
+                    sum += phi_acc[w * k + t];
+                }
+                if sum > 0.0 {
+                    for w in 0..vocab_size {
+                        phi[w * k + t] = phi_acc[w * k + t] / sum;
+                    }
+                }
+            }
+            log_likelihood = ll;
+        }
+        PlsaModel {
+            num_topics: k,
+            vocab_size,
+            phi_wk: phi,
+            theta_dk: theta,
+            log_likelihood,
+        }
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Final training log-likelihood.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// `Pr(w|t)`.
+    pub fn phi(&self, topic: usize, word: TermId) -> f64 {
+        self.phi_wk[word as usize * self.num_topics + topic]
+    }
+
+    /// `Pr(t|d)` for a training document.
+    pub fn theta(&self, doc: usize, topic: usize) -> f64 {
+        self.theta_dk[doc * self.num_topics + topic]
+    }
+
+    /// Top-n words of a topic.
+    pub fn top_words(&self, topic: usize, n: usize) -> Vec<(TermId, f64)> {
+        let mut pairs: Vec<(TermId, f64)> = (0..self.vocab_size)
+            .map(|w| (w as TermId, self.phi_wk[w * self.num_topics + topic]))
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        pairs.truncate(n);
+        pairs
+    }
+
+    /// The *heuristic* fold-in the paper warns about: re-run EM on the
+    /// query alone with `Pr(w|t)` frozen. Unlike LDA's collapsed-Gibbs
+    /// fold-in, this has no generative justification — the query was not
+    /// part of the training corpus and pLSA assigns it no probability.
+    /// Provided so the Appendix A comparison can run both models through
+    /// the same evaluation.
+    pub fn heuristic_fold_in(&self, tokens: &[TermId], iterations: usize) -> Vec<f64> {
+        let k = self.num_topics;
+        if tokens.is_empty() {
+            return vec![1.0 / k as f64; k];
+        }
+        let counts = term_counts(tokens);
+        let mut theta = vec![1.0 / k as f64; k];
+        let mut post = vec![0.0f64; k];
+        for _ in 0..iterations.max(1) {
+            let mut acc = vec![0.0f64; k];
+            for &(w, n) in &counts {
+                let phi_row = &self.phi_wk[w as usize * k..(w as usize + 1) * k];
+                let mut total = 0.0;
+                for t in 0..k {
+                    post[t] = phi_row[t] * theta[t];
+                    total += post[t];
+                }
+                if total <= 0.0 {
+                    continue;
+                }
+                for t in 0..k {
+                    acc[t] += n * post[t] / total;
+                }
+            }
+            let sum: f64 = acc.iter().sum();
+            if sum > 0.0 {
+                for t in 0..k {
+                    theta[t] = acc[t] / sum;
+                }
+            }
+        }
+        theta
+    }
+
+    /// Validates that phi columns and theta rows are distributions.
+    pub fn validate(&self) -> Result<(), String> {
+        for t in 0..self.num_topics {
+            let sum: f64 = (0..self.vocab_size)
+                .map(|w| self.phi_wk[w * self.num_topics + t])
+                .sum();
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(format!("pLSA phi for topic {t} sums to {sum}"));
+            }
+        }
+        let num_docs = self.theta_dk.len() / self.num_topics;
+        for d in 0..num_docs {
+            let sum: f64 = self.theta_dk[d * self.num_topics..(d + 1) * self.num_topics]
+                .iter()
+                .sum();
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(format!("pLSA theta for doc {d} sums to {sum}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_docs() -> Vec<Vec<TermId>> {
+        let mut docs = Vec::new();
+        for d in 0..40 {
+            let base: u32 = if d % 2 == 0 { 0 } else { 5 };
+            docs.push((0..30).map(|i| base + (i % 5) as u32).collect::<Vec<_>>());
+        }
+        docs
+    }
+
+    fn train(k: usize) -> PlsaModel {
+        let docs = block_docs();
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        PlsaModel::train(&refs, 10, PlsaConfig::with_topics(k))
+    }
+
+    #[test]
+    fn model_is_valid() {
+        let model = train(2);
+        model.validate().unwrap();
+        assert_eq!(model.num_topics(), 2);
+        assert!(model.log_likelihood().is_finite());
+    }
+
+    #[test]
+    fn recovers_separated_topics() {
+        let model = train(2);
+        let t0_low = model.top_words(0, 5).iter().all(|&(w, _)| w < 5);
+        let t1_low = model.top_words(1, 5).iter().all(|&(w, _)| w < 5);
+        assert_ne!(t0_low, t1_low, "pLSA should split the two blocks");
+    }
+
+    #[test]
+    fn likelihood_improves_with_iterations() {
+        let docs = block_docs();
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let short = PlsaModel::train(
+            &refs,
+            10,
+            PlsaConfig {
+                iterations: 2,
+                ..PlsaConfig::with_topics(2)
+            },
+        );
+        let long = PlsaModel::train(
+            &refs,
+            10,
+            PlsaConfig {
+                iterations: 40,
+                ..PlsaConfig::with_topics(2)
+            },
+        );
+        assert!(long.log_likelihood() >= short.log_likelihood());
+    }
+
+    #[test]
+    fn fold_in_is_a_distribution_and_peaks_correctly() {
+        let model = train(2);
+        let post = model.heuristic_fold_in(&[0, 1, 2], 20);
+        let sum: f64 = post.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let low_topic = if model.phi(0, 0) > model.phi(1, 0) { 0 } else { 1 };
+        assert!(post[low_topic] > 0.5, "{post:?}");
+        // Empty query: uniform.
+        assert_eq!(model.heuristic_fold_in(&[], 5), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = train(2);
+        let b = train(2);
+        assert_eq!(a.phi(0, 0), b.phi(0, 0));
+    }
+}

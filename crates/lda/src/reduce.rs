@@ -1,0 +1,687 @@
+//! Reduced-data LDA training — the future-work direction of Section V-A.
+//!
+//! The paper notes that the only scaling obstacle of TopPriv is "the
+//! computation time and memory needed to train the LDA model on the entire
+//! corpus", and suggests training on "a representative dataset, comprising
+//! documents sampled from the corpus and/or only the more 'impactful' words
+//! (e.g., as determined by TF-IDF values) in the vocabulary", leaving "a
+//! systematic study of them for future work". This module implements both
+//! reductions:
+//!
+//! - [`sample_docs`]: seeded uniform document sampling without replacement;
+//! - [`VocabMap`]: TF-IDF impact-ranked vocabulary pruning with a
+//!   bidirectional term-id mapping;
+//! - [`ReducedModel`]: an LDA model trained on the reduced data that can
+//!   still answer `Pr(t|q)` for full-vocabulary queries (out-of-vocabulary
+//!   terms are projected away, exactly as GibbsLDA++ drops unseen words in
+//!   inference mode), and can be [expanded](ReducedModel::expand) back to
+//!   the full term space for drop-in use by the belief engine and ghost
+//!   generator.
+//!
+//! The systematic study itself is experiment `reduced` in the bench harness,
+//! which measures how far the training data can be reduced before the ghost
+//! queries stop suppressing the user intention *as judged by an adversary
+//! holding the full model*.
+
+use crate::model::LdaModel;
+use crate::train::{LdaConfig, LdaTrainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tsearch_text::TermId;
+
+/// Per-term corpus statistics used to rank terms by impact.
+#[derive(Debug, Clone)]
+pub struct TermStats {
+    /// Document frequency: number of documents containing the term.
+    df: Vec<u32>,
+    /// Collection frequency: total occurrences of the term.
+    cf: Vec<u64>,
+    /// Number of documents scanned.
+    num_docs: usize,
+}
+
+impl TermStats {
+    /// Scans the tokenized corpus once and tallies document and collection
+    /// frequencies for every term id below `vocab_size`.
+    pub fn compute(docs: &[&[TermId]], vocab_size: usize) -> Self {
+        let mut df = vec![0u32; vocab_size];
+        let mut cf = vec![0u64; vocab_size];
+        let mut last_doc = vec![u32::MAX; vocab_size];
+        for (d, doc) in docs.iter().enumerate() {
+            for &w in *doc {
+                let w = w as usize;
+                cf[w] += 1;
+                if last_doc[w] != d as u32 {
+                    last_doc[w] = d as u32;
+                    df[w] += 1;
+                }
+            }
+        }
+        TermStats {
+            df,
+            cf,
+            num_docs: docs.len(),
+        }
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, w: TermId) -> u32 {
+        self.df[w as usize]
+    }
+
+    /// Collection frequency of a term.
+    pub fn cf(&self, w: TermId) -> u64 {
+        self.cf[w as usize]
+    }
+
+    /// Number of documents scanned.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// The TF-IDF impact score the paper alludes to: collection frequency
+    /// damped by inverse document frequency, `cf(w) · ln(1 + N/df(w))`.
+    /// Terms that appear nowhere score zero; terms that appear in every
+    /// document are damped towards zero influence.
+    pub fn impact(&self, w: TermId) -> f64 {
+        let df = self.df[w as usize];
+        if df == 0 {
+            return 0.0;
+        }
+        let idf = (1.0 + self.num_docs as f64 / df as f64).ln();
+        self.cf[w as usize] as f64 * idf
+    }
+}
+
+/// A bidirectional mapping between the full vocabulary and a pruned one.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct VocabMap {
+    /// Reduced id → full id, ascending in full id.
+    kept: Vec<TermId>,
+    /// Full id → reduced id (`u32::MAX` = pruned).
+    forward: Vec<u32>,
+}
+
+impl VocabMap {
+    /// Keeps the `keep` terms with the highest [`TermStats::impact`].
+    /// Deterministic: ties break towards the lower term id.
+    pub fn top_impact(stats: &TermStats, keep: usize) -> Self {
+        let vocab_size = stats.df.len();
+        let keep = keep.min(vocab_size);
+        let mut order: Vec<u32> = (0..vocab_size as u32).collect();
+        order.sort_by(|&a, &b| {
+            stats
+                .impact(b)
+                .partial_cmp(&stats.impact(a))
+                .expect("finite impact")
+                .then(a.cmp(&b))
+        });
+        order.truncate(keep);
+        order.sort_unstable();
+        Self::from_kept(order, vocab_size)
+    }
+
+    /// Builds a map that keeps exactly the given full term ids
+    /// (must be sorted and unique).
+    pub fn from_kept(kept: Vec<TermId>, vocab_size: usize) -> Self {
+        debug_assert!(kept.windows(2).all(|w| w[0] < w[1]), "kept ids sorted");
+        let mut forward = vec![u32::MAX; vocab_size];
+        for (new, &old) in kept.iter().enumerate() {
+            forward[old as usize] = new as u32;
+        }
+        VocabMap { kept, forward }
+    }
+
+    /// The identity map over a full vocabulary (no pruning).
+    pub fn identity(vocab_size: usize) -> Self {
+        Self::from_kept((0..vocab_size as u32).collect(), vocab_size)
+    }
+
+    /// Size of the full vocabulary.
+    pub fn full_size(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Size of the pruned vocabulary.
+    pub fn reduced_size(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Maps a full term id into the reduced space, or `None` if pruned.
+    pub fn to_reduced(&self, w: TermId) -> Option<TermId> {
+        match self.forward.get(w as usize) {
+            Some(&r) if r != u32::MAX => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Maps a reduced term id back to its full id.
+    pub fn to_full(&self, w: TermId) -> TermId {
+        self.kept[w as usize]
+    }
+
+    /// Projects a full-vocabulary token sequence into the reduced space,
+    /// dropping pruned terms.
+    pub fn project(&self, tokens: &[TermId]) -> Vec<TermId> {
+        tokens.iter().filter_map(|&w| self.to_reduced(w)).collect()
+    }
+}
+
+/// Seeded uniform sampling without replacement: returns the sorted indices
+/// of `ceil(rate · n)` documents. `rate ≥ 1` returns every index.
+pub fn sample_docs(num_docs: usize, rate: f64, seed: u64) -> Vec<usize> {
+    assert!(rate > 0.0, "sample rate must be positive");
+    if rate >= 1.0 {
+        return (0..num_docs).collect();
+    }
+    let take = ((num_docs as f64 * rate).ceil() as usize).clamp(1, num_docs);
+    // Partial Fisher–Yates: after `take` swaps the prefix is a uniform
+    // sample without replacement.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..num_docs).collect();
+    for i in 0..take {
+        let j = rng.gen_range(i..num_docs);
+        idx.swap(i, j);
+    }
+    idx.truncate(take);
+    idx.sort_unstable();
+    idx
+}
+
+/// How much of the corpus to train on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReductionConfig {
+    /// Fraction of documents to sample (0, 1].
+    pub doc_rate: f64,
+    /// Fraction of the vocabulary to keep, by TF-IDF impact (0, 1].
+    pub vocab_rate: f64,
+    /// Seed for the document sample.
+    pub seed: u64,
+}
+
+impl Default for ReductionConfig {
+    fn default() -> Self {
+        ReductionConfig {
+            doc_rate: 1.0,
+            vocab_rate: 1.0,
+            seed: 0x5eed_0b5e,
+        }
+    }
+}
+
+/// An LDA model trained on reduced data, carrying the vocabulary mapping
+/// needed to serve full-vocabulary queries.
+#[derive(Debug, Clone)]
+pub struct ReducedModel {
+    model: LdaModel,
+    vocab_map: VocabMap,
+    /// Documents actually trained on.
+    sampled_docs: usize,
+    /// Tokens dropped by the vocabulary pruning, over the sampled docs.
+    dropped_tokens: u64,
+    /// Tokens kept, over the sampled docs.
+    kept_tokens: u64,
+}
+
+impl ReducedModel {
+    /// Trains on `docs` after applying the reduction: sample documents,
+    /// prune the vocabulary by TF-IDF impact (statistics are computed on
+    /// the *sampled* documents — the client never needs the full corpus),
+    /// remap term ids, and run the standard collapsed Gibbs trainer.
+    pub fn train(
+        docs: &[&[TermId]],
+        vocab_size: usize,
+        lda: LdaConfig,
+        reduction: ReductionConfig,
+    ) -> Self {
+        assert!(
+            reduction.vocab_rate > 0.0 && reduction.vocab_rate <= 1.0,
+            "vocab_rate in (0, 1]"
+        );
+        let sample = sample_docs(docs.len(), reduction.doc_rate, reduction.seed);
+        let sampled: Vec<&[TermId]> = sample.iter().map(|&i| docs[i]).collect();
+        let stats = TermStats::compute(&sampled, vocab_size);
+        let keep = ((vocab_size as f64 * reduction.vocab_rate).ceil() as usize).max(1);
+        let vocab_map = if keep >= vocab_size {
+            VocabMap::identity(vocab_size)
+        } else {
+            VocabMap::top_impact(&stats, keep)
+        };
+        let mut dropped = 0u64;
+        let mut kept = 0u64;
+        let projected: Vec<Vec<TermId>> = sampled
+            .iter()
+            .map(|doc| {
+                let p = vocab_map.project(doc);
+                dropped += (doc.len() - p.len()) as u64;
+                kept += p.len() as u64;
+                p
+            })
+            .collect();
+        let refs: Vec<&[TermId]> = projected.iter().map(|d| d.as_slice()).collect();
+        let model = LdaTrainer::train(&refs, vocab_map.reduced_size(), lda);
+        ReducedModel {
+            model,
+            vocab_map,
+            sampled_docs: sample.len(),
+            dropped_tokens: dropped,
+            kept_tokens: kept,
+        }
+    }
+
+    /// Reassembles a reduced model from persisted parts (see
+    /// `examples/thin_client.rs` for the store round-trip).
+    /// `kept_tokens` is the training token count after pruning, used by
+    /// [`expand`](Self::expand) to estimate the smoothing floor; persist
+    /// [`kept_tokens`](Self::kept_tokens) alongside the model.
+    pub fn from_parts(model: LdaModel, vocab_map: VocabMap, kept_tokens: u64) -> Self {
+        assert_eq!(
+            model.vocab_size(),
+            vocab_map.reduced_size(),
+            "model vocabulary must match the map's reduced size"
+        );
+        ReducedModel {
+            sampled_docs: model.num_docs(),
+            model,
+            vocab_map,
+            dropped_tokens: 0,
+            kept_tokens,
+        }
+    }
+
+    /// Training token count after pruning (persist with the model so
+    /// [`from_parts`](Self::from_parts) can restore expansion behaviour).
+    pub fn kept_tokens(&self) -> u64 {
+        self.kept_tokens
+    }
+
+    /// The underlying (reduced-vocabulary) model.
+    pub fn model(&self) -> &LdaModel {
+        &self.model
+    }
+
+    /// The vocabulary mapping.
+    pub fn vocab_map(&self) -> &VocabMap {
+        &self.vocab_map
+    }
+
+    /// Number of documents the model was trained on.
+    pub fn sampled_docs(&self) -> usize {
+        self.sampled_docs
+    }
+
+    /// Fraction of training tokens lost to vocabulary pruning.
+    pub fn token_drop_rate(&self) -> f64 {
+        let total = self.dropped_tokens + self.kept_tokens;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped_tokens as f64 / total as f64
+        }
+    }
+
+    /// Projects a full-vocabulary query into the reduced term space
+    /// (out-of-vocabulary terms are dropped, as in GibbsLDA++ inference).
+    pub fn project_query(&self, tokens: &[TermId]) -> Vec<TermId> {
+        self.vocab_map.project(tokens)
+    }
+
+    /// Client-side bytes of the reduced model: the pruned `Pr(w|t)` matrix
+    /// and prior, plus 4 bytes per kept term for the id mapping.
+    pub fn client_bytes(&self) -> usize {
+        self.model.size_breakdown().client_bytes() + self.vocab_map.reduced_size() * 4
+    }
+
+    /// Expands the model back to the full term space so it can be used
+    /// directly by components that speak full term ids (belief engine,
+    /// ghost generator). Pruned words receive the probability the collapsed
+    /// Gibbs estimator assigns to an unseen word — the β-smoothing floor —
+    /// and each topic's distribution is renormalized.
+    ///
+    /// The expansion is a *view for computation*; the client stores and
+    /// ships only [`client_bytes`](Self::client_bytes).
+    pub fn expand(&self) -> LdaModel {
+        let full = self.vocab_map.full_size();
+        let reduced = self.vocab_map.reduced_size();
+        let k = self.model.num_topics();
+        if reduced == full {
+            return self.model.clone();
+        }
+        // The Gibbs estimate for an unseen word is β / (n_t + V·β); we do
+        // not retain per-topic token counts n_t in the model, so estimate
+        // n_t by an even share of the kept training tokens.
+        let n_t = self.kept_tokens as f64 / k as f64;
+        let beta = self.model.beta();
+        let floor = beta / (n_t + full as f64 * beta);
+        let dropped = (full - reduced) as f64;
+        let kept_mass_scale = 1.0 - dropped * floor;
+        assert!(
+            kept_mass_scale > 0.0,
+            "smoothing floor exceeds unit mass; corpus too small for expansion"
+        );
+        let mut phi = vec![0.0f64; full * k];
+        for w_full in 0..full as u32 {
+            let row = &mut phi[w_full as usize * k..(w_full as usize + 1) * k];
+            match self.vocab_map.to_reduced(w_full) {
+                Some(w_red) => {
+                    for (t, slot) in row.iter_mut().enumerate() {
+                        *slot = self.model.phi(t, w_red) * kept_mass_scale;
+                    }
+                }
+                None => row.fill(floor),
+            }
+        }
+        let theta: Vec<f64> = (0..self.model.num_docs())
+            .flat_map(|d| self.model.doc_topics(d).to_vec())
+            .collect();
+        let expanded = LdaModel::from_parts(
+            k,
+            full,
+            self.model.alpha(),
+            self.model.beta(),
+            phi,
+            theta,
+        );
+        debug_assert!(expanded.validate().is_ok());
+        expanded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 30 docs over 12 words: words 0–3 topic A, 4–7 topic B,
+    /// 8–11 are rare noise (low impact).
+    fn toy_docs() -> Vec<Vec<TermId>> {
+        (0..30)
+            .map(|d| {
+                let base = if d % 2 == 0 { 0 } else { 4 };
+                let mut doc: Vec<TermId> = (0..24).map(|i| base + i % 4).collect();
+                if d == 0 {
+                    doc.push(8 + (d % 4) as TermId);
+                }
+                doc
+            })
+            .collect()
+    }
+
+    fn refs(docs: &[Vec<TermId>]) -> Vec<&[TermId]> {
+        docs.iter().map(|d| d.as_slice()).collect()
+    }
+
+    #[test]
+    fn term_stats_counts() {
+        let docs = toy_docs();
+        let stats = TermStats::compute(&refs(&docs), 12);
+        assert_eq!(stats.num_docs(), 30);
+        assert_eq!(stats.df(0), 15); // every even doc
+        assert_eq!(stats.cf(0), 15 * 6); // 6 occurrences per doc
+        assert_eq!(stats.df(8), 1);
+        assert_eq!(stats.cf(8), 1);
+        assert_eq!(stats.df(11), 0);
+        assert_eq!(stats.impact(11), 0.0);
+        assert!(stats.impact(0) > stats.impact(8));
+    }
+
+    #[test]
+    fn impact_damps_ubiquitous_terms() {
+        // One term in every doc many times vs a term in half the docs.
+        let docs: Vec<Vec<TermId>> = (0..10)
+            .map(|d| {
+                let mut v = vec![0u32; 10];
+                if d % 2 == 0 {
+                    v.extend_from_slice(&[1, 1, 1, 1, 1, 1, 1, 1]);
+                }
+                v
+            })
+            .collect();
+        let stats = TermStats::compute(&refs(&docs), 2);
+        // Term 0: cf=100, df=10 → idf=ln(2). Term 1: cf=40, df=5 → idf=ln(3).
+        assert!((stats.impact(0) - 100.0 * 2.0f64.ln()).abs() < 1e-9);
+        assert!((stats.impact(1) - 40.0 * 3.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vocab_map_keeps_top_terms() {
+        let docs = toy_docs();
+        let stats = TermStats::compute(&refs(&docs), 12);
+        let map = VocabMap::top_impact(&stats, 8);
+        assert_eq!(map.reduced_size(), 8);
+        assert_eq!(map.full_size(), 12);
+        // The 8 topical words dominate the rare noise words.
+        for w in 0..8u32 {
+            assert!(map.to_reduced(w).is_some(), "word {w} should be kept");
+        }
+        for w in 8..12u32 {
+            assert!(map.to_reduced(w).is_none(), "word {w} should be pruned");
+        }
+    }
+
+    #[test]
+    fn vocab_map_roundtrip() {
+        let map = VocabMap::from_kept(vec![1, 3, 4, 7], 9);
+        for new in 0..4u32 {
+            assert_eq!(map.to_reduced(map.to_full(new)), Some(new));
+        }
+        assert_eq!(map.to_reduced(0), None);
+        assert_eq!(map.to_reduced(8), None);
+        assert_eq!(map.project(&[0, 1, 2, 3, 4, 7, 8]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn identity_map_is_lossless() {
+        let map = VocabMap::identity(5);
+        assert_eq!(map.reduced_size(), 5);
+        assert_eq!(map.project(&[4, 2, 0]), vec![4, 2, 0]);
+    }
+
+    #[test]
+    fn sample_docs_full_rate() {
+        assert_eq!(sample_docs(5, 1.0, 1), vec![0, 1, 2, 3, 4]);
+        assert_eq!(sample_docs(5, 2.0, 1), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_docs_deterministic_and_uniform_size() {
+        let a = sample_docs(100, 0.3, 42);
+        let b = sample_docs(100, 0.3, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+        let c = sample_docs(100, 0.3, 43);
+        assert_ne!(a, c, "different seeds give different samples");
+    }
+
+    #[test]
+    fn sample_docs_at_least_one() {
+        assert_eq!(sample_docs(50, 0.001, 7).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sample_docs_rejects_zero_rate() {
+        sample_docs(10, 0.0, 1);
+    }
+
+    #[test]
+    fn reduced_training_recovers_topics() {
+        let docs = toy_docs();
+        let reduced = ReducedModel::train(
+            &refs(&docs),
+            12,
+            LdaConfig {
+                iterations: 40,
+                seed: 9,
+                ..LdaConfig::with_topics(2)
+            },
+            ReductionConfig {
+                doc_rate: 0.8,
+                vocab_rate: 0.7, // keeps ceil(8.4)=9 words — all topical ones
+                ..Default::default()
+            },
+        );
+        assert_eq!(reduced.sampled_docs(), 24);
+        assert!(reduced.token_drop_rate() < 0.01);
+        // Block structure: the dominant topic of word 0 and word 4 differ.
+        let m = reduced.model();
+        let w0 = reduced.vocab_map().to_reduced(0).unwrap();
+        let w4 = reduced.vocab_map().to_reduced(4).unwrap();
+        let t0 = (0..2).max_by(|&a, &b| m.phi(a, w0).partial_cmp(&m.phi(b, w0)).unwrap());
+        let t4 = (0..2).max_by(|&a, &b| m.phi(a, w4).partial_cmp(&m.phi(b, w4)).unwrap());
+        assert_ne!(t0, t4, "the two word blocks map to different topics");
+    }
+
+    #[test]
+    fn project_query_drops_oov() {
+        let docs = toy_docs();
+        let reduced = ReducedModel::train(
+            &refs(&docs),
+            12,
+            LdaConfig {
+                iterations: 10,
+                ..LdaConfig::with_topics(2)
+            },
+            ReductionConfig {
+                vocab_rate: 0.5, // keep 6 of 12
+                ..Default::default()
+            },
+        );
+        let q: Vec<TermId> = (0..12).collect();
+        let projected = reduced.project_query(&q);
+        assert_eq!(projected.len(), 6);
+    }
+
+    #[test]
+    fn expansion_is_valid_and_orders_match() {
+        let docs = toy_docs();
+        let reduced = ReducedModel::train(
+            &refs(&docs),
+            12,
+            LdaConfig {
+                iterations: 30,
+                seed: 3,
+                ..LdaConfig::with_topics(2)
+            },
+            ReductionConfig {
+                vocab_rate: 0.7,
+                ..Default::default()
+            },
+        );
+        let full = reduced.expand();
+        assert_eq!(full.vocab_size(), 12);
+        assert_eq!(full.num_topics(), 2);
+        full.validate().unwrap();
+        // Kept words preserve their within-topic ordering.
+        let m = reduced.model();
+        for t in 0..2 {
+            let a = reduced.vocab_map().to_reduced(0).unwrap();
+            let b = reduced.vocab_map().to_reduced(4).unwrap();
+            let reduced_order = m.phi(t, a) < m.phi(t, b);
+            let full_order = full.phi(t, 0) < full.phi(t, 4);
+            assert_eq!(reduced_order, full_order);
+        }
+        // Pruned words sit at the floor: strictly below any kept topical word's max.
+        let pruned_phi = full.phi(0, 11);
+        assert!(pruned_phi > 0.0);
+        assert!(pruned_phi < full.top_words(0, 1)[0].1);
+    }
+
+    #[test]
+    fn expansion_identity_when_unpruned() {
+        let docs = toy_docs();
+        let reduced = ReducedModel::train(
+            &refs(&docs),
+            12,
+            LdaConfig {
+                iterations: 10,
+                ..LdaConfig::with_topics(2)
+            },
+            ReductionConfig::default(),
+        );
+        let full = reduced.expand();
+        for w in 0..12u32 {
+            for t in 0..2 {
+                assert_eq!(full.phi(t, w), reduced.model().phi(t, w));
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_restores_expansion() {
+        let docs = toy_docs();
+        let original = ReducedModel::train(
+            &refs(&docs),
+            12,
+            LdaConfig {
+                iterations: 20,
+                seed: 4,
+                ..LdaConfig::with_topics(2)
+            },
+            ReductionConfig {
+                vocab_rate: 0.7,
+                ..Default::default()
+            },
+        );
+        let restored = ReducedModel::from_parts(
+            original.model().clone(),
+            original.vocab_map().clone(),
+            original.kept_tokens(),
+        );
+        let a = original.expand();
+        let b = restored.expand();
+        for t in 0..2 {
+            for w in 0..12u32 {
+                assert_eq!(a.phi(t, w), b.phi(t, w));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced size")]
+    fn from_parts_rejects_mismatched_map() {
+        let docs = toy_docs();
+        let original = ReducedModel::train(
+            &refs(&docs),
+            12,
+            LdaConfig {
+                iterations: 5,
+                ..LdaConfig::with_topics(2)
+            },
+            ReductionConfig::default(),
+        );
+        ReducedModel::from_parts(
+            original.model().clone(),
+            VocabMap::from_kept(vec![0, 1], 12),
+            10,
+        );
+    }
+
+    #[test]
+    fn client_bytes_shrink_with_reduction() {
+        let docs = toy_docs();
+        let full = ReducedModel::train(
+            &refs(&docs),
+            12,
+            LdaConfig {
+                iterations: 5,
+                ..LdaConfig::with_topics(2)
+            },
+            ReductionConfig::default(),
+        );
+        let half = ReducedModel::train(
+            &refs(&docs),
+            12,
+            LdaConfig {
+                iterations: 5,
+                ..LdaConfig::with_topics(2)
+            },
+            ReductionConfig {
+                vocab_rate: 0.5,
+                ..Default::default()
+            },
+        );
+        assert!(half.client_bytes() < full.client_bytes());
+    }
+}

@@ -1,0 +1,190 @@
+//! Topic inspection reports — the machinery behind Tables II, III and IV
+//! of the paper (top-20 words per topic, topic persistence across models,
+//! and topic indistinctness at very small K).
+
+use crate::model::LdaModel;
+use serde::{Deserialize, Serialize};
+use tsearch_text::Vocabulary;
+
+/// A rendered topic: its top words with probabilities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopicReport {
+    /// Topic index.
+    pub topic: usize,
+    /// `(word, Pr(w|t))` pairs, descending.
+    pub top_words: Vec<(String, f64)>,
+}
+
+/// Renders the top `n` words of `topic` using `vocab` for word strings.
+pub fn topic_report(model: &LdaModel, vocab: &Vocabulary, topic: usize, n: usize) -> TopicReport {
+    TopicReport {
+        topic,
+        top_words: model
+            .top_words(topic, n)
+            .into_iter()
+            .map(|(w, p)| (vocab.term(w).to_string(), p))
+            .collect(),
+    }
+}
+
+/// Renders all topics.
+pub fn all_topics(model: &LdaModel, vocab: &Vocabulary, n: usize) -> Vec<TopicReport> {
+    (0..model.num_topics())
+        .map(|t| topic_report(model, vocab, t, n))
+        .collect()
+}
+
+/// Cosine similarity between topic `ta` of `a` and topic `tb` of `b`
+/// (over the shared vocabulary; the models must have equal vocab size).
+pub fn topic_cosine(a: &LdaModel, ta: usize, b: &LdaModel, tb: usize) -> f64 {
+    assert_eq!(a.vocab_size(), b.vocab_size(), "vocabulary mismatch");
+    let va = a.topic_word_dist(ta);
+    let vb = b.topic_word_dist(tb);
+    let dot: f64 = va.iter().zip(&vb).map(|(x, y)| x * y).sum();
+    let na: f64 = va.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = vb.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Finds the topic of `b` most similar (cosine) to topic `ta` of `a`,
+/// returning `(topic, similarity)`. This is how Table III tracks "the same
+/// topic" across LDA models of different K.
+pub fn best_matching_topic(a: &LdaModel, ta: usize, b: &LdaModel) -> (usize, f64) {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for tb in 0..b.num_topics() {
+        let sim = topic_cosine(a, ta, b, tb);
+        if sim > best.1 {
+            best = (tb, sim);
+        }
+    }
+    best
+}
+
+/// A distinctness score for a model's topics: the mean pairwise cosine
+/// between topic-word distributions. Table IV's observation is that a
+/// too-small K produces *indistinct* topics, i.e. high mean pairwise
+/// similarity.
+pub fn mean_pairwise_topic_similarity(model: &LdaModel) -> f64 {
+    let k = model.num_topics();
+    if k < 2 {
+        return 0.0;
+    }
+    let dists: Vec<Vec<f64>> = (0..k).map(|t| model.topic_word_dist(t)).collect();
+    let norms: Vec<f64> = dists
+        .iter()
+        .map(|v| v.iter().map(|x| x * x).sum::<f64>().sqrt())
+        .collect();
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..k {
+        for j in i + 1..k {
+            let dot: f64 = dists[i].iter().zip(&dists[j]).map(|(x, y)| x * y).sum();
+            if norms[i] > 0.0 && norms[j] > 0.0 {
+                total += dot / (norms[i] * norms[j]);
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total / pairs as f64
+    }
+}
+
+impl std::fmt::Display for TopicReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Topic {:>3}:", self.topic)?;
+        for (word, _) in &self.top_words {
+            write!(f, " {word}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{LdaConfig, LdaTrainer};
+    use tsearch_text::TermId;
+
+    fn block_docs() -> Vec<Vec<TermId>> {
+        let mut docs = Vec::new();
+        for d in 0..40 {
+            let base: u32 = if d % 2 == 0 { 0 } else { 5 };
+            docs.push((0..30).map(|i| base + (i % 5) as u32).collect::<Vec<_>>());
+        }
+        docs
+    }
+
+    fn train(k: usize, seed: u64) -> LdaModel {
+        let docs = block_docs();
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        LdaTrainer::train(
+            &refs,
+            10,
+            LdaConfig {
+                iterations: 60,
+                alpha: Some(0.5),
+                seed,
+                ..LdaConfig::with_topics(k)
+            },
+        )
+    }
+
+    fn vocab10() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        for i in 0..10 {
+            v.intern(&format!("word{i:02}"));
+        }
+        v
+    }
+
+    #[test]
+    fn report_renders_words() {
+        let model = train(2, 1);
+        let vocab = vocab10();
+        let rep = topic_report(&model, &vocab, 0, 3);
+        assert_eq!(rep.top_words.len(), 3);
+        assert!(rep.top_words[0].1 >= rep.top_words[1].1);
+        let all = all_topics(&model, &vocab, 2);
+        assert_eq!(all.len(), 2);
+        let _ = format!("{}", all[0]);
+    }
+
+    #[test]
+    fn same_seed_topics_match_perfectly() {
+        let a = train(2, 1);
+        let sim = topic_cosine(&a, 0, &a, 0);
+        assert!((sim - 1.0).abs() < 1e-9);
+        let (best, s) = best_matching_topic(&a, 0, &a);
+        assert_eq!(best, 0);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topics_persist_across_seeds() {
+        // The same clean two-block structure should be found regardless of
+        // seed, so each topic of model A has a near-perfect match in B.
+        let a = train(2, 1);
+        let b = train(2, 2);
+        for t in 0..2 {
+            let (_, sim) = best_matching_topic(&a, t, &b);
+            assert!(sim > 0.95, "topic {t} best match sim {sim}");
+        }
+    }
+
+    #[test]
+    fn too_few_topics_are_indistinct() {
+        // K=1 on two-block data can't separate anything; K=2 can.
+        let merged = train(1, 1);
+        let split = train(2, 1);
+        let sim_split = mean_pairwise_topic_similarity(&split);
+        assert_eq!(mean_pairwise_topic_similarity(&merged), 0.0); // single topic
+        assert!(sim_split < 0.5, "separated topics dissimilar: {sim_split}");
+    }
+}

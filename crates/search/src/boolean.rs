@@ -1,0 +1,173 @@
+//! Boolean retrieval over the inverted index.
+//!
+//! The paper's related-work section repeatedly contrasts *Boolean
+//! keyword-matching* (what encrypted-search schemes and PPI support) with
+//! the *similarity retrieval* TopPriv targets. This module implements the
+//! Boolean side so the contrast is demonstrable: conjunctive (AND),
+//! disjunctive (OR), and negated conjunction queries, evaluated
+//! document-at-a-time with galloping (exponential-probe) intersection.
+
+use tsearch_index::InvertedIndex;
+use tsearch_text::TermId;
+
+/// A Boolean query in conjunctive normal form over terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BooleanQuery {
+    /// All terms must occur.
+    And(Vec<TermId>),
+    /// At least one term must occur.
+    Or(Vec<TermId>),
+    /// All `positive` terms occur and no `negative` term occurs.
+    AndNot {
+        /// Required terms.
+        positive: Vec<TermId>,
+        /// Forbidden terms.
+        negative: Vec<TermId>,
+    },
+}
+
+/// Evaluates `query`, returning matching doc ids in ascending order.
+pub fn evaluate_boolean(index: &InvertedIndex, query: &BooleanQuery) -> Vec<u32> {
+    match query {
+        BooleanQuery::And(terms) => conjunction(index, terms),
+        BooleanQuery::Or(terms) => disjunction(index, terms),
+        BooleanQuery::AndNot { positive, negative } => {
+            let base = conjunction(index, positive);
+            let exclude = disjunction(index, negative);
+            difference(&base, &exclude)
+        }
+    }
+}
+
+/// Doc-id list of one term.
+fn doc_ids(index: &InvertedIndex, term: TermId) -> Vec<u32> {
+    index.postings(term).iter().map(|p| p.doc_id).collect()
+}
+
+/// Conjunction: intersect postings smallest-first with galloping search.
+fn conjunction(index: &InvertedIndex, terms: &[TermId]) -> Vec<u32> {
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    let mut lists: Vec<Vec<u32>> = terms.iter().map(|&t| doc_ids(index, t)).collect();
+    lists.sort_by_key(Vec::len);
+    let mut result = lists[0].clone();
+    for list in &lists[1..] {
+        if result.is_empty() {
+            break;
+        }
+        result = gallop_intersect(&result, list);
+    }
+    result
+}
+
+/// Intersects two ascending lists; `a` should be the smaller one.
+/// Exposed for property testing.
+pub fn gallop_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let mut lo = 0usize;
+    for &x in a {
+        // Galloping probe: double the step until we overshoot x.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < b.len() && b[hi] < x {
+            lo = hi;
+            hi = (hi + step).min(b.len());
+            step *= 2;
+        }
+        // Binary search in (lo, hi].
+        let idx = lo + b[lo..hi.min(b.len())].partition_point(|&y| y < x);
+        if idx < b.len() && b[idx] == x {
+            out.push(x);
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+        if lo >= b.len() {
+            break;
+        }
+    }
+    out
+}
+
+/// Disjunction: k-way ascending merge with deduplication.
+fn disjunction(index: &InvertedIndex, terms: &[TermId]) -> Vec<u32> {
+    let mut all: Vec<u32> = terms
+        .iter()
+        .flat_map(|&t| doc_ids(index, t))
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+/// Ascending-list difference `a \ b`.
+fn difference(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> InvertedIndex {
+        // doc 0: {0,1}; doc 1: {1,2}; doc 2: {0,1,2}; doc 3: {3}
+        let docs: Vec<Vec<TermId>> = vec![vec![0, 1], vec![1, 2], vec![0, 1, 2], vec![3]];
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        InvertedIndex::build(&refs, 4)
+    }
+
+    #[test]
+    fn and_queries() {
+        let idx = index();
+        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::And(vec![0, 1])), vec![0, 2]);
+        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::And(vec![0, 1, 2])), vec![2]);
+        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::And(vec![0, 3])), Vec::<u32>::new());
+        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::And(vec![])), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn or_queries() {
+        let idx = index();
+        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::Or(vec![0, 3])), vec![0, 2, 3]);
+        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::Or(vec![])), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn and_not_queries() {
+        let idx = index();
+        let q = BooleanQuery::AndNot {
+            positive: vec![1],
+            negative: vec![2],
+        };
+        assert_eq!(evaluate_boolean(&idx, &q), vec![0]);
+    }
+
+    #[test]
+    fn gallop_matches_naive() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let mut a: Vec<u32> = (0..rng.gen_range(0..60)).map(|_| rng.gen_range(0..200)).collect();
+            let mut b: Vec<u32> = (0..rng.gen_range(0..400)).map(|_| rng.gen_range(0..200)).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let fast = gallop_intersect(&a, &b);
+            let naive: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
+            assert_eq!(fast, naive);
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! The enterprise search engine.
+//!
+//! This is the *unmodified* server of the paper's system model: it hosts
+//! the plaintext corpus and inverted index, evaluates similarity queries,
+//! and — being a curious adversary — keeps a log of every query it
+//! processes for after-the-fact analysis.
+
+use crate::query::Query;
+use crate::score::ScoringModel;
+use crate::topk::{SearchHit, TopK};
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use tsearch_index::{DocumentStore, InvertedIndex};
+use tsearch_text::{Analyzer, TermId, Vocabulary};
+
+/// One entry of the server-side query log (what the adversary sees).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoggedQuery {
+    /// Arrival position in the log.
+    pub ordinal: u64,
+    /// Raw query text as received.
+    pub text: String,
+    /// Analyzed token ids.
+    pub tokens: Vec<TermId>,
+}
+
+/// The search engine: index + document store + scorer + query log.
+pub struct SearchEngine {
+    index: InvertedIndex,
+    store: DocumentStore,
+    analyzer: Analyzer,
+    vocab: Vocabulary,
+    model: ScoringModel,
+    /// Precomputed per-document vector norms for cosine scoring.
+    doc_norms: Vec<f64>,
+    log: Mutex<Vec<LoggedQuery>>,
+}
+
+impl SearchEngine {
+    /// Assembles an engine over a prebuilt index and store.
+    pub fn new(
+        index: InvertedIndex,
+        store: DocumentStore,
+        analyzer: Analyzer,
+        vocab: Vocabulary,
+        model: ScoringModel,
+    ) -> Self {
+        let doc_norms = compute_doc_norms(&index, model);
+        SearchEngine {
+            index,
+            store,
+            analyzer,
+            vocab,
+            model,
+            doc_norms,
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Builds an engine directly from token documents and their texts.
+    pub fn build(
+        docs: &[&[TermId]],
+        texts: &[String],
+        analyzer: Analyzer,
+        vocab: Vocabulary,
+        model: ScoringModel,
+    ) -> Self {
+        assert_eq!(docs.len(), texts.len());
+        let index = InvertedIndex::build(docs, vocab.len());
+        let store = DocumentStore::from_texts(texts.iter().cloned());
+        Self::new(index, store, analyzer, vocab, model)
+    }
+
+    /// Executes a text query, returning the best `k` documents. The query
+    /// is recorded in the server-side log.
+    pub fn search(&self, text: &str, k: usize) -> Vec<SearchHit> {
+        let query = Query::parse(text, &self.analyzer, &self.vocab);
+        self.log_query(text.to_string(), &query);
+        self.evaluate(&query, k)
+    }
+
+    /// Executes a pre-analyzed token query (logged as its canonical text).
+    pub fn search_tokens(&self, tokens: &[TermId], k: usize) -> Vec<SearchHit> {
+        let query = Query::from_tokens(tokens);
+        let text = tokens
+            .iter()
+            .map(|&t| self.vocab.term(t))
+            .collect::<Vec<_>>()
+            .join(" ");
+        self.log_query(text, &query);
+        self.evaluate(&query, k)
+    }
+
+    /// Scores a query without logging it — used by evaluation code that
+    /// must not contaminate the adversary-visible trace.
+    pub fn evaluate(&self, query: &Query, k: usize) -> Vec<SearchHit> {
+        let mut accumulators: std::collections::HashMap<u32, f64> =
+            std::collections::HashMap::new();
+        let avg_len = self.index.avg_doc_len();
+        for (term, qtf) in query.terms() {
+            let idf = self.index.idf(term);
+            if idf <= 0.0 && self.index.doc_freq(term) == 0 {
+                continue;
+            }
+            let qw = self.model.query_weight(qtf, idf);
+            if qw == 0.0 {
+                continue;
+            }
+            for posting in self.index.postings(term).iter() {
+                let dw = self
+                    .model
+                    .doc_weight(posting.tf, self.index.doc_len(posting.doc_id), avg_len);
+                *accumulators.entry(posting.doc_id).or_insert(0.0) += qw * dw;
+            }
+        }
+        let mut topk = TopK::new(k);
+        for (doc_id, mut score) in accumulators {
+            if self.model.needs_cosine_norm() {
+                let norm = self.doc_norms[doc_id as usize];
+                if norm > 0.0 {
+                    score /= norm;
+                }
+            }
+            topk.push(SearchHit { doc_id, score });
+        }
+        topk.into_sorted()
+    }
+
+    /// Top-k evaluation with the MaxScore (quit/continue) optimization.
+    ///
+    /// Query terms are processed in descending score-upper-bound order;
+    /// once the sum of the remaining terms' upper bounds cannot lift an
+    /// unseen document above the current k-th best score, no *new*
+    /// accumulators are created (existing ones are still completed, so
+    /// returned scores are exact). Returns exactly the same hits as
+    /// [`SearchEngine::evaluate`].
+    ///
+    /// The upper bound for cosine-normalized TF-IDF divides by the minimum
+    /// document norm, which is loose; BM25's bound (`qw · (k1+1)`) is
+    /// tight, so the speedup is largest there.
+    pub fn evaluate_maxscore(&self, query: &Query, k: usize) -> Vec<SearchHit> {
+        let avg_len = self.index.avg_doc_len();
+        // Per-term upper bound on the *normalized* per-document
+        // contribution.
+        let min_norm = self
+            .doc_norms
+            .iter()
+            .copied()
+            .filter(|&n| n > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        let mut terms: Vec<(tsearch_text::TermId, u32, f64)> = query
+            .terms()
+            .filter(|&(t, _)| self.index.doc_freq(t) > 0)
+            .map(|(t, qtf)| {
+                let qw = self.model.query_weight(qtf, self.index.idf(t));
+                let max_tf = self.index.max_tf(t);
+                // Shortest doc containing the term is unknown; bound the
+                // doc weight by the best case over plausible lengths.
+                let dw_ub = match self.model {
+                    ScoringModel::TfIdfCosine => {
+                        let raw = self.model.doc_weight(max_tf.max(1), 1, avg_len);
+                        if min_norm.is_finite() && min_norm > 0.0 {
+                            raw / min_norm
+                        } else {
+                            raw
+                        }
+                    }
+                    ScoringModel::Bm25 { k1, .. } => k1 + 1.0,
+                };
+                (t, qtf, (qw * dw_ub).max(0.0))
+            })
+            .collect();
+        terms.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite bounds"));
+        let suffix_bounds: Vec<f64> = {
+            let mut acc = 0.0;
+            let mut v: Vec<f64> = terms
+                .iter()
+                .rev()
+                .map(|&(_, _, ub)| {
+                    acc += ub;
+                    acc
+                })
+                .collect();
+            v.reverse();
+            v
+        };
+
+        let mut accumulators: std::collections::HashMap<u32, f64> =
+            std::collections::HashMap::new();
+        // k-th best *partial* (normalized) score so far — a lower bound on
+        // the true k-th best final score.
+        let mut threshold = f64::NEG_INFINITY;
+        for (i, &(term, qtf, _)) in terms.iter().enumerate() {
+            let qw = self.model.query_weight(qtf, self.index.idf(term));
+            // A document first seen now can reach at most suffix_bounds[i];
+            // prune only when that is STRICTLY below the k-th best partial,
+            // so exact ties are never lost.
+            let allow_new = accumulators.len() < k
+                || threshold == f64::NEG_INFINITY
+                || suffix_bounds[i] >= threshold;
+            for posting in self.index.postings(term).iter() {
+                let dw = self
+                    .model
+                    .doc_weight(posting.tf, self.index.doc_len(posting.doc_id), avg_len);
+                match accumulators.entry(posting.doc_id) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        *e.get_mut() += qw * dw;
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        if allow_new {
+                            e.insert(qw * dw);
+                        }
+                    }
+                }
+            }
+            // Refresh the threshold from current partial scores.
+            if k > 0 && accumulators.len() >= k {
+                let mut partials: Vec<f64> = accumulators
+                    .iter()
+                    .map(|(&d, &s)| {
+                        if self.model.needs_cosine_norm() {
+                            let n = self.doc_norms[d as usize];
+                            if n > 0.0 {
+                                s / n
+                            } else {
+                                s
+                            }
+                        } else {
+                            s
+                        }
+                    })
+                    .collect();
+                partials.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                threshold = partials[k - 1];
+            }
+        }
+        let mut topk = TopK::new(k);
+        for (doc_id, mut score) in accumulators {
+            if self.model.needs_cosine_norm() {
+                let norm = self.doc_norms[doc_id as usize];
+                if norm > 0.0 {
+                    score /= norm;
+                }
+            }
+            topk.push(SearchHit { doc_id, score });
+        }
+        topk.into_sorted()
+    }
+
+    /// Brute-force scoring of every document (reference implementation for
+    /// property tests; O(docs × query terms)).
+    pub fn evaluate_bruteforce(&self, query: &Query, k: usize) -> Vec<SearchHit> {
+        let avg_len = self.index.avg_doc_len();
+        let mut topk = TopK::new(k);
+        for doc_id in 0..self.index.num_docs() as u32 {
+            let mut score = 0.0;
+            for (term, qtf) in query.terms() {
+                let tf = self.index.term_freq(term, doc_id);
+                if tf == 0 {
+                    continue;
+                }
+                let qw = self.model.query_weight(qtf, self.index.idf(term));
+                let dw = self.model.doc_weight(tf, self.index.doc_len(doc_id), avg_len);
+                score += qw * dw;
+            }
+            if score == 0.0 {
+                continue;
+            }
+            if self.model.needs_cosine_norm() {
+                let norm = self.doc_norms[doc_id as usize];
+                if norm > 0.0 {
+                    score /= norm;
+                }
+            }
+            topk.push(SearchHit { doc_id, score });
+        }
+        topk.into_sorted()
+    }
+
+    fn log_query(&self, text: String, query: &Query) {
+        let mut log = self.log.lock().expect("query log poisoned");
+        let ordinal = log.len() as u64;
+        log.push(LoggedQuery {
+            ordinal,
+            text,
+            tokens: query
+                .terms()
+                .flat_map(|(t, tf)| std::iter::repeat_n(t, tf as usize))
+                .collect(),
+        });
+    }
+
+    /// Snapshot of the server-side query log — the adversary's view.
+    pub fn query_log(&self) -> Vec<LoggedQuery> {
+        self.log.lock().expect("query log poisoned").clone()
+    }
+
+    /// Clears the query log (between experiments).
+    pub fn clear_query_log(&self) {
+        self.log.lock().expect("query log poisoned").clear();
+    }
+
+    /// Fetches a result document's text (Step 7 of the search process).
+    pub fn fetch_document(&self, doc_id: u32) -> Option<&str> {
+        self.store.get(doc_id)
+    }
+
+    /// The engine's index (read-only).
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The engine's vocabulary (read-only).
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The engine's analyzer.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// The scoring model in use.
+    pub fn model(&self) -> ScoringModel {
+        self.model
+    }
+}
+
+/// Precomputes cosine norms: the L2 norm of each document's weighted term
+/// vector under the given model.
+fn compute_doc_norms(index: &InvertedIndex, model: ScoringModel) -> Vec<f64> {
+    let mut sums = vec![0.0f64; index.num_docs()];
+    if !model.needs_cosine_norm() {
+        return sums;
+    }
+    let avg_len = index.avg_doc_len();
+    for term in 0..index.num_terms() as u32 {
+        for posting in index.postings(term).iter() {
+            let w = model.doc_weight(posting.tf, index.doc_len(posting.doc_id), avg_len);
+            sums[posting.doc_id as usize] += w * w;
+        }
+    }
+    sums.iter().map(|s| s.sqrt()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsearch_text::Analyzer;
+
+    fn toy_engine(model: ScoringModel) -> SearchEngine {
+        let analyzer = Analyzer::new();
+        let mut vocab = Vocabulary::new();
+        let texts = vec![
+            "apache helicopter weapons army".to_string(),
+            "apache web server software".to_string(),
+            "stock market investors shares shares shares".to_string(),
+            "helicopter aviation airport".to_string(),
+        ];
+        let docs: Vec<Vec<TermId>> = texts
+            .iter()
+            .map(|t| analyzer.analyze_into(t, &mut vocab))
+            .collect();
+        for d in &docs {
+            vocab.observe_document(d);
+        }
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        SearchEngine::build(&refs, &texts, analyzer, vocab, model)
+    }
+
+    #[test]
+    fn finds_relevant_documents() {
+        let engine = toy_engine(ScoringModel::TfIdfCosine);
+        let hits = engine.search("apache helicopter", 4);
+        assert!(!hits.is_empty());
+        // Doc 0 contains both terms and should rank first.
+        assert_eq!(hits[0].doc_id, 0);
+        // Scores strictly ordered.
+        for pair in hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn bm25_also_works() {
+        let engine = toy_engine(ScoringModel::bm25_default());
+        let hits = engine.search("stock market", 4);
+        assert_eq!(hits[0].doc_id, 2);
+    }
+
+    #[test]
+    fn accumulator_matches_bruteforce() {
+        for model in [ScoringModel::TfIdfCosine, ScoringModel::bm25_default()] {
+            let engine = toy_engine(model);
+            let analyzer = Analyzer::new();
+            for text in ["apache", "helicopter airport", "shares investors apache"] {
+                let q = Query::parse(text, &analyzer, engine.vocab());
+                let fast = engine.evaluate(&q, 10);
+                let slow = engine.evaluate_bruteforce(&q, 10);
+                assert_eq!(fast.len(), slow.len(), "model {model:?} query {text}");
+                for (f, s) in fast.iter().zip(&slow) {
+                    assert_eq!(f.doc_id, s.doc_id);
+                    assert!((f.score - s.score).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maxscore_matches_exhaustive() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for model in [ScoringModel::TfIdfCosine, ScoringModel::bm25_default()] {
+            // Randomized corpus with repeated docs to exercise ties.
+            let vocab_size = 30usize;
+            let mut vocab = Vocabulary::new();
+            for i in 0..vocab_size {
+                vocab.intern(&format!("v{i:02}"));
+            }
+            let mut docs: Vec<Vec<TermId>> = (0..60)
+                .map(|_| {
+                    let len = rng.gen_range(2..25);
+                    (0..len).map(|_| rng.gen_range(0..vocab_size) as u32).collect()
+                })
+                .collect();
+            let dup = docs[0].clone();
+            docs.push(dup); // guaranteed score tie
+            for d in &docs {
+                vocab.observe_document(d);
+            }
+            let texts: Vec<String> = docs.iter().map(|_| String::new()).collect();
+            let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+            let engine = SearchEngine::build(&refs, &texts, Analyzer::new(), vocab, model);
+            for _ in 0..30 {
+                let qlen = rng.gen_range(1..7);
+                let tokens: Vec<u32> =
+                    (0..qlen).map(|_| rng.gen_range(0..vocab_size) as u32).collect();
+                let q = Query::from_tokens(&tokens);
+                for k in [1usize, 5, 10] {
+                    let fast = engine.evaluate_maxscore(&q, k);
+                    let slow = engine.evaluate(&q, k);
+                    assert_eq!(fast.len(), slow.len(), "{model:?} k={k}");
+                    for (f, s) in fast.iter().zip(&slow) {
+                        assert_eq!(f.doc_id, s.doc_id, "{model:?} k={k}");
+                        assert!((f.score - s.score).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_log_records_everything() {
+        let engine = toy_engine(ScoringModel::TfIdfCosine);
+        engine.search("apache", 2);
+        engine.search("stock market", 2);
+        let log = engine.query_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].ordinal, 0);
+        assert_eq!(log[0].text, "apache");
+        assert_eq!(log[1].tokens.len(), 2);
+        engine.clear_query_log();
+        assert!(engine.query_log().is_empty());
+    }
+
+    #[test]
+    fn evaluate_does_not_log() {
+        let engine = toy_engine(ScoringModel::TfIdfCosine);
+        let q = Query::from_tokens(&[0]);
+        engine.evaluate(&q, 5);
+        assert!(engine.query_log().is_empty());
+    }
+
+    #[test]
+    fn unknown_terms_score_nothing() {
+        let engine = toy_engine(ScoringModel::TfIdfCosine);
+        let hits = engine.search("nonexistent gibberish", 5);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn fetch_document_roundtrip() {
+        let engine = toy_engine(ScoringModel::TfIdfCosine);
+        assert_eq!(
+            engine.fetch_document(1),
+            Some("apache web server software")
+        );
+        assert_eq!(engine.fetch_document(99), None);
+    }
+}

@@ -1,0 +1,371 @@
+//! A directory of named, checksummed artifacts with a manifest.
+//!
+//! The client side of TopPriv persists real state between sessions — the
+//! trained LDA model (the paper's ~140 MB client footprint), reduced
+//! models and their vocabulary maps, cached benchmark results — and must
+//! survive interrupted writes. [`ArtifactStore`] provides:
+//!
+//! - named artifacts, each a [`container`](crate::container)-sealed file
+//!   written with [`crate::atomic::atomic_write`];
+//! - a JSON manifest listing every artifact with its kind, size, and
+//!   checksum, itself replaced atomically after each mutation;
+//! - recovery on open: stale temp files are swept, and manifest entries
+//!   whose file is missing are dropped;
+//! - [`verify_all`](ArtifactStore::verify_all): full integrity audit.
+
+use crate::atomic::{atomic_write, sweep_temp_files};
+use crate::container::{seal, unseal_kind, StoreError};
+use crate::crc32::crc32;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest file name.
+const MANIFEST: &str = "manifest.json";
+/// Artifact file extension.
+const EXT: &str = "tps";
+
+/// One manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactMeta {
+    /// Artifact kind tag.
+    pub kind: u32,
+    /// Payload bytes (excluding container header).
+    pub payload_len: u64,
+    /// CRC-32 of the payload.
+    pub checksum: u32,
+}
+
+/// Store failure.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Container-level failure (corruption, kind mismatch, ...).
+    Store(StoreError),
+    /// No artifact with that name.
+    NotFound(String),
+    /// Artifact names are restricted to `[A-Za-z0-9._-]` and must not be
+    /// empty or dot-only, to keep them safe as file names.
+    InvalidName(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::Store(e) => write!(f, "artifact container error: {e}"),
+            ArtifactError::NotFound(n) => write!(f, "no artifact named '{n}'"),
+            ArtifactError::InvalidName(n) => write!(f, "invalid artifact name '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            ArtifactError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ArtifactError {
+    fn from(e: io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<StoreError> for ArtifactError {
+    fn from(e: StoreError) -> Self {
+        ArtifactError::Store(e)
+    }
+}
+
+/// A directory of named artifacts.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    manifest: BTreeMap<String, ArtifactMeta>,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if necessary) the store at `dir`, sweeping stale
+    /// temp files and reconciling the manifest with the files present.
+    pub fn open(dir: &Path) -> Result<Self, ArtifactError> {
+        fs::create_dir_all(dir)?;
+        sweep_temp_files(dir)?;
+        let manifest_path = dir.join(MANIFEST);
+        let mut manifest: BTreeMap<String, ArtifactMeta> = match fs::read(&manifest_path) {
+            Ok(bytes) => serde_json::from_slice(&bytes).unwrap_or_default(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(e.into()),
+        };
+        // Drop entries whose artifact file vanished (crash between the
+        // two atomic writes, or manual deletion).
+        manifest.retain(|name, _| dir.join(format!("{name}.{EXT}")).exists());
+        Ok(ArtifactStore {
+            dir: dir.to_path_buf(),
+            manifest,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Names and metadata of every artifact, sorted by name.
+    pub fn list(&self) -> impl Iterator<Item = (&str, &ArtifactMeta)> {
+        self.manifest.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// Whether an artifact exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.manifest.contains_key(name)
+    }
+
+    /// Stores `payload` under `name` with the given kind, replacing any
+    /// previous version atomically.
+    pub fn put(&mut self, name: &str, kind: u32, payload: &[u8]) -> Result<(), ArtifactError> {
+        validate_name(name)?;
+        let blob = seal(kind, payload);
+        atomic_write(&self.artifact_path(name), &blob)?;
+        self.manifest.insert(
+            name.to_string(),
+            ArtifactMeta {
+                kind,
+                payload_len: payload.len() as u64,
+                checksum: crc32(payload),
+            },
+        );
+        self.write_manifest()
+    }
+
+    /// Loads the artifact `name`, verifying the container checksum and
+    /// the expected kind.
+    pub fn get(&self, name: &str, kind: u32) -> Result<Vec<u8>, ArtifactError> {
+        validate_name(name)?;
+        if !self.manifest.contains_key(name) {
+            return Err(ArtifactError::NotFound(name.to_string()));
+        }
+        let bytes = fs::read(self.artifact_path(name))?;
+        let payload = unseal_kind(&bytes, kind)?;
+        Ok(payload.to_vec())
+    }
+
+    /// Removes an artifact. Removing a missing name is an error.
+    pub fn remove(&mut self, name: &str) -> Result<(), ArtifactError> {
+        validate_name(name)?;
+        if self.manifest.remove(name).is_none() {
+            return Err(ArtifactError::NotFound(name.to_string()));
+        }
+        fs::remove_file(self.artifact_path(name))?;
+        self.write_manifest()
+    }
+
+    /// Verifies every artifact against its manifest entry. Returns the
+    /// names that failed and why.
+    pub fn verify_all(&self) -> Vec<(String, ArtifactError)> {
+        let mut failures = Vec::new();
+        for (name, meta) in &self.manifest {
+            match self.get(name, meta.kind) {
+                Ok(payload) => {
+                    let checksum = crc32(&payload);
+                    if checksum != meta.checksum || payload.len() as u64 != meta.payload_len {
+                        failures.push((
+                            name.clone(),
+                            ArtifactError::Store(StoreError::ChecksumMismatch {
+                                stored: meta.checksum,
+                                computed: checksum,
+                            }),
+                        ));
+                    }
+                }
+                Err(e) => failures.push((name.clone(), e)),
+            }
+        }
+        failures
+    }
+
+    fn artifact_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.{EXT}"))
+    }
+
+    fn write_manifest(&self) -> Result<(), ArtifactError> {
+        let json = serde_json::to_vec_pretty(&self.manifest).expect("manifest serializes");
+        atomic_write(&self.dir.join(MANIFEST), &json)?;
+        Ok(())
+    }
+}
+
+/// Restricts names to file-name-safe characters.
+fn validate_name(name: &str) -> Result<(), ArtifactError> {
+    let ok = !name.is_empty()
+        && name.chars().any(|c| c.is_ascii_alphanumeric())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(ArtifactError::InvalidName(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::kind;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsearch-artifact-test-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dir = scratch("roundtrip");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        store.put("model-k200", kind::LDA_MODEL, b"model bytes").unwrap();
+        assert_eq!(
+            store.get("model-k200", kind::LDA_MODEL).unwrap(),
+            b"model bytes"
+        );
+        assert!(store.contains("model-k200"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let dir = scratch("reopen");
+        {
+            let mut store = ArtifactStore::open(&dir).unwrap();
+            store.put("a", 1, b"one").unwrap();
+            store.put("b", 2, b"two").unwrap();
+        }
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert_eq!(store.list().count(), 2);
+        assert_eq!(store.get("b", 2).unwrap(), b"two");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kind_is_enforced() {
+        let dir = scratch("kind");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        store.put("v", kind::VOCABULARY, b"terms").unwrap();
+        assert!(matches!(
+            store.get("v", kind::LDA_MODEL).unwrap_err(),
+            ArtifactError::Store(StoreError::KindMismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_artifact_is_not_found() {
+        let dir = scratch("missing");
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert!(matches!(
+            store.get("ghost", 1).unwrap_err(),
+            ArtifactError::NotFound(_)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_path_traversal_names() {
+        let dir = scratch("names");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        for bad in ["../evil", "a/b", "", "..", "with space", "semi;colon"] {
+            assert!(
+                matches!(
+                    store.put(bad, 1, b"x").unwrap_err(),
+                    ArtifactError::InvalidName(_)
+                ),
+                "name '{bad}' should be rejected"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_detected_on_get_and_verify() {
+        let dir = scratch("corrupt");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        store.put("m", 1, b"precious model data").unwrap();
+        // Flip a payload byte on disk.
+        let path = dir.join("m.tps");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.get("m", 1).unwrap_err(),
+            ArtifactError::Store(StoreError::ChecksumMismatch { .. })
+        ));
+        let failures = store.verify_all();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "m");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let dir = scratch("trunc");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        store.put("m", 1, b"0123456789abcdef").unwrap();
+        let path = dir.join("m.tps");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(
+            store.get("m", 1).unwrap_err(),
+            ArtifactError::Store(StoreError::Truncated { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_file_and_entry() {
+        let dir = scratch("remove");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        store.put("m", 1, b"x").unwrap();
+        store.remove("m").unwrap();
+        assert!(!store.contains("m"));
+        assert!(!dir.join("m.tps").exists());
+        assert!(matches!(
+            store.remove("m").unwrap_err(),
+            ArtifactError::NotFound(_)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reconciles_manifest_with_missing_files() {
+        let dir = scratch("reconcile");
+        {
+            let mut store = ArtifactStore::open(&dir).unwrap();
+            store.put("keep", 1, b"k").unwrap();
+            store.put("vanish", 1, b"v").unwrap();
+        }
+        fs::remove_file(dir.join("vanish.tps")).unwrap();
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert!(store.contains("keep"));
+        assert!(!store.contains("vanish"), "dangling entry dropped");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_temp_files() {
+        let dir = scratch("sweeptmp");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("orphan.999.tps-tmp"), b"partial").unwrap();
+        let _store = ArtifactStore::open(&dir).unwrap();
+        assert!(!dir.join("orphan.999.tps-tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,135 @@
+//! Crash-safe file replacement: write-to-temp, fsync, rename.
+//!
+//! A reader never observes a half-written artifact: either the old file
+//! (or nothing) or the complete new file is visible. Stale temp files
+//! from interrupted writers are ignored by readers (they never match the
+//! final name) and reclaimed by [`sweep_temp_files`].
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Suffix marking in-flight writes.
+const TMP_SUFFIX: &str = ".tps-tmp";
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// The data is written to a sibling temp file, flushed and fsynced, then
+/// renamed over `path` (atomic on POSIX within one filesystem). The
+/// containing directory is fsynced afterwards so the rename itself
+/// survives a crash.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir)?;
+    }
+    let tmp = temp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    match fs::rename(&tmp, path) {
+        Ok(()) => {}
+        Err(e) => {
+            // Do not leave the temp file behind on failure.
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+    }
+    if let Some(dir) = dir {
+        // Persist the directory entry; best-effort on filesystems that
+        // do not support directory fsync.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The temp-file name used for `path`.
+fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".{}{}", std::process::id(), TMP_SUFFIX));
+    path.with_file_name(name)
+}
+
+/// Removes leftover temp files (interrupted writers) under `dir`.
+/// Returns how many were removed. Non-recursive.
+pub fn sweep_temp_files(dir: &Path) -> io::Result<usize> {
+    let mut removed = 0;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if name.to_string_lossy().ends_with(TMP_SUFFIX) && entry.file_type()?.is_file() {
+            fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsearch-store-test-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_read() {
+        let dir = scratch("write");
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"abc").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"abc");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replaces_existing_content() {
+        let dir = scratch("replace");
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"old contents here").unwrap();
+        atomic_write(&path, b"new").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn creates_missing_directories() {
+        let dir = scratch("mkdirs");
+        let path = dir.join("a/b/c/artifact.bin");
+        atomic_write(&path, b"x").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"x");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_temp_residue_after_success() {
+        let dir = scratch("residue");
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"x").unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(TMP_SUFFIX))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_removes_stale_temp_files() {
+        let dir = scratch("sweep");
+        fs::write(dir.join(format!("orphan.{}{}", 12345, TMP_SUFFIX)), b"junk").unwrap();
+        fs::write(dir.join("keep.bin"), b"data").unwrap();
+        let removed = sweep_temp_files(&dir).unwrap();
+        assert_eq!(removed, 1);
+        assert!(dir.join("keep.bin").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,214 @@
+//! The checksummed container framing every stored artifact.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "TPS1"
+//! 4       4     format version (1)
+//! 8       4     artifact kind tag (caller-defined)
+//! 12      8     payload length in bytes
+//! 20      4     CRC-32 of the payload
+//! 24      n     payload
+//! ```
+//!
+//! The header carries the checksum so a reader can detect truncation
+//! (declared length vs bytes present) and corruption (CRC mismatch)
+//! before handing the payload to a deserializer.
+
+use crate::crc32::crc32;
+
+/// File magic.
+pub const MAGIC: &[u8; 4] = b"TPS1";
+/// Current container version.
+pub const VERSION: u32 = 1;
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// Artifact kind tags used across the workspace. Callers may define
+/// their own tags; these are the reserved ones.
+pub mod kind {
+    /// A serialized LDA model (LDAB payload).
+    pub const LDA_MODEL: u32 = 1;
+    /// A serialized inverted index.
+    pub const INVERTED_INDEX: u32 = 2;
+    /// A vocabulary table.
+    pub const VOCABULARY: u32 = 3;
+    /// A reduced-model vocabulary map.
+    pub const VOCAB_MAP: u32 = 4;
+    /// Benchmark/result cache entries.
+    pub const RESULT_CACHE: u32 = 5;
+}
+
+/// Container decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Input does not start with the container magic.
+    BadMagic,
+    /// Unsupported container version.
+    BadVersion(u32),
+    /// The artifact kind differs from what the caller expected.
+    KindMismatch {
+        /// Tag the caller expected.
+        expected: u32,
+        /// Tag found in the header.
+        found: u32,
+    },
+    /// Fewer bytes present than the header declares.
+    Truncated {
+        /// Bytes the header promises.
+        declared: u64,
+        /// Payload bytes actually present.
+        present: u64,
+    },
+    /// Payload bytes do not match the stored checksum.
+    ChecksumMismatch {
+        /// Checksum in the header.
+        stored: u32,
+        /// Checksum of the bytes read.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "not a TPS1 container"),
+            StoreError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            StoreError::KindMismatch { expected, found } => {
+                write!(f, "artifact kind mismatch: expected {expected}, found {found}")
+            }
+            StoreError::Truncated { declared, present } => {
+                write!(f, "container truncated: {present} of {declared} payload bytes")
+            }
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Frames `payload` into a container blob.
+pub fn seal(kind_tag: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&kind_tag.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verifies a container blob and returns `(kind, payload)`.
+pub fn unseal(bytes: &[u8]) -> Result<(u32, &[u8]), StoreError> {
+    if bytes.len() < HEADER_LEN || &bytes[0..4] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(StoreError::BadVersion(version));
+    }
+    let kind_tag = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let declared = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let stored = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let present = (bytes.len() - HEADER_LEN) as u64;
+    if present < declared {
+        return Err(StoreError::Truncated { declared, present });
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + declared as usize];
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    Ok((kind_tag, payload))
+}
+
+/// [`unseal`] with a kind expectation.
+pub fn unseal_kind(bytes: &[u8], expected: u32) -> Result<&[u8], StoreError> {
+    let (found, payload) = unseal(bytes)?;
+    if found != expected {
+        return Err(StoreError::KindMismatch { expected, found });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let payload = b"hello artifacts";
+        let blob = seal(kind::LDA_MODEL, payload);
+        let (k, p) = unseal(&blob).unwrap();
+        assert_eq!(k, kind::LDA_MODEL);
+        assert_eq!(p, payload);
+        assert_eq!(unseal_kind(&blob, kind::LDA_MODEL).unwrap(), payload);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let blob = seal(7, b"");
+        let (k, p) = unseal(&blob).unwrap();
+        assert_eq!(k, 7);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn rejects_foreign_bytes() {
+        assert_eq!(unseal(b"not a container at all").unwrap_err(), StoreError::BadMagic);
+        assert_eq!(unseal(b"").unwrap_err(), StoreError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_version_bump() {
+        let mut blob = seal(1, b"x");
+        blob[4] = 9;
+        assert_eq!(unseal(&blob).unwrap_err(), StoreError::BadVersion(9));
+    }
+
+    #[test]
+    fn rejects_kind_mismatch() {
+        let blob = seal(kind::VOCABULARY, b"x");
+        assert!(matches!(
+            unseal_kind(&blob, kind::LDA_MODEL).unwrap_err(),
+            StoreError::KindMismatch { expected: 1, found: 3 }
+        ));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let blob = seal(1, b"0123456789");
+        let cut = &blob[..blob.len() - 3];
+        assert!(matches!(
+            unseal(cut).unwrap_err(),
+            StoreError::Truncated { declared: 10, present: 7 }
+        ));
+    }
+
+    #[test]
+    fn detects_payload_corruption() {
+        let mut blob = seal(1, b"0123456789");
+        let last = blob.len() - 1;
+        blob[last] ^= 0x40;
+        assert!(matches!(
+            unseal(&blob).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn tolerates_trailing_garbage() {
+        // Extra bytes after the declared payload are ignored (e.g. a
+        // pre-allocated file): the declared length wins.
+        let mut blob = seal(2, b"payload");
+        blob.extend_from_slice(b"JUNKJUNK");
+        let (k, p) = unseal(&blob).unwrap();
+        assert_eq!(k, 2);
+        assert_eq!(p, b"payload");
+    }
+}

@@ -1,0 +1,36 @@
+//! # tsearch-store
+//!
+//! On-disk persistence substrate: a checksummed container format, atomic
+//! file replacement, and a manifest-backed artifact store.
+//!
+//! The paper's client keeps a ~140 MB LDA model on disk between sessions
+//! (Section V-D); the search engine keeps its inverted index. Neither may
+//! silently load a torn or bit-rotted file — a corrupted `Pr(w|t)` matrix
+//! would mis-certify privacy requirements without any visible failure.
+//! Every artifact is therefore framed with a CRC-32-checked header
+//! ([`container`]), written via temp-file-plus-rename ([`atomic`]), and
+//! tracked in a manifest ([`artifact::ArtifactStore`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use tsearch_store::{ArtifactStore, kind};
+//!
+//! let dir = std::env::temp_dir().join("tsearch-store-doc");
+//! let mut store = ArtifactStore::open(&dir).unwrap();
+//! store.put("lda-k200", kind::LDA_MODEL, b"...model bytes...").unwrap();
+//! let bytes = store.get("lda-k200", kind::LDA_MODEL).unwrap();
+//! assert_eq!(bytes, b"...model bytes...");
+//! assert!(store.verify_all().is_empty());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod artifact;
+pub mod atomic;
+pub mod container;
+pub mod crc32;
+
+pub use artifact::{ArtifactError, ArtifactMeta, ArtifactStore};
+pub use atomic::{atomic_write, sweep_temp_files};
+pub use container::{kind, seal, unseal, unseal_kind, StoreError};
+pub use crc32::{crc32, Crc32};

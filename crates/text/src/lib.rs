@@ -1,0 +1,34 @@
+//! # tsearch-text
+//!
+//! Text analysis substrate for the TopPriv reproduction: tokenizer,
+//! stopword filtering, a full Porter stemmer, and vocabulary interning.
+//!
+//! All downstream components (the inverted index in `tsearch-index`, the
+//! search engine in `tsearch-search`, and the LDA topic model in
+//! `tsearch-lda`) share one [`Analyzer`] and one [`Vocabulary`] so that
+//! index-time and query-time token streams are identical — a prerequisite
+//! for the belief computations of the privacy layer to be consistent with
+//! what the search engine observes.
+//!
+//! ## Example
+//!
+//! ```
+//! use tsearch_text::{Analyzer, Vocabulary};
+//!
+//! let analyzer = Analyzer::new();
+//! let mut vocab = Vocabulary::new();
+//! let ids = analyzer.analyze_into("the AH-64 Apache helicopter", &mut vocab);
+//! vocab.observe_document(&ids);
+//! assert_eq!(ids.len(), 3); // "the" and "and" removed, rest interned
+//! assert_eq!(vocab.term(ids[0]), "ah64");
+//! ```
+
+pub mod stem;
+pub mod stopwords;
+pub mod token;
+pub mod vocab;
+
+pub use stem::PorterStemmer;
+pub use stopwords::{StopwordList, DEFAULT_STOPWORDS};
+pub use token::{Analyzer, AnalyzerConfig, Tokenizer};
+pub use vocab::{TermId, Vocabulary};

@@ -1,0 +1,450 @@
+//! A complete implementation of the Porter stemming algorithm.
+//!
+//! The algorithm is described in M. F. Porter, "An algorithm for suffix
+//! stripping", *Program* 14(3), 1980. It reduces English words to their
+//! stems in five ordered steps of suffix rewrites, each guarded by a
+//! *measure* condition on the remaining stem.
+//!
+//! This implementation operates on ASCII lowercase input (the tokenizer
+//! guarantees that) and is allocation-free for words that are not stemmed.
+
+/// The Porter stemmer.
+///
+/// The stemmer itself is stateless; a value exists so callers can hold it as
+/// a component of an analysis pipeline and so alternative stemmers can be
+/// swapped in behind the same interface later.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PorterStemmer;
+
+impl PorterStemmer {
+    /// Creates a new stemmer.
+    pub fn new() -> Self {
+        PorterStemmer
+    }
+
+    /// Stems `word`, returning the stem as an owned string.
+    ///
+    /// Words shorter than 3 characters are returned unchanged, per the
+    /// original algorithm's guidance.
+    pub fn stem(&self, word: &str) -> String {
+        if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+            return word.to_string();
+        }
+        let mut buf: Vec<u8> = word.as_bytes().to_vec();
+        let mut end = buf.len();
+        end = step1a(&mut buf, end);
+        end = step1b(&mut buf, end);
+        end = step1c(&mut buf, end);
+        end = step2(&mut buf, end);
+        end = step3(&mut buf, end);
+        end = step4(&mut buf, end);
+        end = step5a(&mut buf, end);
+        end = step5b(&buf, end);
+        buf.truncate(end);
+        // Safety of from_utf8: we only ever keep ASCII lowercase bytes.
+        String::from_utf8(buf).expect("stemmer output is ASCII")
+    }
+}
+
+/// Returns true if `buf[i]` is a consonant in the Porter sense, considering
+/// context for the letter `y`.
+fn is_consonant(buf: &[u8], i: usize) -> bool {
+    match buf[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(buf, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Computes the Porter measure m of `buf[..end]`: the number of VC
+/// (vowel-sequence followed by consonant-sequence) transitions.
+fn measure(buf: &[u8], end: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < end && is_consonant(buf, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < end && !is_consonant(buf, i) {
+            i += 1;
+        }
+        if i >= end {
+            return m;
+        }
+        m += 1;
+        // Skip consonants.
+        while i < end && is_consonant(buf, i) {
+            i += 1;
+        }
+        if i >= end {
+            return m;
+        }
+    }
+}
+
+/// Whether `buf[..end]` contains a vowel.
+fn has_vowel(buf: &[u8], end: usize) -> bool {
+    (0..end).any(|i| !is_consonant(buf, i))
+}
+
+/// Whether `buf[..end]` ends with a double consonant.
+fn ends_double_consonant(buf: &[u8], end: usize) -> bool {
+    end >= 2 && buf[end - 1] == buf[end - 2] && is_consonant(buf, end - 1)
+}
+
+/// Whether `buf[..end]` ends consonant-vowel-consonant, where the final
+/// consonant is not w, x or y. Used to restore a trailing `e` (e.g. -ate).
+fn ends_cvc(buf: &[u8], end: usize) -> bool {
+    if end < 3 {
+        return false;
+    }
+    let (a, b, c) = (end - 3, end - 2, end - 1);
+    is_consonant(buf, a)
+        && !is_consonant(buf, b)
+        && is_consonant(buf, c)
+        && !matches!(buf[c], b'w' | b'x' | b'y')
+}
+
+/// Whether `buf[..end]` ends with `suffix`.
+fn ends_with(buf: &[u8], end: usize, suffix: &[u8]) -> bool {
+    end >= suffix.len() && &buf[end - suffix.len()..end] == suffix
+}
+
+/// Replaces the trailing `suffix` (assumed present) with `replacement`,
+/// returning the new logical end.
+fn set_suffix(buf: &mut Vec<u8>, end: usize, suffix: &[u8], replacement: &[u8]) -> usize {
+    let stem_end = end - suffix.len();
+    buf.truncate(stem_end);
+    buf.extend_from_slice(replacement);
+    stem_end + replacement.len()
+}
+
+/// Step 1a: plural reductions (sses->ss, ies->i, ss->ss, s->"").
+fn step1a(buf: &mut Vec<u8>, end: usize) -> usize {
+    if ends_with(buf, end, b"sses") {
+        set_suffix(buf, end, b"sses", b"ss")
+    } else if ends_with(buf, end, b"ies") {
+        set_suffix(buf, end, b"ies", b"i")
+    } else if ends_with(buf, end, b"ss") {
+        end
+    } else if ends_with(buf, end, b"s") {
+        set_suffix(buf, end, b"s", b"")
+    } else {
+        end
+    }
+}
+
+/// Post-processing shared by the -ed / -ing branches of step 1b.
+fn step1b_fixup(buf: &mut Vec<u8>, end: usize) -> usize {
+    if ends_with(buf, end, b"at") {
+        set_suffix(buf, end, b"at", b"ate")
+    } else if ends_with(buf, end, b"bl") {
+        set_suffix(buf, end, b"bl", b"ble")
+    } else if ends_with(buf, end, b"iz") {
+        set_suffix(buf, end, b"iz", b"ize")
+    } else if ends_double_consonant(buf, end) && !matches!(buf[end - 1], b'l' | b's' | b'z') {
+        end - 1
+    } else if measure(buf, end) == 1 && ends_cvc(buf, end) {
+        set_suffix(buf, end, b"", b"e")
+    } else {
+        end
+    }
+}
+
+/// Step 1b: -eed, -ed, -ing.
+fn step1b(buf: &mut Vec<u8>, end: usize) -> usize {
+    if ends_with(buf, end, b"eed") {
+        if measure(buf, end - 3) > 0 {
+            return set_suffix(buf, end, b"eed", b"ee");
+        }
+        return end;
+    }
+    if ends_with(buf, end, b"ed") && has_vowel(buf, end - 2) {
+        let end = set_suffix(buf, end, b"ed", b"");
+        return step1b_fixup(buf, end);
+    }
+    if ends_with(buf, end, b"ing") && has_vowel(buf, end - 3) {
+        let end = set_suffix(buf, end, b"ing", b"");
+        return step1b_fixup(buf, end);
+    }
+    end
+}
+
+/// Step 1c: terminal y -> i when the stem contains a vowel.
+fn step1c(buf: &mut [u8], end: usize) -> usize {
+    if ends_with(buf, end, b"y") && has_vowel(buf, end - 1) {
+        buf[end - 1] = b'i';
+    }
+    end
+}
+
+/// Applies the first matching (suffix, replacement) rule whose stem measure
+/// exceeds `min_measure`.
+fn apply_rules(
+    buf: &mut Vec<u8>,
+    end: usize,
+    rules: &[(&[u8], &[u8])],
+    min_measure: usize,
+) -> usize {
+    for &(suffix, replacement) in rules {
+        if ends_with(buf, end, suffix) {
+            if measure(buf, end - suffix.len()) > min_measure {
+                return set_suffix(buf, end, suffix, replacement);
+            }
+            return end;
+        }
+    }
+    end
+}
+
+/// Step 2: double-suffix reductions for m > 0 (e.g. -ational -> -ate).
+fn step2(buf: &mut Vec<u8>, end: usize) -> usize {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"ational", b"ate"),
+        (b"tional", b"tion"),
+        (b"enci", b"ence"),
+        (b"anci", b"ance"),
+        (b"izer", b"ize"),
+        (b"abli", b"able"),
+        (b"alli", b"al"),
+        (b"entli", b"ent"),
+        (b"eli", b"e"),
+        (b"ousli", b"ous"),
+        (b"ization", b"ize"),
+        (b"ation", b"ate"),
+        (b"ator", b"ate"),
+        (b"alism", b"al"),
+        (b"iveness", b"ive"),
+        (b"fulness", b"ful"),
+        (b"ousness", b"ous"),
+        (b"aliti", b"al"),
+        (b"iviti", b"ive"),
+        (b"biliti", b"ble"),
+    ];
+    apply_rules(buf, end, RULES, 0)
+}
+
+/// Step 3: -icate, -ative, etc. for m > 0.
+fn step3(buf: &mut Vec<u8>, end: usize) -> usize {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"icate", b"ic"),
+        (b"ative", b""),
+        (b"alize", b"al"),
+        (b"iciti", b"ic"),
+        (b"ical", b"ic"),
+        (b"ful", b""),
+        (b"ness", b""),
+    ];
+    apply_rules(buf, end, RULES, 0)
+}
+
+/// Step 4: strip residual suffixes for m > 1. The -ion rule additionally
+/// requires the stem to end in s or t.
+fn step4(buf: &mut Vec<u8>, end: usize) -> usize {
+    const RULES: &[&[u8]] = &[
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+        b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+    ];
+    // -ion needs special stem-final-letter handling and must be checked in
+    // correct longest-match order relative to -ement/-ment/-ent.
+    if ends_with(buf, end, b"ion") {
+        let stem_end = end - 3;
+        if stem_end > 0
+            && matches!(buf[stem_end - 1], b's' | b't')
+            && measure(buf, stem_end) > 1
+        {
+            return set_suffix(buf, end, b"ion", b"");
+        }
+        // -ion matched but condition failed: but a longer suffix like
+        // -ation was already handled in step 2; nothing more to do.
+        return end;
+    }
+    // Longest-match: sort by trying longer suffixes first where they overlap.
+    let mut ordered: Vec<&[u8]> = RULES.to_vec();
+    ordered.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    for suffix in ordered {
+        if ends_with(buf, end, suffix) {
+            if measure(buf, end - suffix.len()) > 1 {
+                return set_suffix(buf, end, suffix, b"");
+            }
+            return end;
+        }
+    }
+    end
+}
+
+/// Step 5a: drop terminal e for m > 1, or m == 1 when not CVC.
+fn step5a(buf: &mut [u8], end: usize) -> usize {
+    if ends_with(buf, end, b"e") {
+        let m = measure(buf, end - 1);
+        if m > 1 || (m == 1 && !ends_cvc(buf, end - 1)) {
+            return end - 1;
+        }
+    }
+    end
+}
+
+/// Step 5b: -ll -> -l for m > 1.
+fn step5b(buf: &[u8], end: usize) -> usize {
+    if end >= 2 && buf[end - 1] == b'l' && ends_double_consonant(buf, end) && measure(buf, end) > 1
+    {
+        end - 1
+    } else {
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(word: &str) -> String {
+        PorterStemmer::new().stem(word)
+    }
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(s("caresses"), "caress");
+        assert_eq!(s("ponies"), "poni");
+        assert_eq!(s("ties"), "ti");
+        assert_eq!(s("caress"), "caress");
+        assert_eq!(s("cats"), "cat");
+        assert_eq!(s("feed"), "feed");
+        assert_eq!(s("agreed"), "agre");
+        assert_eq!(s("plastered"), "plaster");
+        assert_eq!(s("bled"), "bled");
+        assert_eq!(s("motoring"), "motor");
+        assert_eq!(s("sing"), "sing");
+    }
+
+    #[test]
+    fn step1b_fixups() {
+        assert_eq!(s("conflated"), "conflat");
+        assert_eq!(s("troubled"), "troubl");
+        assert_eq!(s("sized"), "size");
+        assert_eq!(s("hopping"), "hop");
+        assert_eq!(s("tanned"), "tan");
+        assert_eq!(s("falling"), "fall");
+        assert_eq!(s("hissing"), "hiss");
+        assert_eq!(s("fizzed"), "fizz");
+        assert_eq!(s("failing"), "fail");
+        assert_eq!(s("filing"), "file");
+    }
+
+    #[test]
+    fn terminal_y() {
+        assert_eq!(s("happy"), "happi");
+        assert_eq!(s("sky"), "sky");
+    }
+
+    #[test]
+    fn step2_suffixes() {
+        assert_eq!(s("relational"), "relat");
+        assert_eq!(s("conditional"), "condit");
+        assert_eq!(s("rational"), "ration");
+        assert_eq!(s("valenci"), "valenc");
+        assert_eq!(s("hesitanci"), "hesit");
+        assert_eq!(s("digitizer"), "digit");
+        assert_eq!(s("conformabli"), "conform");
+        assert_eq!(s("radicalli"), "radic");
+        assert_eq!(s("differentli"), "differ");
+        assert_eq!(s("vileli"), "vile");
+        assert_eq!(s("analogousli"), "analog");
+        assert_eq!(s("vietnamization"), "vietnam");
+        assert_eq!(s("predication"), "predic");
+        assert_eq!(s("operator"), "oper");
+        assert_eq!(s("feudalism"), "feudal");
+        assert_eq!(s("decisiveness"), "decis");
+        assert_eq!(s("hopefulness"), "hope");
+        assert_eq!(s("callousness"), "callous");
+        assert_eq!(s("formaliti"), "formal");
+        assert_eq!(s("sensitiviti"), "sensit");
+        assert_eq!(s("sensibiliti"), "sensibl");
+    }
+
+    #[test]
+    fn step3_suffixes() {
+        assert_eq!(s("triplicate"), "triplic");
+        assert_eq!(s("formative"), "form");
+        assert_eq!(s("formalize"), "formal");
+        assert_eq!(s("electriciti"), "electr");
+        assert_eq!(s("electrical"), "electr");
+        assert_eq!(s("hopeful"), "hope");
+        assert_eq!(s("goodness"), "good");
+    }
+
+    #[test]
+    fn step4_suffixes() {
+        assert_eq!(s("revival"), "reviv");
+        assert_eq!(s("allowance"), "allow");
+        assert_eq!(s("inference"), "infer");
+        assert_eq!(s("airliner"), "airlin");
+        assert_eq!(s("gyroscopic"), "gyroscop");
+        assert_eq!(s("adjustable"), "adjust");
+        assert_eq!(s("defensible"), "defens");
+        assert_eq!(s("irritant"), "irrit");
+        assert_eq!(s("replacement"), "replac");
+        assert_eq!(s("adjustment"), "adjust");
+        assert_eq!(s("dependent"), "depend");
+        assert_eq!(s("adoption"), "adopt");
+        assert_eq!(s("homologou"), "homolog");
+        assert_eq!(s("communism"), "commun");
+        assert_eq!(s("activate"), "activ");
+        assert_eq!(s("angulariti"), "angular");
+        assert_eq!(s("homologous"), "homolog");
+        assert_eq!(s("effective"), "effect");
+        assert_eq!(s("bowdlerize"), "bowdler");
+    }
+
+    #[test]
+    fn step5_suffixes() {
+        assert_eq!(s("probate"), "probat");
+        assert_eq!(s("rate"), "rate");
+        assert_eq!(s("cease"), "ceas");
+        assert_eq!(s("controll"), "control");
+        assert_eq!(s("roll"), "roll");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(s("a"), "a");
+        assert_eq!(s("is"), "is");
+        assert_eq!(s("be"), "be");
+    }
+
+    #[test]
+    fn non_lowercase_untouched() {
+        assert_eq!(s("Apple"), "Apple");
+        assert_eq!(s("item42"), "item42");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        let stemmer = PorterStemmer::new();
+        for word in [
+            "helicopter",
+            "compression",
+            "education",
+            "technology",
+            "investors",
+            "searching",
+            "queries",
+        ] {
+            let once = stemmer.stem(word);
+            let twice = stemmer.stem(&once);
+            // Porter is not idempotent for all English, but it is for these
+            // and the property test in the tokenizer module covers the
+            // pipeline-level contract (stemming an already-stemmed token is
+            // what the index effectively relies on).
+            assert_eq!(once, twice, "word {word}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Stopword handling.
+//!
+//! The paper removes stopwords ("common words like 'the' and 'a' that are not
+//! useful for differentiating between documents") before indexing and topic
+//! modeling. We ship the classic SMART-derived English stopword list and allow
+//! callers to extend it with corpus-specific entries.
+
+use std::collections::HashSet;
+
+/// Default English stopword list (a compact SMART/Glasgow-style list).
+pub const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+    "doing", "don", "down", "during", "each", "few", "for", "from", "further", "had", "hadn",
+    "has", "hasn", "have", "haven", "having", "he", "her", "here", "hers", "herself", "him",
+    "himself", "his", "how", "i", "if", "in", "into", "is", "isn", "it", "its", "itself", "let",
+    "me", "more", "most", "mustn", "my", "myself", "no", "nor", "not", "of", "off", "on", "once",
+    "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own", "same",
+    "shan", "she", "should", "shouldn", "so", "some", "such", "than", "that", "the", "their",
+    "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those", "through",
+    "to", "too", "under", "until", "up", "very", "was", "wasn", "we", "were", "weren", "what",
+    "when", "where", "which", "while", "who", "whom", "why", "with", "won", "would", "wouldn",
+    "you", "your", "yours", "yourself", "yourselves", "also", "however", "thus", "hence",
+    "therefore", "will", "shall", "may", "might", "must", "one", "two", "many", "much", "said",
+    "says", "say", "new", "mr", "mrs", "ms",
+];
+
+/// A set of stopwords with O(1) membership tests.
+#[derive(Debug, Clone)]
+pub struct StopwordList {
+    words: HashSet<String>,
+}
+
+impl StopwordList {
+    /// Builds the default English list.
+    pub fn english() -> Self {
+        Self {
+            words: DEFAULT_STOPWORDS.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Builds an empty list (no stopword filtering).
+    pub fn empty() -> Self {
+        Self {
+            words: HashSet::new(),
+        }
+    }
+
+    /// Builds a list from arbitrary words (lowercased).
+    pub fn from_words<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self {
+            words: words
+                .into_iter()
+                .map(|w| w.as_ref().to_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Adds a word to the list.
+    pub fn insert(&mut self, word: &str) {
+        self.words.insert(word.to_lowercase());
+    }
+
+    /// Tests whether `word` (assumed lowercase) is a stopword.
+    pub fn contains(&self, word: &str) -> bool {
+        self.words.contains(word)
+    }
+
+    /// Number of stopwords in the list.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+impl Default for StopwordList {
+    fn default() -> Self {
+        Self::english()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english_list_contains_classics() {
+        let sw = StopwordList::english();
+        for w in ["the", "a", "and", "of", "is"] {
+            assert!(sw.contains(w), "{w} should be a stopword");
+        }
+        assert!(!sw.contains("helicopter"));
+    }
+
+    #[test]
+    fn empty_list_matches_nothing() {
+        let sw = StopwordList::empty();
+        assert!(!sw.contains("the"));
+        assert!(sw.is_empty());
+    }
+
+    #[test]
+    fn custom_words_are_lowercased() {
+        let mut sw = StopwordList::from_words(["WSJ", "Journal"]);
+        assert!(sw.contains("wsj"));
+        assert!(sw.contains("journal"));
+        assert_eq!(sw.len(), 2);
+        sw.insert("Corp");
+        assert!(sw.contains("corp"));
+    }
+
+    #[test]
+    fn default_is_english() {
+        assert!(StopwordList::default().contains("the"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Tokenization and the analysis pipeline.
+//!
+//! The [`Analyzer`] combines tokenization, stopword removal, and optional
+//! Porter stemming into the single pipeline that both the search engine and
+//! the topic model use — it is important that the two sides agree exactly on
+//! the token stream, otherwise query-time belief inference would diverge from
+//! index-time statistics.
+
+use crate::stem::PorterStemmer;
+use crate::stopwords::StopwordList;
+use crate::vocab::{TermId, Vocabulary};
+
+/// Splits raw text into lowercase alphanumeric tokens.
+///
+/// Rules, chosen to match classic IR preprocessing of the WSJ corpus:
+/// - Unicode alphabetic and numeric runs form tokens; everything else is a
+///   separator, except `-`, `'` and `.` *inside* a token which are dropped
+///   (so "ah-64" -> "ah64", "u.s." -> "us").
+/// - Tokens are lowercased.
+/// - Tokens of length < 2 are discarded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tokenizer;
+
+impl Tokenizer {
+    /// Creates a tokenizer.
+    pub fn new() -> Self {
+        Tokenizer
+    }
+
+    /// Tokenizes `text` into owned lowercase tokens.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        let mut current = String::new();
+        let mut chars = text.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c.is_alphanumeric() {
+                for lc in c.to_lowercase() {
+                    current.push(lc);
+                }
+            } else if matches!(c, '-' | '\'' | '.')
+                && !current.is_empty()
+                && chars.peek().map(|n| n.is_alphanumeric()).unwrap_or(false)
+            {
+                // Intra-token punctuation: drop the character, keep the run.
+                continue;
+            } else if !current.is_empty() {
+                if current.chars().count() >= 2 {
+                    tokens.push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
+            }
+        }
+        if current.chars().count() >= 2 {
+            tokens.push(current);
+        }
+        tokens
+    }
+}
+
+/// Configuration for an [`Analyzer`].
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Whether to apply Porter stemming after stopword removal.
+    pub stemming: bool,
+    /// Minimum token length (after stemming) to keep.
+    pub min_token_len: usize,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        Self {
+            stemming: false,
+            min_token_len: 2,
+        }
+    }
+}
+
+/// The full text analysis pipeline: tokenize, drop stopwords, stem, filter.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    tokenizer: Tokenizer,
+    stopwords: StopwordList,
+    stemmer: PorterStemmer,
+    config: AnalyzerConfig,
+}
+
+impl Analyzer {
+    /// Builds the default analyzer: English stopwords, no stemming.
+    ///
+    /// Stemming defaults to off because the synthetic corpus generator emits
+    /// already-canonical terms; enable it for natural-language corpora.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an analyzer with explicit parts.
+    pub fn with_parts(stopwords: StopwordList, config: AnalyzerConfig) -> Self {
+        Self {
+            tokenizer: Tokenizer::new(),
+            stopwords,
+            stemmer: PorterStemmer::new(),
+            config,
+        }
+    }
+
+    /// Builds an analyzer with stemming enabled.
+    pub fn with_stemming() -> Self {
+        Self::with_parts(
+            StopwordList::english(),
+            AnalyzerConfig {
+                stemming: true,
+                ..AnalyzerConfig::default()
+            },
+        )
+    }
+
+    /// Analyzes text into surface token strings (no vocabulary interning).
+    pub fn analyze(&self, text: &str) -> Vec<String> {
+        self.tokenizer
+            .tokenize(text)
+            .into_iter()
+            .filter(|t| !self.stopwords.contains(t))
+            .map(|t| {
+                if self.config.stemming {
+                    self.stemmer.stem(&t)
+                } else {
+                    t
+                }
+            })
+            .filter(|t| t.chars().count() >= self.config.min_token_len)
+            .collect()
+    }
+
+    /// Analyzes text and interns the resulting tokens into `vocab`,
+    /// returning the token id sequence. Does *not* update collection
+    /// statistics; callers indexing documents should follow up with
+    /// [`Vocabulary::observe_document`].
+    pub fn analyze_into(&self, text: &str, vocab: &mut Vocabulary) -> Vec<TermId> {
+        self.analyze(text)
+            .iter()
+            .map(|t| vocab.intern(t))
+            .collect()
+    }
+
+    /// Analyzes text against a *frozen* vocabulary: unseen terms are dropped.
+    /// This is the query-time path.
+    pub fn analyze_frozen(&self, text: &str, vocab: &Vocabulary) -> Vec<TermId> {
+        self.analyze(text)
+            .iter()
+            .filter_map(|t| vocab.get(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_basics() {
+        let t = Tokenizer::new();
+        assert_eq!(
+            t.tokenize("AH-64 Apache helicopter!"),
+            vec!["ah64", "apache", "helicopter"]
+        );
+        assert_eq!(t.tokenize("u.s. army"), vec!["us", "army"]);
+        assert_eq!(t.tokenize("a I x"), Vec::<String>::new());
+        assert_eq!(t.tokenize(""), Vec::<String>::new());
+        assert_eq!(t.tokenize("  --  "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn tokenizer_keeps_digits() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("SQ-333 Changi"), vec!["sq333", "changi"]);
+    }
+
+    #[test]
+    fn analyzer_removes_stopwords() {
+        let a = Analyzer::new();
+        assert_eq!(
+            a.analyze("the Apache helicopter and the tank"),
+            vec!["apache", "helicopter", "tank"]
+        );
+    }
+
+    #[test]
+    fn analyzer_with_stemming() {
+        let a = Analyzer::with_stemming();
+        assert_eq!(
+            a.analyze("searching queries effectively"),
+            vec!["search", "queri", "effect"]
+        );
+    }
+
+    #[test]
+    fn analyze_into_and_frozen_agree() {
+        let a = Analyzer::new();
+        let mut v = Vocabulary::new();
+        let ids = a.analyze_into("apache helicopter weapons", &mut v);
+        assert_eq!(ids.len(), 3);
+        let frozen = a.analyze_frozen("apache helicopter weapons", &v);
+        assert_eq!(ids, frozen);
+        // Unseen terms are dropped in frozen mode.
+        let partial = a.analyze_frozen("apache submarine", &v);
+        assert_eq!(partial, vec![ids[0]]);
+    }
+
+    #[test]
+    fn min_token_len_filter() {
+        let a = Analyzer::with_parts(
+            StopwordList::empty(),
+            AnalyzerConfig {
+                stemming: false,
+                min_token_len: 4,
+            },
+        );
+        assert_eq!(a.analyze("cat category"), vec!["category"]);
+    }
+}

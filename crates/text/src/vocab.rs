@@ -1,0 +1,200 @@
+//! Vocabulary interning.
+//!
+//! Every term that survives analysis is assigned a dense [`TermId`] so the
+//! index, LDA model, and privacy layer can all work with integer ids and
+//! dense arrays instead of strings.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense identifier of a vocabulary term.
+pub type TermId = u32;
+
+/// An interning vocabulary that maps terms to dense [`TermId`]s and tracks
+/// collection-level statistics (document frequency, collection frequency).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    term_to_id: HashMap<String, TermId>,
+    id_to_term: Vec<String>,
+    /// Number of documents each term occurs in.
+    doc_freq: Vec<u32>,
+    /// Total number of occurrences of each term across the collection.
+    collection_freq: Vec<u64>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its id. Statistics are *not* updated; use
+    /// [`Vocabulary::observe_document`] for that.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.term_to_id.get(term) {
+            return id;
+        }
+        let id = self.id_to_term.len() as TermId;
+        self.term_to_id.insert(term.to_string(), id);
+        self.id_to_term.push(term.to_string());
+        self.doc_freq.push(0);
+        self.collection_freq.push(0);
+        id
+    }
+
+    /// Looks up a term id without interning.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.term_to_id.get(term).copied()
+    }
+
+    /// Returns the string form of `id`.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.id_to_term[id as usize]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.id_to_term.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_term.is_empty()
+    }
+
+    /// Document frequency of `id`.
+    pub fn doc_freq(&self, id: TermId) -> u32 {
+        self.doc_freq[id as usize]
+    }
+
+    /// Collection frequency of `id`.
+    pub fn collection_freq(&self, id: TermId) -> u64 {
+        self.collection_freq[id as usize]
+    }
+
+    /// Records the terms of one document: document frequency is incremented
+    /// once per distinct term, collection frequency once per occurrence.
+    ///
+    /// `tokens` is the document's full (analyzed) token id sequence.
+    pub fn observe_document(&mut self, tokens: &[TermId]) {
+        let mut seen: Vec<TermId> = Vec::with_capacity(tokens.len());
+        for &t in tokens {
+            self.collection_freq[t as usize] += 1;
+            if !seen.contains(&t) {
+                seen.push(t);
+            }
+        }
+        // For long documents the linear `contains` above would degrade; the
+        // generator caps distinct terms per document well below levels where
+        // that matters, but be defensive for externally supplied documents.
+        if tokens.len() > 512 {
+            // Recompute with a hash set to keep doc_freq exact.
+            // (collection_freq above is already exact.)
+            seen.clear();
+        }
+        if seen.is_empty() && !tokens.is_empty() {
+            let set: std::collections::HashSet<TermId> = tokens.iter().copied().collect();
+            for t in set {
+                self.doc_freq[t as usize] += 1;
+            }
+        } else {
+            for t in seen {
+                self.doc_freq[t as usize] += 1;
+            }
+        }
+    }
+
+    /// Iterates over `(id, term)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.id_to_term
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TermId, t.as_str()))
+    }
+
+    /// Returns ids of terms whose document frequency is at least `min_df`.
+    pub fn ids_with_min_df(&self, min_df: u32) -> Vec<TermId> {
+        (0..self.len() as TermId)
+            .filter(|&id| self.doc_freq(id) >= min_df)
+            .collect()
+    }
+
+    /// Inverse document frequency with the standard `ln(N / df)` form.
+    /// Terms never observed get idf 0.
+    pub fn idf(&self, id: TermId, num_docs: usize) -> f64 {
+        let df = self.doc_freq(id);
+        if df == 0 || num_docs == 0 {
+            0.0
+        } else {
+            (num_docs as f64 / df as f64).ln()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("apple");
+        let b = v.intern("banana");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("apple"), a);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.term(a), "apple");
+        assert_eq!(v.get("banana"), Some(b));
+        assert_eq!(v.get("cherry"), None);
+    }
+
+    #[test]
+    fn observe_document_updates_frequencies() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("apple");
+        let b = v.intern("banana");
+        v.observe_document(&[a, a, b]);
+        v.observe_document(&[a]);
+        assert_eq!(v.doc_freq(a), 2);
+        assert_eq!(v.doc_freq(b), 1);
+        assert_eq!(v.collection_freq(a), 3);
+        assert_eq!(v.collection_freq(b), 1);
+    }
+
+    #[test]
+    fn long_document_doc_freq_exact() {
+        let mut v = Vocabulary::new();
+        let ids: Vec<TermId> = (0..600).map(|i| v.intern(&format!("w{i}"))).collect();
+        let mut doc = ids.clone();
+        doc.extend_from_slice(&ids); // every term twice
+        v.observe_document(&doc);
+        for &id in &ids {
+            assert_eq!(v.doc_freq(id), 1);
+            assert_eq!(v.collection_freq(id), 2);
+        }
+    }
+
+    #[test]
+    fn idf_behaviour() {
+        let mut v = Vocabulary::new();
+        let rare = v.intern("rare");
+        let common = v.intern("common");
+        v.observe_document(&[rare, common]);
+        v.observe_document(&[common]);
+        v.observe_document(&[common]);
+        assert!(v.idf(rare, 3) > v.idf(common, 3));
+        assert_eq!(v.idf(common, 3), (3f64 / 3f64).ln());
+        let unseen = v.intern("unseen");
+        assert_eq!(v.idf(unseen, 3), 0.0);
+    }
+
+    #[test]
+    fn min_df_filter() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("a1");
+        let b = v.intern("b1");
+        v.observe_document(&[a, b]);
+        v.observe_document(&[a]);
+        assert_eq!(v.ids_with_min_df(2), vec![a]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Server-side cost of privacy: what the υ−1 ghost queries per cycle do
+//! to the search engine's throughput, and what pacing does to the
+//! client's latency.
+//!
+//! The paper notes the ghosts "are responsible for the overhead of
+//! privacy protection on the search engine" (Section V-A) without
+//! measuring it; this example replays a protected workload against the
+//! unmodified engine from several worker threads and reports the
+//! throughput tax, then shows the latency side of the trade-off when the
+//! Poisson pacing scheduler (timing-channel defense) is switched on.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example engine_load
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use toppriv::core::{PacingConfig, PacingScheduler, PacingStrategy};
+use toppriv::corpus::{generate_workload, WorkloadConfig};
+use toppriv::{
+    BeliefEngine, CorpusConfig, GhostConfig, GhostGenerator, PrivacyRequirement, SearchEngine,
+};
+
+const WORKERS: usize = 4;
+const TOP_K: usize = 10;
+const ROUND_FLOOR: usize = 4000;
+
+fn replay(engine: &Arc<SearchEngine>, stream: &[Vec<u32>]) -> f64 {
+    let rounds = ROUND_FLOOR.div_ceil(stream.len().max(1));
+    let total = stream.len() * rounds;
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..WORKERS {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                std::hint::black_box(engine.search_tokens(&stream[i % stream.len()], TOP_K));
+            });
+        }
+    });
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let (corpus, engine, model) = toppriv::build_demo_stack(
+        CorpusConfig {
+            num_docs: 1500,
+            num_topics: 16,
+            terms_per_topic: 80,
+            ..CorpusConfig::default()
+        },
+        32,
+        40,
+    );
+    let queries = generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            num_queries: 40,
+            ..WorkloadConfig::default()
+        },
+    );
+    let engine = Arc::new(engine);
+    let generator = GhostGenerator::new(
+        BeliefEngine::new(&model),
+        PrivacyRequirement::paper_default(),
+        GhostConfig::default(),
+    );
+
+    println!("== throughput tax of ghost queries ({WORKERS} workers, top-{TOP_K}) ==");
+    let mut baseline = None;
+    for upsilon in [1usize, 2, 4, 8] {
+        let stream: Vec<Vec<u32>> = if upsilon == 1 {
+            queries.iter().map(|q| q.tokens.clone()).collect()
+        } else {
+            queries
+                .iter()
+                .flat_map(|q| {
+                    generator
+                        .generate_with_target(&q.tokens, upsilon)
+                        .cycle
+                        .into_iter()
+                        .map(|cq| cq.tokens)
+                })
+                .collect()
+        };
+        engine.clear_query_log();
+        let server_qps = replay(&engine, &stream);
+        let user_qps = server_qps * queries.len() as f64 / stream.len() as f64;
+        let base = *baseline.get_or_insert(user_qps);
+        println!(
+            "  upsilon={upsilon}: server {server_qps:9.0} q/s | user-visible {user_qps:9.0} q/s | slowdown {:.2}x",
+            base / user_qps
+        );
+    }
+
+    println!();
+    println!("== latency cost of the timing-channel defense ==");
+    for (name, strategy) in [
+        ("shuffled_burst (paper)", PacingStrategy::ShuffledBurst),
+        (
+            "poisson_spread 60s window / 5s cap",
+            PacingStrategy::PoissonSpread {
+                window_secs: 60.0,
+                max_genuine_delay_secs: 5.0,
+            },
+        ),
+    ] {
+        let mut scheduler = PacingScheduler::new(PacingConfig {
+            strategy,
+            ..Default::default()
+        });
+        let mut delays = Vec::new();
+        for q in &queries {
+            let cycle = generator.generate(&q.tokens);
+            let sched = scheduler.schedule(&cycle, 0.0);
+            delays.push(PacingScheduler::genuine_delay(&sched, 0.0));
+        }
+        delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = delays.iter().sum::<f64>() / delays.len() as f64;
+        let p95 = delays[(delays.len() * 95) / 100];
+        println!("  {name}: mean genuine delay {mean:.2}s, p95 {p95:.2}s");
+    }
+}

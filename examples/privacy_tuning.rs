@@ -1,0 +1,77 @@
+//! Tuning the (ε1, ε2) thresholds: the privacy/overhead trade-off.
+//!
+//! Sweeps ε2 for a fixed ε1 (Figure 2's axis) on a handful of queries and
+//! prints how exposure, cycle length, and generation time respond — the
+//! same trade-off an enterprise deployment would tune per user.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example privacy_tuning
+//! ```
+
+use toppriv::corpus::{generate_workload, WorkloadConfig};
+use toppriv::{
+    BeliefEngine, CorpusConfig, GhostConfig, GhostGenerator, PrivacyRequirement,
+};
+
+fn main() {
+    let (corpus, _engine, model) = toppriv::build_demo_stack(
+        CorpusConfig {
+            num_docs: 800,
+            num_topics: 12,
+            terms_per_topic: 80,
+            ..CorpusConfig::default()
+        },
+        24,
+        40,
+    );
+    let queries = generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            num_queries: 10,
+            ..WorkloadConfig::default()
+        },
+    );
+
+    let eps1 = 0.05;
+    println!("eps1 fixed at {:.0}%; sweeping eps2:", eps1 * 100.0);
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "eps2_%", "exposure_%", "mask_%", "cycle", "gen_ms", "satisfied"
+    );
+    for eps2 in [0.05, 0.04, 0.03, 0.02, 0.01, 0.005] {
+        let generator = GhostGenerator::new(
+            BeliefEngine::new(&model),
+            PrivacyRequirement::new(eps1, eps2).expect("eps1 >= eps2"),
+            GhostConfig::default(),
+        );
+        let mut exposure = 0.0;
+        let mut mask = 0.0;
+        let mut cycle = 0.0;
+        let mut gen_ms = 0.0;
+        let mut satisfied = 0usize;
+        for q in &queries {
+            let r = generator.generate(&q.tokens);
+            exposure += r.metrics.exposure;
+            mask += r.metrics.mask_level;
+            cycle += r.cycle_len() as f64;
+            gen_ms += r.metrics.generation_secs * 1000.0;
+            satisfied += r.satisfied as usize;
+        }
+        let n = queries.len() as f64;
+        println!(
+            "{:>8.1} {:>12.3} {:>12.3} {:>10.2} {:>12.1} {:>9}/{}",
+            eps2 * 100.0,
+            exposure / n * 100.0,
+            mask / n * 100.0,
+            cycle / n,
+            gen_ms / n,
+            satisfied,
+            queries.len()
+        );
+    }
+    println!(
+        "\nTighter eps2 => lower exposure but longer cycles (more ghost \
+         traffic) and more generation work, matching Figure 2 of the paper."
+    );
+}

@@ -1,0 +1,77 @@
+//! Quickstart: end-to-end private search with TopPriv.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use toppriv::{
+    BeliefEngine, CorpusConfig, GhostConfig, GhostGenerator, PrivacyRequirement, TrustedClient,
+};
+use toppriv::corpus::{generate_workload, WorkloadConfig};
+
+fn main() {
+    // 1. A corpus the enterprise search engine hosts (WSJ stand-in) and a
+    //    workload of topical queries (TREC stand-in).
+    let (corpus, engine, model) = toppriv::build_demo_stack(
+        CorpusConfig {
+            num_docs: 800,
+            num_topics: 12,
+            terms_per_topic: 80,
+            ..CorpusConfig::default()
+        },
+        24, // LDA topics
+        40, // Gibbs iterations
+    );
+    let queries = generate_workload(
+        &corpus,
+        &WorkloadConfig {
+            num_queries: 3,
+            ..WorkloadConfig::default()
+        },
+    );
+    let engine = Arc::new(engine);
+
+    // 2. The trusted client enforces (ε1, ε2)-privacy = (5%, 1%).
+    let client = TrustedClient::new(
+        engine.clone(),
+        GhostGenerator::new(
+            BeliefEngine::new(&model),
+            PrivacyRequirement::paper_default(),
+            GhostConfig::default(),
+        ),
+    );
+
+    for q in &queries {
+        println!("\n=== user query {}: \"{}\"", q.id, q.text);
+        let result = client.search(&q.text, 5);
+        let report = &result.report;
+        println!(
+            "    cycle: {} queries ({} ghosts), intention {:?}",
+            report.cycle_len(),
+            report.cycle_len() - 1,
+            report.intention
+        );
+        println!(
+            "    exposure {:.2}% (<= eps2? {}), mask level {:.2}%, generated in {:.0} ms",
+            report.metrics.exposure * 100.0,
+            report.satisfied,
+            report.metrics.mask_level * 100.0,
+            report.metrics.generation_secs * 1000.0
+        );
+        println!("    top hits (genuine results only):");
+        for hit in result.hits.iter().take(3) {
+            let text = engine.fetch_document(hit.doc_id).unwrap_or("<missing>");
+            let preview: String = text.chars().take(60).collect();
+            println!("      doc {:>4}  score {:.3}  {}...", hit.doc_id, hit.score, preview);
+        }
+    }
+
+    // 3. What the server-side adversary saw: only the mixed trace.
+    println!("\n=== server query log ({} entries)", engine.query_log().len());
+    for entry in engine.query_log().iter().take(8) {
+        let preview: String = entry.text.chars().take(70).collect();
+        println!("    #{:<3} {}", entry.ordinal, preview);
+    }
+}
