@@ -8,8 +8,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use toppriv_core::{semantic_coherence, BeliefEngine, GhostConfig, GhostGenerator,
-                   PrivacyRequirement};
+use std::sync::Arc;
+use toppriv_core::{
+    semantic_coherence, BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement,
+};
 use tsearch_lda::LdaModel;
 use tsearch_text::TermId;
 
@@ -19,13 +21,13 @@ use tsearch_text::TermId;
 /// construction, coherence gives the adversary no reliable signal; against
 /// TrackMeNot-style random ghosts it works very well.
 #[derive(Debug, Clone)]
-pub struct CoherenceAttack<'m> {
-    model: &'m LdaModel,
+pub struct CoherenceAttack {
+    model: Arc<LdaModel>,
 }
 
-impl<'m> CoherenceAttack<'m> {
+impl CoherenceAttack {
     /// Creates the attack.
-    pub fn new(model: &'m LdaModel) -> Self {
+    pub fn new(model: Arc<LdaModel>) -> Self {
         Self { model }
     }
 
@@ -35,7 +37,7 @@ impl<'m> CoherenceAttack<'m> {
         let mut best = 0usize;
         let mut best_score = f64::NEG_INFINITY;
         for (i, q) in cycle.iter().enumerate() {
-            let score = semantic_coherence(self.model, q);
+            let score = semantic_coherence(&self.model, q);
             if score > best_score {
                 best_score = score;
                 best = i;
@@ -48,7 +50,7 @@ impl<'m> CoherenceAttack<'m> {
     pub fn scores(&self, cycle: &[&[TermId]]) -> Vec<f64> {
         cycle
             .iter()
-            .map(|q| semantic_coherence(self.model, q))
+            .map(|q| semantic_coherence(&self.model, q))
             .collect()
     }
 }
@@ -58,15 +60,15 @@ impl<'m> CoherenceAttack<'m> {
 /// ε2 he cannot know how many topics to discount, and TopPriv pushes the
 /// genuine topics *below* several masking topics.
 #[derive(Debug, Clone)]
-pub struct ExposureRankAttack<'m> {
-    belief: BeliefEngine<'m>,
+pub struct ExposureRankAttack {
+    belief: BeliefEngine,
     /// Number of top-boost topics to claim as the intention.
     pub guess_m: usize,
 }
 
-impl<'m> ExposureRankAttack<'m> {
+impl ExposureRankAttack {
     /// Creates the attack guessing the top `guess_m` topics.
-    pub fn new(model: &'m LdaModel, guess_m: usize) -> Self {
+    pub fn new(model: Arc<LdaModel>, guess_m: usize) -> Self {
         Self {
             belief: BeliefEngine::new(model),
             guess_m,
@@ -96,8 +98,8 @@ impl<'m> ExposureRankAttack<'m> {
 /// destructive — genuine terms get removed and the recovered intention
 /// drifts.
 #[derive(Debug, Clone)]
-pub struct TermEliminationAttack<'m> {
-    belief: BeliefEngine<'m>,
+pub struct TermEliminationAttack {
+    belief: BeliefEngine,
     /// How many top-exposure topics to target.
     pub topics_to_discount: usize,
     /// Words within the top `word_pool` of a discounted topic are removed.
@@ -107,9 +109,14 @@ pub struct TermEliminationAttack<'m> {
     pub eps1_guess: f64,
 }
 
-impl<'m> TermEliminationAttack<'m> {
+impl TermEliminationAttack {
     /// Creates the attack with the given aggressiveness.
-    pub fn new(model: &'m LdaModel, topics_to_discount: usize, word_pool: usize, eps1_guess: f64) -> Self {
+    pub fn new(
+        model: Arc<LdaModel>,
+        topics_to_discount: usize,
+        word_pool: usize,
+        eps1_guess: f64,
+    ) -> Self {
         Self {
             belief: BeliefEngine::new(model),
             topics_to_discount,
@@ -126,10 +133,7 @@ impl<'m> TermEliminationAttack<'m> {
         let boosts = self.belief.cycle_boost(&posteriors);
         let mut order: Vec<usize> = (0..boosts.len()).collect();
         order.sort_by(|&a, &b| boosts[b].partial_cmp(&boosts[a]).expect("finite"));
-        let discounted: Vec<usize> = order
-            .into_iter()
-            .take(self.topics_to_discount)
-            .collect();
+        let discounted: Vec<usize> = order.into_iter().take(self.topics_to_discount).collect();
         // Collect the words to eliminate.
         let mut banned: std::collections::HashSet<TermId> = std::collections::HashSet::new();
         for &t in &discounted {
@@ -165,18 +169,18 @@ impl<'m> TermEliminationAttack<'m> {
 /// regenerated ghosts match the remaining queries. Because masking topics
 /// and ghost words are drawn at random, replays do not reproduce the
 /// observed cycle, and the match signal carries no information.
-pub struct ProbingAttack<'m> {
-    model: &'m LdaModel,
+pub struct ProbingAttack {
+    model: Arc<LdaModel>,
     requirement: PrivacyRequirement,
     config: GhostConfig,
     /// Replays per candidate (averaging out the adversary's own RNG).
     pub replays: usize,
 }
 
-impl<'m> ProbingAttack<'m> {
+impl ProbingAttack {
     /// Creates the attack; the adversary knows the algorithm and a guess
     /// of the thresholds, but not the client's seed.
-    pub fn new(model: &'m LdaModel, requirement: PrivacyRequirement, replays: usize) -> Self {
+    pub fn new(model: Arc<LdaModel>, requirement: PrivacyRequirement, replays: usize) -> Self {
         Self {
             model,
             requirement,
@@ -228,7 +232,7 @@ impl<'m> ProbingAttack<'m> {
             let mut score = 0.0;
             for _ in 0..self.replays.max(1) {
                 let generator = GhostGenerator::new(
-                    BeliefEngine::new(self.model),
+                    BeliefEngine::new(self.model.clone()),
                     self.requirement,
                     GhostConfig {
                         seed: rng.gen(),
@@ -258,14 +262,14 @@ mod tests {
     use super::*;
     use tsearch_lda::{LdaConfig, LdaTrainer};
 
-    fn trained_model() -> LdaModel {
+    fn trained_model() -> Arc<LdaModel> {
         let mut docs = Vec::new();
         for d in 0..120u32 {
             let base = (d % 4) * 8;
             docs.push((0..40).map(|i| base + (i % 8)).collect::<Vec<TermId>>());
         }
         let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
-        LdaTrainer::train(
+        Arc::new(LdaTrainer::train(
             &refs,
             32,
             LdaConfig {
@@ -273,13 +277,13 @@ mod tests {
                 alpha: Some(0.3),
                 ..LdaConfig::with_topics(4)
             },
-        )
+        ))
     }
 
     #[test]
     fn coherence_attack_beats_random_ghosts() {
         let model = trained_model();
-        let attack = CoherenceAttack::new(&model);
+        let attack = CoherenceAttack::new(model.clone());
         // Cycle: a topical user query among random-jumble ghosts.
         let user: Vec<TermId> = vec![0, 1, 2, 3];
         let ghost1: Vec<TermId> = vec![0, 9, 17, 25]; // one word per block
@@ -293,7 +297,7 @@ mod tests {
     #[test]
     fn coherence_attack_cannot_separate_coherent_ghosts() {
         let model = trained_model();
-        let attack = CoherenceAttack::new(&model);
+        let attack = CoherenceAttack::new(model.clone());
         // All queries coherent (each from one block).
         let q0: Vec<TermId> = vec![0, 1, 2, 3];
         let q1: Vec<TermId> = vec![8, 9, 10, 11];
@@ -312,12 +316,12 @@ mod tests {
     #[test]
     fn exposure_attack_recovers_unprotected_intention() {
         let model = trained_model();
-        let attack = ExposureRankAttack::new(&model, 1);
+        let attack = ExposureRankAttack::new(model.clone(), 1);
         let user: Vec<TermId> = vec![0, 1, 2, 3];
         let cycle: Vec<&[TermId]> = vec![&user];
         let guess = attack.guess_intention(&cycle);
         // Unprotected: the top topic is the genuine one.
-        let belief = BeliefEngine::new(&model);
+        let belief = BeliefEngine::new(model.clone());
         let boosts = belief.boost(&user);
         let true_top = (0..4)
             .max_by(|&a, &b| boosts[a].partial_cmp(&boosts[b]).unwrap())
@@ -328,7 +332,7 @@ mod tests {
     #[test]
     fn term_elimination_runs_and_returns_topics() {
         let model = trained_model();
-        let attack = TermEliminationAttack::new(&model, 1, 8, 0.05);
+        let attack = TermEliminationAttack::new(model.clone(), 1, 8, 0.05);
         let user: Vec<TermId> = vec![0, 1, 2, 3];
         let ghost: Vec<TermId> = vec![8, 9, 10, 11];
         let cycle: Vec<&[TermId]> = vec![&user, &ghost];
@@ -342,12 +346,12 @@ mod tests {
     fn probing_attack_runs() {
         let model = trained_model();
         let attack = ProbingAttack::new(
-            &model,
+            model.clone(),
             PrivacyRequirement::new(0.10, 0.05).unwrap(),
             1,
         );
         let generator = GhostGenerator::new(
-            BeliefEngine::new(&model),
+            BeliefEngine::new(model.clone()),
             PrivacyRequirement::new(0.10, 0.05).unwrap(),
             GhostConfig::default(),
         );

@@ -192,13 +192,11 @@ mod tests {
         let docs: Vec<(Vec<TermId>, usize)> = (0..40)
             .map(|d| {
                 let class = d % 2;
-                let tokens: Vec<TermId> =
-                    (0..30).map(|i| (class as u32 * 5) + i % 5).collect();
+                let tokens: Vec<TermId> = (0..30).map(|i| (class as u32 * 5) + i % 5).collect();
                 (tokens, class)
             })
             .collect();
-        let refs: Vec<(&[TermId], usize)> =
-            docs.iter().map(|(t, c)| (t.as_slice(), *c)).collect();
+        let refs: Vec<(&[TermId], usize)> = docs.iter().map(|(t, c)| (t.as_slice(), *c)).collect();
         NaiveBayes::train(&refs, 2, 10, 1.0)
     }
 

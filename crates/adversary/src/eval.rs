@@ -3,6 +3,7 @@
 
 use crate::attacks::{CoherenceAttack, ExposureRankAttack, ProbingAttack, TermEliminationAttack};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use toppriv_core::CycleResult;
 use tsearch_lda::LdaModel;
 use tsearch_text::TermId;
@@ -43,8 +44,8 @@ pub fn jaccard(a: &[usize], b: &[usize]) -> f64 {
 
 /// Runs the coherence attack over cycles: success = genuine query
 /// identified exactly. Chance = mean 1/υ.
-pub fn run_coherence_attack(model: &LdaModel, cycles: &[CycleResult]) -> AttackReport {
-    let attack = CoherenceAttack::new(model);
+pub fn run_coherence_attack(model: &Arc<LdaModel>, cycles: &[CycleResult]) -> AttackReport {
+    let attack = CoherenceAttack::new(model.clone());
     let mut hits = 0usize;
     let mut chance = 0.0;
     for c in cycles {
@@ -66,11 +67,11 @@ pub fn run_coherence_attack(model: &LdaModel, cycles: &[CycleResult]) -> AttackR
 /// contains *all* genuine intention topics. Chance = probability of that
 /// under uniform topic guessing.
 pub fn run_exposure_attack(
-    model: &LdaModel,
+    model: &Arc<LdaModel>,
     cycles: &[CycleResult],
     guess_m: usize,
 ) -> AttackReport {
-    let attack = ExposureRankAttack::new(model, guess_m);
+    let attack = ExposureRankAttack::new(model.clone(), guess_m);
     let k = model.num_topics();
     let mut hits = 0usize;
     let mut chance_sum = 0.0;
@@ -101,13 +102,14 @@ pub fn run_exposure_attack(
 /// the expected Jaccard of a random same-size guess (approximated as
 /// |U| / K for small sets).
 pub fn run_term_elimination_attack(
-    model: &LdaModel,
+    model: &Arc<LdaModel>,
     cycles: &[CycleResult],
     topics_to_discount: usize,
     word_pool: usize,
     eps1_guess: f64,
 ) -> AttackReport {
-    let attack = TermEliminationAttack::new(model, topics_to_discount, word_pool, eps1_guess);
+    let attack =
+        TermEliminationAttack::new(model.clone(), topics_to_discount, word_pool, eps1_guess);
     let mut total = 0.0;
     let mut scored = 0usize;
     let mut chance = 0.0;
@@ -130,12 +132,12 @@ pub fn run_term_elimination_attack(
 
 /// Runs the probing/replay attack: success = genuine query identified.
 pub fn run_probing_attack(
-    model: &LdaModel,
+    model: &Arc<LdaModel>,
     cycles: &[CycleResult],
     requirement: toppriv_core::PrivacyRequirement,
     replays: usize,
 ) -> AttackReport {
-    let attack = ProbingAttack::new(model, requirement, replays);
+    let attack = ProbingAttack::new(model.clone(), requirement, replays);
     let mut hits = 0usize;
     let mut chance = 0.0;
     for c in cycles {

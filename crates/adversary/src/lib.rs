@@ -17,11 +17,11 @@ pub mod timing;
 
 pub use attacks::{CoherenceAttack, ExposureRankAttack, ProbingAttack, TermEliminationAttack};
 pub use classifier::{run_classifier_attack, ClassifierAttackReport, NaiveBayes};
-pub use logview::{LogAnalysis, LogAnalyzer, LogAnalyzerConfig, WindowAnalysis};
 pub use eval::{
     jaccard, run_coherence_attack, run_exposure_attack, run_probing_attack,
     run_term_elimination_attack, AttackReport,
 };
+pub use logview::{LogAnalysis, LogAnalyzer, LogAnalyzerConfig, WindowAnalysis};
 pub use timing::{
     guess_genuine, run_timing_attack, segment_by_gap, TimingAttackReport, TimingHeuristic,
 };

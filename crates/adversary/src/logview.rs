@@ -8,6 +8,7 @@
 //! same-topic activity.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use toppriv_core::BeliefEngine;
 use tsearch_lda::LdaModel;
 use tsearch_search::LoggedQuery;
@@ -58,14 +59,14 @@ pub struct LogAnalysis {
 }
 
 /// The analyzer: an LDA-equipped adversary over the query log.
-pub struct LogAnalyzer<'m> {
-    belief: BeliefEngine<'m>,
+pub struct LogAnalyzer {
+    belief: BeliefEngine,
     config: LogAnalyzerConfig,
 }
 
-impl<'m> LogAnalyzer<'m> {
+impl LogAnalyzer {
     /// Creates an analyzer with the given model and configuration.
-    pub fn new(model: &'m LdaModel, config: LogAnalyzerConfig) -> Self {
+    pub fn new(model: Arc<LdaModel>, config: LogAnalyzerConfig) -> Self {
         Self {
             belief: BeliefEngine::new(model),
             config,
@@ -137,14 +138,14 @@ mod tests {
     use tsearch_lda::{LdaConfig, LdaTrainer};
     use tsearch_text::TermId;
 
-    fn trained_model() -> LdaModel {
+    fn trained_model() -> Arc<LdaModel> {
         let mut docs = Vec::new();
         for d in 0..120u32 {
             let base = (d % 4) * 8;
             docs.push((0..40).map(|i| base + (i % 8)).collect::<Vec<TermId>>());
         }
         let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
-        LdaTrainer::train(
+        Arc::new(LdaTrainer::train(
             &refs,
             32,
             LdaConfig {
@@ -152,7 +153,7 @@ mod tests {
                 alpha: Some(0.3),
                 ..LdaConfig::with_topics(4)
             },
-        )
+        ))
     }
 
     fn log_entry(ordinal: u64, tokens: Vec<TermId>) -> LoggedQuery {
@@ -166,16 +167,14 @@ mod tests {
     #[test]
     fn unprotected_burst_is_flagged() {
         let model = trained_model();
-        let analyzer = LogAnalyzer::new(&model, LogAnalyzerConfig::default());
+        let analyzer = LogAnalyzer::new(model.clone(), LogAnalyzerConfig::default());
         // Ten raw queries, all on block 0.
-        let log: Vec<LoggedQuery> = (0..10)
-            .map(|i| log_entry(i, vec![0, 1, 2, 3]))
-            .collect();
+        let log: Vec<LoggedQuery> = (0..10).map(|i| log_entry(i, vec![0, 1, 2, 3])).collect();
         let analysis = analyzer.analyze(&log, 1);
         assert!(!analysis.persistent_topics.is_empty(), "burst must be seen");
         let top = analysis.persistent_topics[0].0;
         // The flagged topic should be the block-0 topic.
-        let belief = BeliefEngine::new(&model);
+        let belief = BeliefEngine::new(model.clone());
         let boosts = belief.boost(&[0, 1, 2, 3]);
         let true_top = (0..4)
             .max_by(|&a, &b| boosts[a].partial_cmp(&boosts[b]).unwrap())
@@ -187,7 +186,7 @@ mod tests {
     fn protected_trace_is_not_flagged() {
         let model = trained_model();
         let generator = GhostGenerator::new(
-            BeliefEngine::new(&model),
+            BeliefEngine::new(model.clone()),
             PrivacyRequirement::new(0.10, 0.03).unwrap(),
             GhostConfig::default(),
         );
@@ -203,7 +202,7 @@ mod tests {
             }
         }
         let analyzer = LogAnalyzer::new(
-            &model,
+            model.clone(),
             LogAnalyzerConfig {
                 window: 8,
                 flag_threshold: 0.05,
@@ -223,7 +222,7 @@ mod tests {
     #[test]
     fn empty_log() {
         let model = trained_model();
-        let analyzer = LogAnalyzer::new(&model, LogAnalyzerConfig::default());
+        let analyzer = LogAnalyzer::new(model.clone(), LogAnalyzerConfig::default());
         let analysis = analyzer.analyze(&[], 1);
         assert!(analysis.windows.is_empty());
         assert!(analysis.persistent_topics.is_empty());
@@ -234,7 +233,7 @@ mod tests {
     fn window_partitioning() {
         let model = trained_model();
         let analyzer = LogAnalyzer::new(
-            &model,
+            model.clone(),
             LogAnalyzerConfig {
                 window: 3,
                 flag_threshold: 0.9,

@@ -223,9 +223,7 @@ mod tests {
         assert_eq!(i, 0);
         let (i, _) = tree.nearest_filtered(&[0.1, 0.1], &|p| p == 0).unwrap();
         assert_eq!(i, 1);
-        assert!(tree
-            .nearest_filtered(&[0.1, 0.1], &|_| true)
-            .is_none());
+        assert!(tree.nearest_filtered(&[0.1, 0.1], &|_| true).is_none());
     }
 
     #[test]

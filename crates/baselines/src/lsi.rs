@@ -96,7 +96,13 @@ impl LsiModel {
         let n = docs.len().max(1) as f64;
         let idfs: Vec<f64> = df
             .iter()
-            .map(|&d| if d == 0 { 0.0 } else { (n / d as f64).ln().max(1e-9) })
+            .map(|&d| {
+                if d == 0 {
+                    0.0
+                } else {
+                    (n / d as f64).ln().max(1e-9)
+                }
+            })
             .collect();
         // Sparse weighted matrix, one column per document.
         let cols: Vec<Vec<(u32, f64)>> = docs

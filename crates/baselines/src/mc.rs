@@ -261,8 +261,7 @@ mod tests {
         let s = scheme();
         let mut coherent = 0usize;
         for c in s.canonical() {
-            let blocks: std::collections::HashSet<u32> =
-                c.tokens.iter().map(|&t| t / 8).collect();
+            let blocks: std::collections::HashSet<u32> = c.tokens.iter().map(|&t| t / 8).collect();
             if blocks.len() == 1 {
                 coherent += 1;
             }

@@ -148,10 +148,10 @@ impl<'t> PdxEmbellisher<'t> {
     ) -> Option<TermId> {
         let (lo, hi) = self.band(target_idf);
         // Binary-search the idf-sorted order for the band borders.
-        let start = self
+        let start = self.by_idf.partition_point(|&t| self.idfs[t as usize] < lo);
+        let end = self
             .by_idf
-            .partition_point(|&t| self.idfs[t as usize] < lo);
-        let end = self.by_idf.partition_point(|&t| self.idfs[t as usize] <= hi);
+            .partition_point(|&t| self.idfs[t as usize] <= hi);
         if start >= end {
             return None;
         }

@@ -132,10 +132,7 @@ mod tests {
         let (cycle, idx) = tmn.cycle(&[10, 5, 7]);
         assert_eq!(cycle.len(), 5);
         assert_eq!(cycle[idx], vec![5, 7, 10]);
-        assert_eq!(
-            cycle.iter().filter(|q| **q == vec![5, 7, 10]).count(),
-            1
-        );
+        assert_eq!(cycle.iter().filter(|q| **q == vec![5, 7, 10]).count(), 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@ fn bench_generate(c: &mut Criterion) {
         let label = format!("eps1=5%/eps2={}%", eps2 * 100.0);
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
             let generator = GhostGenerator::new(
-                BeliefEngine::new(ctx.default_model()),
+                BeliefEngine::new(ctx.default_model().clone()),
                 PrivacyRequirement::new(eps1, eps2).unwrap(),
                 GhostConfig::default(),
             );
@@ -35,7 +35,7 @@ fn bench_generate_by_model(c: &mut Criterion) {
     for (k, model) in &ctx.models {
         group.bench_with_input(BenchmarkId::from_parameter(k), &(), |b, _| {
             let generator = GhostGenerator::new(
-                BeliefEngine::new(model),
+                BeliefEngine::new(model.clone()),
                 PrivacyRequirement::paper_default(),
                 GhostConfig::default(),
             );

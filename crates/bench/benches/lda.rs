@@ -95,5 +95,10 @@ fn bench_reduced_training(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training_sweep, bench_inference, bench_reduced_training);
+criterion_group!(
+    benches,
+    bench_training_sweep,
+    bench_inference,
+    bench_reduced_training
+);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! Usage:
 //! ```text
 //! reproduce [--exp all|fig2|fig3|fig4|fig5|fig6|tables|stats|ablations|adversary|
-//!                  classifier|mc|session|reduced|pacing|quality|load|staleness|appendix]
+//!                  classifier|mc|session|reduced|pacing|quality|load|service|staleness|appendix]
 //!           [--scale quick|standard] [--out results] [--no-cache] [--quiet]
 //! ```
 
@@ -21,7 +21,25 @@ struct Args {
 }
 
 const ALL_EXPS: &[&str] = &[
-    "stats", "tables", "fig2", "fig3", "fig4", "fig5", "fig6", "ablations", "adversary", "classifier", "mc", "session", "reduced", "pacing", "quality", "load", "staleness", "appendix",
+    "stats",
+    "tables",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "ablations",
+    "adversary",
+    "classifier",
+    "mc",
+    "session",
+    "reduced",
+    "pacing",
+    "quality",
+    "load",
+    "service",
+    "staleness",
+    "appendix",
 ];
 
 fn parse_args() -> Result<Args, String> {
@@ -71,7 +89,9 @@ fn parse_args() -> Result<Args, String> {
     }
     for e in &exps {
         if !ALL_EXPS.contains(&e.as_str()) {
-            return Err(format!("unknown experiment '{e}' (choose from {ALL_EXPS:?})"));
+            return Err(format!(
+                "unknown experiment '{e}' (choose from {ALL_EXPS:?})"
+            ));
         }
     }
     Ok(Args {
@@ -126,6 +146,7 @@ fn main() {
             "pacing" => experiments::pacing::run(&ctx),
             "quality" => experiments::quality::run(&ctx),
             "load" => experiments::load::run(&ctx),
+            "service" => experiments::service::run(&ctx),
             "staleness" => experiments::staleness::run(&ctx),
             "appendix" => experiments::appendix::run(&ctx),
             _ => unreachable!("validated in parse_args"),

@@ -3,10 +3,11 @@
 
 use crate::scale::Scale;
 use std::path::Path;
+use std::sync::Arc;
 use tsearch_corpus::{generate_workload, BenchmarkQuery, SyntheticCorpus};
 use tsearch_lda::{LdaConfig, LdaModel, LdaTrainer};
-use tsearch_store::{kind, ArtifactStore};
 use tsearch_search::{ScoringModel, SearchEngine};
+use tsearch_store::{kind, ArtifactStore};
 use tsearch_text::Analyzer;
 
 /// Everything the experiments share.
@@ -17,10 +18,12 @@ pub struct ExperimentContext {
     pub corpus: SyntheticCorpus,
     /// The benchmark workload (TREC substitute).
     pub queries: Vec<BenchmarkQuery>,
-    /// The unmodified enterprise search engine.
-    pub engine: SearchEngine,
-    /// Trained LDA models, ascending by K.
-    pub models: Vec<(usize, LdaModel)>,
+    /// The unmodified enterprise search engine, shared with the service
+    /// layer and the worker pools of the load experiments.
+    pub engine: Arc<SearchEngine>,
+    /// Trained LDA models, ascending by K, each behind an [`Arc`] so
+    /// belief engines and service sessions can share them without copies.
+    pub models: Vec<(usize, Arc<LdaModel>)>,
 }
 
 impl ExperimentContext {
@@ -31,19 +34,14 @@ impl ExperimentContext {
         let queries = generate_workload(&corpus, &scale.workload);
         let docs = corpus.token_docs();
         let texts: Vec<String> = corpus.docs.iter().map(|d| d.text.clone()).collect();
-        let engine = SearchEngine::build(
+        let engine = Arc::new(SearchEngine::build(
             &docs,
             &texts,
             Analyzer::new(),
             corpus.vocab.clone(),
             ScoringModel::TfIdfCosine,
-        );
-        let models = train_models(
-            &docs,
-            corpus.vocab.len(),
-            &scale,
-            cache_dir,
-        );
+        ));
+        let models = train_models(&docs, corpus.vocab.len(), &scale, cache_dir);
         ExperimentContext {
             scale,
             corpus,
@@ -54,7 +52,7 @@ impl ExperimentContext {
     }
 
     /// Fetches the model with the given K.
-    pub fn model(&self, k: usize) -> &LdaModel {
+    pub fn model(&self, k: usize) -> &Arc<LdaModel> {
         &self
             .models
             .iter()
@@ -64,7 +62,7 @@ impl ExperimentContext {
     }
 
     /// The default ("LDA200"-equivalent) model.
-    pub fn default_model(&self) -> &LdaModel {
+    pub fn default_model(&self) -> &Arc<LdaModel> {
         self.model(self.scale.default_k)
     }
 
@@ -83,7 +81,7 @@ pub fn train_models(
     vocab_size: usize,
     scale: &Scale,
     cache_dir: Option<&Path>,
-) -> Vec<(usize, LdaModel)> {
+) -> Vec<(usize, Arc<LdaModel>)> {
     let mut store = cache_dir.and_then(|dir| match ArtifactStore::open(dir) {
         Ok(s) => Some(s),
         Err(e) => {
@@ -94,13 +92,13 @@ pub fn train_models(
     // Phase 1: serve cache hits. A corrupt or mismatched artifact is
     // treated as a miss — the checksum guarantees we never train against
     // a torn model file.
-    let mut out: Vec<(usize, LdaModel)> = Vec::new();
+    let mut out: Vec<(usize, Arc<LdaModel>)> = Vec::new();
     let mut missing: Vec<usize> = Vec::new();
     for &k in &scale.topic_counts {
         let hit = store.as_ref().and_then(|s| {
             let bytes = s.get(&cache_name(scale, k), kind::LDA_MODEL).ok()?;
             let model = tsearch_lda::decode(&bytes).ok()?;
-            (model.num_topics() == k && model.vocab_size() == vocab_size).then_some(model)
+            (model.num_topics() == k && model.vocab_size() == vocab_size).then(|| Arc::new(model))
         });
         match hit {
             Some(model) => out.push((k, model)),
@@ -108,12 +106,15 @@ pub fn train_models(
         }
     }
     // Phase 2: train the misses in parallel.
-    let trained: Vec<(usize, LdaModel)> = std::thread::scope(|s| {
+    let trained: Vec<(usize, Arc<LdaModel>)> = std::thread::scope(|s| {
         let handles: Vec<_> = missing
             .iter()
-            .map(|&k| s.spawn(move || (k, train_one(docs, vocab_size, scale, k))))
+            .map(|&k| s.spawn(move || (k, Arc::new(train_one(docs, vocab_size, scale, k)))))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("trainer panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trainer panicked"))
+            .collect()
     });
     // Phase 3: persist the fresh models.
     if let Some(store) = store.as_mut() {

@@ -14,12 +14,12 @@
 use super::SweepCell;
 use crate::context::ExperimentContext;
 use crate::table::{f3, pct, ResultTable};
+use toppriv_adversary::{CoherenceAttack, NaiveBayes};
+use toppriv_baselines::{TrackMeNot, TrackMeNotConfig};
 use toppriv_core::{
     semantic_coherence, BeliefEngine, GhostConfig, GhostGenerator, PrivacyMetrics,
     PrivacyRequirement, TermSelection,
 };
-use toppriv_adversary::{CoherenceAttack, NaiveBayes};
-use toppriv_baselines::{TrackMeNot, TrackMeNotConfig};
 
 /// Runs all three ablations on the default model.
 pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
@@ -77,7 +77,7 @@ fn term_selection_ablation(ctx: &ExperimentContext) -> ResultTable {
         ("specificity_matched", TermSelection::SpecificityMatched),
     ] {
         let generator = GhostGenerator::new(
-            BeliefEngine::new(model),
+            BeliefEngine::new(model.clone()),
             requirement,
             GhostConfig {
                 term_selection: selection,
@@ -156,7 +156,7 @@ fn effectiveness_check_ablation(ctx: &ExperimentContext) -> ResultTable {
     let run = |eps2: f64, with_check: bool| -> (SweepCell, f64) {
         let requirement = PrivacyRequirement::new(0.05, eps2).expect("valid");
         let mut generator = GhostGenerator::new(
-            BeliefEngine::new(model),
+            BeliefEngine::new(model.clone()),
             requirement,
             GhostConfig::default(),
         );
@@ -196,7 +196,12 @@ fn effectiveness_check_ablation(ctx: &ExperimentContext) -> ResultTable {
         for with_check in [true, false] {
             let (cell, rejected) = run(eps2, with_check);
             table.push_row(vec![
-                if with_check { "with_check" } else { "without_check" }.into(),
+                if with_check {
+                    "with_check"
+                } else {
+                    "without_check"
+                }
+                .into(),
                 pct(eps2),
                 pct(cell.exposure),
                 pct(cell.mask),
@@ -215,13 +220,13 @@ fn coherence_ablation(ctx: &ExperimentContext) -> ResultTable {
     let model = ctx.default_model();
     let requirement = PrivacyRequirement::paper_default();
     let queries = ctx.sweep_queries();
-    let belief = BeliefEngine::new(model);
+    let belief = BeliefEngine::new(model.clone());
     let generator = GhostGenerator::new(
-        BeliefEngine::new(model),
+        BeliefEngine::new(model.clone()),
         requirement,
         GhostConfig::default(),
     );
-    let attack = CoherenceAttack::new(model);
+    let attack = CoherenceAttack::new(model.clone());
 
     // TopPriv arm.
     let mut tp_exposure = 0.0;

@@ -3,10 +3,10 @@
 
 use crate::context::ExperimentContext;
 use crate::table::{f3, ResultTable};
-use toppriv_core::{BeliefEngine, CycleResult, GhostConfig, GhostGenerator, PrivacyRequirement};
 use toppriv_adversary::{
     run_coherence_attack, run_exposure_attack, run_probing_attack, run_term_elimination_attack,
 };
+use toppriv_core::{BeliefEngine, CycleResult, GhostConfig, GhostGenerator, PrivacyRequirement};
 
 /// Replays per probing-attack candidate (kept small: the attack is O(υ ·
 /// replays · ghost generation)).
@@ -17,7 +17,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
     let model = ctx.default_model();
     let requirement = PrivacyRequirement::paper_default();
     let generator = GhostGenerator::new(
-        BeliefEngine::new(model),
+        BeliefEngine::new(model.clone()),
         requirement,
         GhostConfig::default(),
     );
@@ -29,10 +29,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
 
     // Attacks with more than one trivially-satisfied cycle are meaningless;
     // keep only cycles that actually contain ghosts.
-    let contested: Vec<CycleResult> = cycles
-        .into_iter()
-        .filter(|c| c.cycle_len() > 1)
-        .collect();
+    let contested: Vec<CycleResult> = cycles.into_iter().filter(|c| c.cycle_len() > 1).collect();
 
     let reports = vec![
         run_coherence_attack(model, &contested),

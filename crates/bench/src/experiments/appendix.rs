@@ -12,8 +12,8 @@
 
 use crate::context::ExperimentContext;
 use crate::table::{f3, ResultTable};
-use tsearch_lda::{Inferencer, PlsaConfig, PlsaModel};
 use toppriv_baselines::{LsiConfig, LsiModel};
+use tsearch_lda::{Inferencer, PlsaConfig, PlsaModel};
 
 /// Alignment: for a model's topic set, the topic that best matches a
 /// ground-truth topic is the one with the highest summed probability over

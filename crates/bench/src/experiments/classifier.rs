@@ -77,12 +77,14 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
 
     // TopPriv cycles from the default model.
     let generator = GhostGenerator::new(
-        BeliefEngine::new(ctx.default_model()),
+        BeliefEngine::new(ctx.default_model().clone()),
         PrivacyRequirement::paper_default(),
         GhostConfig::default(),
     );
-    let toppriv_cycles: Vec<CycleResult> =
-        queries.iter().map(|q| generator.generate(&q.tokens)).collect();
+    let toppriv_cycles: Vec<CycleResult> = queries
+        .iter()
+        .map(|q| generator.generate(&q.tokens))
+        .collect();
 
     // TrackMeNot cycles matched in length to the TopPriv ones.
     let tmn = TrackMeNot::new(ctx.corpus.vocab.len(), TrackMeNotConfig::default());

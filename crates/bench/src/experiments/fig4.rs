@@ -9,8 +9,8 @@
 use crate::context::ExperimentContext;
 use crate::scale::Scale;
 use crate::table::{pct, ResultTable};
-use toppriv_core::BeliefEngine;
 use toppriv_baselines::{PdxConfig, PdxEmbellisher, Thesaurus, ThesaurusConfig};
+use toppriv_core::BeliefEngine;
 
 /// Builds the thesaurus and per-term IDFs the PDX baseline needs.
 pub fn build_pdx_inputs(ctx: &ExperimentContext) -> (Thesaurus, Vec<f64>) {
@@ -36,45 +36,45 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
     // Per (model, factor): for each query, the solo boosts B(t|qu) and the
     // embellished boosts B(t|qe). Computed in parallel across models.
     let per_model: Vec<ModelFactorBoosts> = std::thread::scope(|s| {
-            let handles: Vec<_> = ctx
-                .models
-                .iter()
-                .map(|(k, model)| {
-                    let thesaurus = &thesaurus;
-                    let idfs = &idfs;
-                    s.spawn(move || {
-                        let belief = BeliefEngine::new(model);
-                        let solo: Vec<Vec<f64>> =
-                            queries.iter().map(|q| belief.boost(&q.tokens)).collect();
-                        let mut by_factor = Vec::new();
-                        for &factor in &ctx.scale.expansion_factors {
-                            let pdx = PdxEmbellisher::new(
-                                thesaurus,
-                                idfs.clone(),
-                                PdxConfig {
-                                    expansion_factor: factor,
-                                    ..PdxConfig::default()
-                                },
-                            );
-                            let pairs: Vec<BoostPair> = queries
-                                .iter()
-                                .zip(&solo)
-                                .map(|(q, solo_boosts)| {
-                                    let qe = pdx.embellish(&q.tokens);
-                                    (solo_boosts.clone(), belief.boost(&qe.tokens))
-                                })
-                                .collect();
-                            by_factor.push((factor, pairs));
-                        }
-                        (*k, by_factor)
-                    })
+        let handles: Vec<_> = ctx
+            .models
+            .iter()
+            .map(|(k, model)| {
+                let thesaurus = &thesaurus;
+                let idfs = &idfs;
+                s.spawn(move || {
+                    let belief = BeliefEngine::new(model.clone());
+                    let solo: Vec<Vec<f64>> =
+                        queries.iter().map(|q| belief.boost(&q.tokens)).collect();
+                    let mut by_factor = Vec::new();
+                    for &factor in &ctx.scale.expansion_factors {
+                        let pdx = PdxEmbellisher::new(
+                            thesaurus,
+                            idfs.clone(),
+                            PdxConfig {
+                                expansion_factor: factor,
+                                ..PdxConfig::default()
+                            },
+                        );
+                        let pairs: Vec<BoostPair> = queries
+                            .iter()
+                            .zip(&solo)
+                            .map(|(q, solo_boosts)| {
+                                let qe = pdx.embellish(&q.tokens);
+                                (solo_boosts.clone(), belief.boost(&qe.tokens))
+                            })
+                            .collect();
+                        by_factor.push((factor, pairs));
+                    }
+                    (*k, by_factor)
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fig4 worker panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fig4 worker panicked"))
+            .collect()
+    });
 
     // Render one table per factor: rows = ε1 grid, columns = models.
     let mut tables = Vec::new();
@@ -105,7 +105,11 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
                     total += toppriv_core::exposure(embellished, &intention);
                     counted += 1;
                 }
-                row.push(pct(if counted == 0 { 0.0 } else { total / counted as f64 }));
+                row.push(pct(if counted == 0 {
+                    0.0
+                } else {
+                    total / counted as f64
+                }));
             }
             table.push_row(row);
         }

@@ -10,8 +10,8 @@ use super::fig4::build_pdx_inputs;
 use crate::context::ExperimentContext;
 use crate::scale::Scale;
 use crate::table::{f3, ResultTable};
-use toppriv_core::{exposure, BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement};
 use toppriv_baselines::{PdxConfig, PdxEmbellisher};
+use toppriv_core::{exposure, BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement};
 
 /// ε1 used to define the protected intention (the paper's default 5%).
 pub const FIG5_EPS1: f64 = 0.05;
@@ -31,9 +31,9 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
                 let thesaurus = &thesaurus;
                 let idfs = &idfs;
                 s.spawn(move || {
-                    let belief = BeliefEngine::new(model);
+                    let belief = BeliefEngine::new(model.clone());
                     let generator = GhostGenerator::new(
-                        BeliefEngine::new(model),
+                        BeliefEngine::new(model.clone()),
                         requirement,
                         GhostConfig::default(),
                     );

@@ -108,7 +108,10 @@ mod tests {
         let doubled = scaled_config(&base, base.num_docs * 2);
         assert_eq!(doubled.num_docs, base.num_docs * 2);
         let ratio = doubled.terms_per_topic as f64 / base.terms_per_topic as f64;
-        assert!(ratio > 1.0 && ratio < 2.0, "vocab grows sublinearly: {ratio}");
+        assert!(
+            ratio > 1.0 && ratio < 2.0,
+            "vocab grows sublinearly: {ratio}"
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn replay(ctx: &ExperimentContext, queries: &[Vec<TermId>], rounds: usize) -> f6
 /// Runs the load experiment on the default model.
 pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
     let generator = GhostGenerator::new(
-        BeliefEngine::new(ctx.default_model()),
+        BeliefEngine::new(ctx.default_model().clone()),
         PrivacyRequirement::paper_default(),
         GhostConfig::default(),
     );

@@ -14,8 +14,8 @@
 
 use crate::context::ExperimentContext;
 use crate::table::{f3, pct, ResultTable};
-use toppriv_core::{exposure, BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement};
 use toppriv_baselines::{LsiConfig, LsiModel, McConfig, McScheme};
+use toppriv_core::{exposure, BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement};
 use tsearch_search::Query;
 
 /// Result-list overlap@k between two hit lists.
@@ -48,10 +48,10 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
     const K: usize = 10;
     let scheme = build_scheme(ctx);
     let model = ctx.default_model();
-    let belief = BeliefEngine::new(model);
+    let belief = BeliefEngine::new(model.clone());
     let requirement = PrivacyRequirement::paper_default();
     let generator = GhostGenerator::new(
-        BeliefEngine::new(model),
+        BeliefEngine::new(model.clone()),
         requirement,
         GhostConfig::default(),
     );
@@ -77,9 +77,10 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
 
         // --- Result distortion -------------------------------------------
         let true_hits = ctx.engine.evaluate(&Query::from_tokens(&q.tokens), K);
-        let canon_hits = ctx
-            .engine
-            .evaluate(&Query::from_tokens(scheme.canonical_tokens(sub.canonical)), K);
+        let canon_hits = ctx.engine.evaluate(
+            &Query::from_tokens(scheme.canonical_tokens(sub.canonical)),
+            K,
+        );
         mc_overlap += overlap_at_k(&true_hits, &canon_hits, K);
         tp_overlap += 1.0; // TopPriv returns the true query's results
 
@@ -89,8 +90,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
             group_tokens.push(scheme.canonical_tokens(cover));
         }
         mc_group += group_tokens.len() as f64;
-        let posteriors: Vec<Vec<f64>> =
-            group_tokens.iter().map(|t| belief.posterior(t)).collect();
+        let posteriors: Vec<Vec<f64>> = group_tokens.iter().map(|t| belief.posterior(t)).collect();
         let group_boosts = belief.cycle_boost(&posteriors);
         mc_exposure += exposure(&group_boosts, &intention);
 

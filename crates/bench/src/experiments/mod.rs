@@ -4,8 +4,8 @@
 //! [`ResultTable`]s; the `reproduce` binary writes them as CSV under
 //! `results/` and renders them to stdout.
 
-pub mod adversary;
 pub mod ablations;
+pub mod adversary;
 pub mod appendix;
 pub mod classifier;
 pub mod fig2;
@@ -18,6 +18,7 @@ pub mod mc;
 pub mod pacing;
 pub mod quality;
 pub mod reduced;
+pub mod service;
 pub mod session;
 pub mod staleness;
 pub mod stats;
@@ -25,6 +26,7 @@ pub mod tables;
 
 use crate::context::ExperimentContext;
 use crate::table::ResultTable;
+use std::sync::Arc;
 use toppriv_core::{BeliefEngine, GhostConfig, GhostGenerator, PrivacyMetrics, PrivacyRequirement};
 use tsearch_corpus::BenchmarkQuery;
 use tsearch_lda::LdaModel;
@@ -79,12 +81,12 @@ impl SweepCell {
 
 /// Runs TopPriv over `queries` at one `(ε1, ε2)` point under `model`.
 pub fn protect_queries(
-    model: &LdaModel,
+    model: &Arc<LdaModel>,
     queries: &[BenchmarkQuery],
     requirement: PrivacyRequirement,
 ) -> SweepCell {
     let generator = GhostGenerator::new(
-        BeliefEngine::new(model),
+        BeliefEngine::new(model.clone()),
         requirement,
         GhostConfig::default(),
     );
@@ -143,7 +145,11 @@ pub fn sweep_table(
     fmt: impl Fn(f64) -> String,
 ) -> ResultTable {
     let mut header = vec![eps_label.to_string()];
-    header.extend(sweep.iter().map(|(k, _)| crate::scale::Scale::model_label(*k)));
+    header.extend(
+        sweep
+            .iter()
+            .map(|(k, _)| crate::scale::Scale::model_label(*k)),
+    );
     let mut table = ResultTable::new(name, caption, header);
     if let Some((_, first)) = sweep.first() {
         for (i, &(eps, _)) in first.iter().enumerate() {

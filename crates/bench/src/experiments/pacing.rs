@@ -46,7 +46,7 @@ fn strategies() -> Vec<(&'static str, PacingStrategy)> {
 pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
     let model = ctx.default_model();
     let generator = GhostGenerator::new(
-        BeliefEngine::new(model),
+        BeliefEngine::new(model.clone()),
         PrivacyRequirement::paper_default(),
         GhostConfig::default(),
     );
@@ -54,7 +54,10 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
 
     // Protect every query once; the schedules differ per strategy but the
     // cycles are shared (the content channel is held fixed).
-    let cycles: Vec<_> = queries.iter().map(|q| generator.generate(&q.tokens)).collect();
+    let cycles: Vec<_> = queries
+        .iter()
+        .map(|q| generator.generate(&q.tokens))
+        .collect();
 
     // Simulated arrival clock (same draw for every strategy).
     let mut rng = StdRng::seed_from_u64(0xc10c_4a77);

@@ -51,8 +51,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
                 s.spawn(move || {
                     let (mean, _) = model_topic_coherences(model, docs, TOP_N);
                     let ppl = held_out_perplexity(model, held_out, InferenceConfig::default());
-                    let mb =
-                        model.size_breakdown().client_bytes() as f64 / (1024.0 * 1024.0);
+                    let mb = model.size_breakdown().client_bytes() as f64 / (1024.0 * 1024.0);
                     (*k, mean, ppl, mb)
                 })
             })
@@ -69,7 +68,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
     // Ghost coherence: genuine vs TopPriv vs TrackMeNot, one shared
     // co-occurrence index over every word any of them uses.
     let generator = GhostGenerator::new(
-        BeliefEngine::new(ctx.default_model()),
+        BeliefEngine::new(ctx.default_model().clone()),
         PrivacyRequirement::paper_default(),
         GhostConfig::default(),
     );

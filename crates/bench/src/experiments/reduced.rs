@@ -24,7 +24,9 @@
 use crate::context::ExperimentContext;
 use crate::table::{f3, pct, ResultTable};
 use std::time::Instant;
-use toppriv_core::{exposure, mask_level, BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement};
+use toppriv_core::{
+    exposure, mask_level, BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement,
+};
 use tsearch_lda::{LdaConfig, ReducedModel, ReductionConfig};
 
 /// The reduction grid: every combination of these document and vocabulary
@@ -53,7 +55,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
     let vocab_size = ctx.corpus.vocab.len();
     let k = ctx.scale.default_k;
     let requirement = PrivacyRequirement::paper_default();
-    let reference = BeliefEngine::new(ctx.default_model());
+    let reference = BeliefEngine::new(ctx.default_model().clone());
     let queries = ctx.sweep_queries();
 
     // Train all grid points in parallel: each is independent.
@@ -83,9 +85,9 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
                         },
                     );
                     let train_secs = t0.elapsed().as_secs_f64();
-                    let expanded = reduced.expand();
+                    let expanded = std::sync::Arc::new(reduced.expand());
                     let generator = GhostGenerator::new(
-                        BeliefEngine::new(&expanded),
+                        BeliefEngine::new(expanded.clone()),
                         requirement,
                         GhostConfig::default(),
                     );

@@ -23,10 +23,10 @@ pub const SESSION_LEN: usize = 8;
 /// Runs the session experiment on the default model.
 pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
     let model = ctx.default_model();
-    let belief = BeliefEngine::new(model);
+    let belief = BeliefEngine::new(model.clone());
     let requirement = PrivacyRequirement::paper_default();
     let generator = GhostGenerator::new(
-        BeliefEngine::new(model),
+        BeliefEngine::new(model.clone()),
         requirement,
         GhostConfig::default(),
     );

@@ -48,16 +48,17 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
             ..LdaConfig::with_topics(ctx.scale.default_k)
         },
     );
-    let audit = BeliefEngine::new(&fresh);
+    let fresh = std::sync::Arc::new(fresh);
+    let audit = BeliefEngine::new(fresh.clone());
     let requirement = PrivacyRequirement::paper_default();
 
     let stale_gen = GhostGenerator::new(
-        BeliefEngine::new(ctx.default_model()),
+        BeliefEngine::new(ctx.default_model().clone()),
         requirement,
         GhostConfig::default(),
     );
     let fresh_gen = GhostGenerator::new(
-        BeliefEngine::new(&fresh),
+        BeliefEngine::new(fresh.clone()),
         requirement,
         GhostConfig::default(),
     );
@@ -110,8 +111,12 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
             for q in queries.iter() {
                 // The stale client must drop terms its model has never
                 // seen (exactly what GibbsLDA++ does in inference mode).
-                let projected: Vec<u32> =
-                    q.tokens.iter().copied().filter(|&w| w < old_vocab).collect();
+                let projected: Vec<u32> = q
+                    .tokens
+                    .iter()
+                    .copied()
+                    .filter(|&w| w < old_vocab)
+                    .collect();
                 oov += 1.0 - projected.len() as f64 / q.tokens.len().max(1) as f64;
                 let r = match policy {
                     "stale" => stale_gen.generate(&projected),

@@ -59,7 +59,10 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
             "pir_padded_KB (paper: 259MB -> 178GB)",
             format!("{:.1}", index_stats.pir_padded_bytes as f64 / 1024.0),
         ),
-        ("pir_blowup_factor", format!("{:.1}", index_stats.pir_blowup())),
+        (
+            "pir_blowup_factor",
+            format!("{:.1}", index_stats.pir_blowup()),
+        ),
     ] {
         index_table.push_row(vec![metric.to_string(), value]);
     }

@@ -47,7 +47,12 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
         tab2.push_row(
             reports
                 .iter()
-                .map(|r| r.top_words.get(i).map(|(w, _)| w.clone()).unwrap_or_default())
+                .map(|r| {
+                    r.top_words
+                        .get(i)
+                        .map(|(w, _)| w.clone())
+                        .unwrap_or_default()
+                })
                 .collect(),
         );
     }
@@ -65,7 +70,12 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
         } else {
             best_matching_topic(model, anchor, other)
         };
-        header.push(format!("{}(t{} sim {:.2})", Scale::model_label(*k), matched, sim));
+        header.push(format!(
+            "{}(t{} sim {:.2})",
+            Scale::model_label(*k),
+            matched,
+            sim
+        ));
         columns.push(
             topic_report(other, vocab, matched, TOP_WORDS)
                 .top_words
@@ -111,7 +121,12 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
         tab4.push_row(
             tiny_reports
                 .iter()
-                .map(|r| r.top_words.get(i).map(|(w, _)| w.clone()).unwrap_or_default())
+                .map(|r| {
+                    r.top_words
+                        .get(i)
+                        .map(|(w, _)| w.clone())
+                        .unwrap_or_default()
+                })
                 .collect(),
         );
     }

@@ -19,11 +19,7 @@ pub struct ResultTable {
 
 impl ResultTable {
     /// Creates an empty table.
-    pub fn new(
-        name: impl Into<String>,
-        caption: impl Into<String>,
-        header: Vec<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, caption: impl Into<String>, header: Vec<String>) -> Self {
         Self {
             name: name.into(),
             caption: caption.into(),
@@ -105,11 +101,7 @@ mod tests {
 
     #[test]
     fn table_roundtrip() {
-        let mut t = ResultTable::new(
-            "demo",
-            "a demo",
-            vec!["x".into(), "y".into()],
-        );
+        let mut t = ResultTable::new("demo", "a demo", vec!["x".into(), "y".into()]);
         t.push_row(vec!["1".into(), "2".into()]);
         t.push_row(vec!["3".into(), "4".into()]);
         let csv = t.to_csv();

@@ -50,6 +50,7 @@ fn every_experiment_runs_at_quick_scale() {
         ("pacing", experiments::pacing::run),
         ("quality", experiments::quality::run),
         ("load", experiments::load::run),
+        ("service", experiments::service::run),
         ("staleness", experiments::staleness::run),
         ("appendix", experiments::appendix::run),
     ];

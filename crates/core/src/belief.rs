@@ -6,49 +6,67 @@
 //! - Posterior `Pr(t|q)`: LDA fold-in inference over the query tokens.
 //! - Boost `B(t|q) = Pr(t|q) − Pr(t)`: the quantity the `(ε1, ε2)` model
 //!   constrains.
+//!
+//! The engine holds its model behind an [`Arc`]: one trained `LdaModel`
+//! (the paper's ~140 MB table) is shared read-only by every belief
+//! engine, ghost generator, and service session built from it, which is
+//! what lets `toppriv-service` run thousands of tenants against a single
+//! in-memory model.
 
-use tsearch_lda::{Inferencer, InferenceConfig, LdaModel};
+use std::sync::Arc;
+use tsearch_lda::{InferenceConfig, Inferencer, LdaModel};
 use tsearch_text::TermId;
 
-/// Belief computations bound to one LDA model.
+/// Belief computations bound to one (shared) LDA model.
 #[derive(Debug, Clone)]
-pub struct BeliefEngine<'m> {
-    inferencer: Inferencer<'m>,
+pub struct BeliefEngine {
+    model: Arc<LdaModel>,
+    config: InferenceConfig,
 }
 
-impl<'m> BeliefEngine<'m> {
+impl BeliefEngine {
     /// Creates a belief engine with default inference parameters.
-    pub fn new(model: &'m LdaModel) -> Self {
+    pub fn new(model: Arc<LdaModel>) -> Self {
         Self {
-            inferencer: Inferencer::new(model),
+            model,
+            config: InferenceConfig::default(),
         }
     }
 
     /// Creates a belief engine with explicit inference parameters.
-    pub fn with_config(model: &'m LdaModel, config: InferenceConfig) -> Self {
-        Self {
-            inferencer: Inferencer::with_config(model, config),
-        }
+    pub fn with_config(model: Arc<LdaModel>, config: InferenceConfig) -> Self {
+        assert!(config.sweeps > config.burn_in, "need post-burn-in sweeps");
+        Self { model, config }
     }
 
     /// The underlying model.
     pub fn model(&self) -> &LdaModel {
-        self.inferencer.model()
+        &self.model
+    }
+
+    /// A new shared handle to the underlying model.
+    pub fn model_arc(&self) -> Arc<LdaModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// The inferencer view over the shared model.
+    fn inferencer(&self) -> Inferencer<'_> {
+        Inferencer::with_config(&self.model, self.config)
     }
 
     /// Number of topics.
     pub fn num_topics(&self) -> usize {
-        self.model().num_topics()
+        self.model.num_topics()
     }
 
     /// The corpus prior `Pr(t)`.
     pub fn prior(&self) -> &[f64] {
-        self.model().prior()
+        self.model.prior()
     }
 
     /// Posterior `Pr(t|q)` of one query.
     pub fn posterior(&self, tokens: &[TermId]) -> Vec<f64> {
-        self.inferencer.infer(tokens)
+        self.inferencer().infer(tokens)
     }
 
     /// Boost in belief `B(t|q)` of one query, for all topics.
@@ -82,14 +100,14 @@ mod tests {
     use super::*;
     use tsearch_lda::{LdaConfig, LdaTrainer};
 
-    fn trained_model() -> LdaModel {
+    fn trained_model() -> Arc<LdaModel> {
         let mut docs = Vec::new();
         for d in 0..40 {
             let base: u32 = if d % 2 == 0 { 0 } else { 5 };
             docs.push((0..30).map(|i| base + (i % 5) as u32).collect::<Vec<_>>());
         }
         let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
-        LdaTrainer::train(
+        Arc::new(LdaTrainer::train(
             &refs,
             10,
             LdaConfig {
@@ -97,13 +115,12 @@ mod tests {
                 alpha: Some(0.5),
                 ..LdaConfig::with_topics(2)
             },
-        )
+        ))
     }
 
     #[test]
     fn boosts_sum_to_zero() {
-        let model = trained_model();
-        let engine = BeliefEngine::new(&model);
+        let engine = BeliefEngine::new(trained_model());
         let boosts = engine.boost(&[0, 1, 2]);
         // Posterior and prior both sum to 1, so boosts sum to 0.
         let sum: f64 = boosts.iter().sum();
@@ -113,8 +130,12 @@ mod tests {
     #[test]
     fn on_topic_query_boosts_its_topic() {
         let model = trained_model();
-        let engine = BeliefEngine::new(&model);
-        let low_topic = if model.phi(0, 0) > model.phi(1, 0) { 0 } else { 1 };
+        let engine = BeliefEngine::new(model.clone());
+        let low_topic = if model.phi(0, 0) > model.phi(1, 0) {
+            0
+        } else {
+            1
+        };
         let boosts = engine.boost(&[0, 1, 2, 3]);
         assert!(
             boosts[low_topic] > 0.0,
@@ -125,8 +146,7 @@ mod tests {
 
     #[test]
     fn cycle_boost_averages() {
-        let model = trained_model();
-        let engine = BeliefEngine::new(&model);
+        let engine = BeliefEngine::new(trained_model());
         let p1 = engine.posterior(&[0, 1]);
         let p2 = engine.posterior(&[5, 6]);
         let cycle = engine.cycle_boost(&[p1.clone(), p2.clone()]);
@@ -140,8 +160,12 @@ mod tests {
     #[test]
     fn mixing_an_off_topic_query_reduces_boost() {
         let model = trained_model();
-        let engine = BeliefEngine::new(&model);
-        let low_topic = if model.phi(0, 0) > model.phi(1, 0) { 0 } else { 1 };
+        let engine = BeliefEngine::new(model.clone());
+        let low_topic = if model.phi(0, 0) > model.phi(1, 0) {
+            0
+        } else {
+            1
+        };
         let p_user = engine.posterior(&[0, 1, 2, 3]);
         let p_ghost = engine.posterior(&[5, 6, 7, 8]);
         let solo = BeliefEngine::boost_from_posterior(&p_user, engine.prior());
@@ -150,5 +174,16 @@ mod tests {
             mixed[low_topic] < solo[low_topic],
             "ghost should dilute the genuine topic"
         );
+    }
+
+    #[test]
+    fn engines_share_one_model_allocation() {
+        let model = trained_model();
+        let a = BeliefEngine::new(model.clone());
+        let b = a.clone();
+        let c = BeliefEngine::new(a.model_arc());
+        assert_eq!(Arc::strong_count(&model), 4);
+        assert!(std::ptr::eq(a.model(), b.model()));
+        assert!(std::ptr::eq(a.model(), c.model()));
     }
 }

@@ -24,21 +24,21 @@ pub struct PrivateSearchResult {
 }
 
 /// The trusted client.
-pub struct TrustedClient<'m> {
+pub struct TrustedClient {
     engine: Arc<SearchEngine>,
-    generator: GhostGenerator<'m>,
+    generator: GhostGenerator,
 }
 
-impl<'m> TrustedClient<'m> {
+impl TrustedClient {
     /// Builds a client around an engine and a ghost generator.
-    pub fn new(engine: Arc<SearchEngine>, generator: GhostGenerator<'m>) -> Self {
+    pub fn new(engine: Arc<SearchEngine>, generator: GhostGenerator) -> Self {
         Self { engine, generator }
     }
 
     /// Convenience constructor from the parts.
     pub fn with_parts(
         engine: Arc<SearchEngine>,
-        belief: BeliefEngine<'m>,
+        belief: BeliefEngine,
         requirement: PrivacyRequirement,
         config: GhostConfig,
     ) -> Self {
@@ -51,7 +51,7 @@ impl<'m> TrustedClient<'m> {
     }
 
     /// The ghost generator.
-    pub fn generator(&self) -> &GhostGenerator<'m> {
+    pub fn generator(&self) -> &GhostGenerator {
         &self.generator
     }
 
@@ -100,7 +100,7 @@ mod tests {
 
     struct Fixture {
         engine: Arc<SearchEngine>,
-        model: LdaModel,
+        model: Arc<LdaModel>,
     }
 
     /// Corpus of 4 topical word blocks, 8 words each, plus engine + model.
@@ -127,7 +127,7 @@ mod tests {
             vocab.observe_document(d);
         }
         let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
-        let model = LdaTrainer::train(
+        let model = Arc::new(LdaTrainer::train(
             &refs,
             32,
             LdaConfig {
@@ -135,7 +135,7 @@ mod tests {
                 alpha: Some(0.3),
                 ..LdaConfig::with_topics(4)
             },
-        );
+        ));
         let engine = Arc::new(SearchEngine::build(
             &refs,
             &texts,
@@ -146,10 +146,10 @@ mod tests {
         Fixture { engine, model }
     }
 
-    fn client<'m>(fx: &'m Fixture) -> TrustedClient<'m> {
+    fn client(fx: &Fixture) -> TrustedClient {
         TrustedClient::with_parts(
             fx.engine.clone(),
-            BeliefEngine::new(&fx.model),
+            BeliefEngine::new(fx.model.clone()),
             PrivacyRequirement::new(0.10, 0.05).unwrap(),
             GhostConfig::default(),
         )

@@ -131,8 +131,8 @@ impl CycleResult {
 
 /// The TopPriv ghost query generator.
 #[derive(Debug, Clone)]
-pub struct GhostGenerator<'m> {
-    belief: BeliefEngine<'m>,
+pub struct GhostGenerator {
+    belief: BeliefEngine,
     requirement: PrivacyRequirement,
     config: GhostConfig,
     /// When false, Step 3(c)'s effectiveness check is skipped (every
@@ -143,13 +143,9 @@ pub struct GhostGenerator<'m> {
     word_prior: Option<Vec<f64>>,
 }
 
-impl<'m> GhostGenerator<'m> {
+impl GhostGenerator {
     /// Creates a generator.
-    pub fn new(
-        belief: BeliefEngine<'m>,
-        requirement: PrivacyRequirement,
-        config: GhostConfig,
-    ) -> Self {
+    pub fn new(belief: BeliefEngine, requirement: PrivacyRequirement, config: GhostConfig) -> Self {
         let word_prior = (config.term_selection == TermSelection::SpecificityMatched)
             .then(|| Self::compute_word_prior(&belief));
         Self {
@@ -162,7 +158,7 @@ impl<'m> GhostGenerator<'m> {
     }
 
     /// `Pr(w)` for every word under the model's corpus prior.
-    fn compute_word_prior(belief: &BeliefEngine<'m>) -> Vec<f64> {
+    fn compute_word_prior(belief: &BeliefEngine) -> Vec<f64> {
         let model = belief.model();
         let prior = model.prior();
         (0..model.vocab_size() as TermId)
@@ -190,7 +186,7 @@ impl<'m> GhostGenerator<'m> {
     }
 
     /// The belief engine in use.
-    pub fn belief(&self) -> &BeliefEngine<'m> {
+    pub fn belief(&self) -> &BeliefEngine {
         &self.belief
     }
 
@@ -220,8 +216,7 @@ impl<'m> GhostGenerator<'m> {
 
         // Step 1: intention.
         let user_posterior = self.belief.posterior(user_tokens);
-        let solo_boosts =
-            BeliefEngine::boost_from_posterior(&user_posterior, self.belief.prior());
+        let solo_boosts = BeliefEngine::boost_from_posterior(&user_posterior, self.belief.prior());
         let intention = self.requirement.user_intention(&solo_boosts);
         // SpecificityMatched: ghosts should be as rare/common as the
         // genuine query's own words.
@@ -268,9 +263,7 @@ impl<'m> GhostGenerator<'m> {
             // Candidate masking topics: T \ U \ Tm \ X.
             let mut candidates: Vec<usize> = (0..num_topics)
                 .filter(|t| {
-                    !in_intention.contains(t)
-                        && !masking.contains(t)
-                        && !ineffective.contains(t)
+                    !in_intention.contains(t) && !masking.contains(t) && !ineffective.contains(t)
                 })
                 .collect();
             let mut reuse_phase = false;
@@ -413,13 +406,12 @@ impl<'m> GhostGenerator<'m> {
         while chosen.len() < len.min(pool.len()) && attempts < max_attempts {
             attempts += 1;
             let u = rng.gen::<f64>() * acc;
-            let idx = match cumulative
-                .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
-            {
-                Ok(i) => i + 1,
-                Err(i) => i,
-            }
-            .min(cumulative.len() - 1);
+            let idx =
+                match cumulative.binary_search_by(|probe| probe.partial_cmp(&u).expect("finite")) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                }
+                .min(cumulative.len() - 1);
             let term = pool[idx].0;
             if used.insert(term) {
                 chosen.push(term);
@@ -456,7 +448,7 @@ mod tests {
     use tsearch_lda::{LdaConfig, LdaModel, LdaTrainer};
 
     /// Train a 4-topic model over four separated word blocks of 8 words.
-    fn trained_model() -> LdaModel {
+    fn trained_model() -> std::sync::Arc<LdaModel> {
         let mut docs = Vec::new();
         for d in 0..120 {
             let base: u32 = (d % 4) * 8;
@@ -467,7 +459,7 @@ mod tests {
             );
         }
         let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
-        LdaTrainer::train(
+        std::sync::Arc::new(LdaTrainer::train(
             &refs,
             32,
             LdaConfig {
@@ -475,12 +467,12 @@ mod tests {
                 alpha: Some(0.3),
                 ..LdaConfig::with_topics(4)
             },
-        )
+        ))
     }
 
-    fn generator(model: &LdaModel) -> GhostGenerator<'_> {
+    fn generator(model: &std::sync::Arc<LdaModel>) -> GhostGenerator {
         GhostGenerator::new(
-            BeliefEngine::new(model),
+            BeliefEngine::new(model.clone()),
             PrivacyRequirement::new(0.10, 0.05).unwrap(),
             GhostConfig::default(),
         )
@@ -551,8 +543,8 @@ mod tests {
         let uniform = 1.0 / model.vocab_size() as f64;
         for q in &result.cycle {
             let Some(tm) = q.masking_topic else { continue };
-            let mean_p: f64 = q.tokens.iter().map(|&w| model.phi(tm, w)).sum::<f64>()
-                / q.tokens.len() as f64;
+            let mean_p: f64 =
+                q.tokens.iter().map(|&w| model.phi(tm, w)).sum::<f64>() / q.tokens.len() as f64;
             // Weight-biased sampling can occasionally pick a low-mass word,
             // but on average ghost words must be far more probable under
             // their masking topic than a uniform draw would be.
@@ -568,7 +560,7 @@ mod tests {
         let model = trained_model();
         // A requirement so loose nothing is ever relevant.
         let gen = GhostGenerator::new(
-            BeliefEngine::new(&model),
+            BeliefEngine::new(model.clone()),
             PrivacyRequirement::new(0.95, 0.95).unwrap(),
             GhostConfig::default(),
         );
@@ -582,7 +574,7 @@ mod tests {
     fn cycle_len_is_capped() {
         let model = trained_model();
         let gen = GhostGenerator::new(
-            BeliefEngine::new(&model),
+            BeliefEngine::new(model.clone()),
             // Impossibly tight ε2 forces the loop to run long.
             PrivacyRequirement::new(0.0001, 0.0001).unwrap(),
             GhostConfig {
@@ -655,7 +647,7 @@ mod tests {
     fn specificity_matched_generator_still_satisfies() {
         let model = trained_model();
         let generator = GhostGenerator::new(
-            BeliefEngine::new(&model),
+            BeliefEngine::new(model.clone()),
             PrivacyRequirement::new(0.10, 0.05).unwrap(),
             GhostConfig {
                 term_selection: TermSelection::SpecificityMatched,
@@ -679,10 +671,10 @@ mod tests {
         // than others; a rare-term query should pull ghost terms toward
         // the rare end relative to the paper's Biased strategy.
         let model = trained_model();
-        let word_prior = GhostGenerator::compute_word_prior(&BeliefEngine::new(&model));
+        let word_prior = GhostGenerator::compute_word_prior(&BeliefEngine::new(model.clone()));
         let mk = |selection: TermSelection| {
             GhostGenerator::new(
-                BeliefEngine::new(&model),
+                BeliefEngine::new(model.clone()),
                 PrivacyRequirement::new(0.10, 0.05).unwrap(),
                 GhostConfig {
                     term_selection: selection,
@@ -715,7 +707,11 @@ mod tests {
                     }
                 }
             }
-            if n == 0 { f64::NAN } else { sum / n as f64 }
+            if n == 0 {
+                f64::NAN
+            } else {
+                sum / n as f64
+            }
         };
         let biased = mk(TermSelection::Biased);
         let matched = mk(TermSelection::SpecificityMatched);
@@ -732,6 +728,9 @@ mod tests {
     fn biased_default_has_no_prior_table() {
         let model = trained_model();
         let generator = generator(&model);
-        assert!(generator.word_prior.is_none(), "lazy: only materialized when needed");
+        assert!(
+            generator.word_prior.is_none(),
+            "lazy: only materialized when needed"
+        );
     }
 }

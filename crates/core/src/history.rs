@@ -48,7 +48,7 @@ impl SessionTracker {
     }
 
     /// Records one protected cycle (in its shuffled submission order).
-    pub fn record_cycle(&mut self, belief: &BeliefEngine<'_>, result: &CycleResult) {
+    pub fn record_cycle(&mut self, belief: &BeliefEngine, result: &CycleResult) {
         for (i, q) in result.cycle.iter().enumerate() {
             if q.is_genuine {
                 self.genuine.push(self.posteriors.len() + i);
@@ -60,7 +60,7 @@ impl SessionTracker {
     }
 
     /// Records a single unprotected query.
-    pub fn record_plain(&mut self, belief: &BeliefEngine<'_>, tokens: &[TermId]) {
+    pub fn record_plain(&mut self, belief: &BeliefEngine, tokens: &[TermId]) {
         self.genuine.push(self.posteriors.len());
         self.posteriors.push(belief.posterior(tokens));
     }
@@ -83,7 +83,7 @@ impl SessionTracker {
 
     /// Trace-level boosts `B(t | q1..qn)` per Equation (2) over the whole
     /// log.
-    pub fn trace_boosts(&self, belief: &BeliefEngine<'_>) -> Vec<f64> {
+    pub fn trace_boosts(&self, belief: &BeliefEngine) -> Vec<f64> {
         if self.posteriors.is_empty() {
             return vec![0.0; belief.num_topics()];
         }
@@ -91,7 +91,7 @@ impl SessionTracker {
     }
 
     /// Full trace report against a set of intention topics.
-    pub fn report(&self, belief: &BeliefEngine<'_>, intention: &[usize]) -> TraceReport {
+    pub fn report(&self, belief: &BeliefEngine, intention: &[usize]) -> TraceReport {
         let trace_boosts = self.trace_boosts(belief);
         TraceReport {
             trace_exposure: exposure(&trace_boosts, intention),
@@ -101,7 +101,7 @@ impl SessionTracker {
     }
 }
 
-impl GhostGenerator<'_> {
+impl GhostGenerator {
     /// Session-aware variant of [`GhostGenerator::generate`]: the
     /// stopping rule certifies `B(t | history ∪ C) ≤ ε2` for all
     /// `t ∈ U`, so the *whole trace* (as aggregated by Equation 2) stays
@@ -168,14 +168,14 @@ mod tests {
     use crate::privacy::PrivacyRequirement;
     use tsearch_lda::{LdaConfig, LdaModel, LdaTrainer};
 
-    fn trained_model() -> LdaModel {
+    fn trained_model() -> std::sync::Arc<LdaModel> {
         let mut docs = Vec::new();
         for d in 0..120u32 {
             let base = (d % 4) * 8;
             docs.push((0..40).map(|i| base + (i % 8)).collect::<Vec<TermId>>());
         }
         let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
-        LdaTrainer::train(
+        std::sync::Arc::new(LdaTrainer::train(
             &refs,
             32,
             LdaConfig {
@@ -183,13 +183,13 @@ mod tests {
                 alpha: Some(0.3),
                 ..LdaConfig::with_topics(4)
             },
-        )
+        ))
     }
 
     #[test]
     fn unprotected_trace_accumulates_exposure() {
         let model = trained_model();
-        let belief = BeliefEngine::new(&model);
+        let belief = BeliefEngine::new(model.clone());
         let mut tracker = SessionTracker::new();
         let intention: Vec<usize> = {
             let boosts = belief.boost(&[0, 1, 2, 3]);
@@ -211,10 +211,10 @@ mod tests {
         // typically sits above a freshly certified single cycle because
         // genuine mass accumulates while masks rotate.
         let model = trained_model();
-        let belief = BeliefEngine::new(&model);
+        let belief = BeliefEngine::new(model.clone());
         let requirement = PrivacyRequirement::new(0.10, 0.02).unwrap();
         let generator = GhostGenerator::new(
-            BeliefEngine::new(&model),
+            BeliefEngine::new(model.clone()),
             requirement,
             GhostConfig::default(),
         );
@@ -248,10 +248,10 @@ mod tests {
     #[test]
     fn history_aware_generation_caps_trace_exposure() {
         let model = trained_model();
-        let belief = BeliefEngine::new(&model);
+        let belief = BeliefEngine::new(model.clone());
         let requirement = PrivacyRequirement::new(0.10, 0.03).unwrap();
         let generator = GhostGenerator::new(
-            BeliefEngine::new(&model),
+            BeliefEngine::new(model.clone()),
             requirement,
             GhostConfig::default(),
         );
@@ -280,7 +280,7 @@ mod tests {
     fn empty_history_is_equivalent_to_plain_generate() {
         let model = trained_model();
         let generator = GhostGenerator::new(
-            BeliefEngine::new(&model),
+            BeliefEngine::new(model.clone()),
             PrivacyRequirement::new(0.10, 0.05).unwrap(),
             GhostConfig::default(),
         );
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn tracker_bookkeeping() {
         let model = trained_model();
-        let belief = BeliefEngine::new(&model);
+        let belief = BeliefEngine::new(model.clone());
         let mut tracker = SessionTracker::new();
         assert!(tracker.is_empty());
         tracker.record_plain(&belief, &[0, 1]);

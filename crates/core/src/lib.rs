@@ -20,10 +20,10 @@
 //!
 //! ```no_run
 //! use toppriv_core::{BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement};
-//! # let model: tsearch_lda::LdaModel = unimplemented!();
+//! # let model: std::sync::Arc<tsearch_lda::LdaModel> = unimplemented!();
 //!
 //! let generator = GhostGenerator::new(
-//!     BeliefEngine::new(&model),
+//!     BeliefEngine::new(model.clone()),
 //!     PrivacyRequirement::paper_default(), // ε1 = 5%, ε2 = 1%
 //!     GhostConfig::default(),
 //! );
@@ -44,10 +44,10 @@ pub use belief::BeliefEngine;
 pub use client::{PrivateSearchResult, TrustedClient};
 pub use ghost::{CycleQuery, CycleResult, GhostConfig, GhostGenerator, TermSelection};
 pub use history::{SessionTracker, TraceReport};
-pub use oblivious::{oblivious_fetch, CommutativeKey, ObliviousClient, ObliviousServer};
-pub use pacing::{merge_schedules, PacingConfig, PacingScheduler, PacingStrategy, ScheduledQuery};
 pub use metrics::{
     exposure, intention_ranks, mask_level, max_rank_of_intention, semantic_coherence,
     PrivacyMetrics,
 };
+pub use oblivious::{oblivious_fetch, CommutativeKey, ObliviousClient, ObliviousServer};
+pub use pacing::{merge_schedules, PacingConfig, PacingScheduler, PacingStrategy, ScheduledQuery};
 pub use privacy::{PrivacyCertificate, PrivacyModelError, PrivacyRequirement};

@@ -10,7 +10,11 @@ pub fn exposure(cycle_boosts: &[f64], intention: &[usize]) -> f64 {
         .iter()
         .map(|&t| cycle_boosts[t])
         .fold(f64::NEG_INFINITY, f64::max)
-        .max(if intention.is_empty() { 0.0 } else { f64::NEG_INFINITY })
+        .max(if intention.is_empty() {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        })
 }
 
 /// Mask level: `max_{t∈T\U} B(t|C)` — how prominent the decoy topics are.

@@ -205,7 +205,11 @@ impl ObliviousClient {
 }
 
 /// Runs the full protocol for document `i`; returns the recovered text.
-pub fn oblivious_fetch(server: &ObliviousServer, client: &ObliviousClient, i: usize) -> Option<String> {
+pub fn oblivious_fetch(
+    server: &ObliviousServer,
+    client: &ObliviousClient,
+    i: usize,
+) -> Option<String> {
     let catalogue = server.catalogue();
     let request = client.request(&catalogue, i);
     let response = server.unseal(request);
@@ -276,10 +280,7 @@ mod tests {
         // Two different clients produce different blindings of the same
         // item.
         let other = ObliviousClient::new(5);
-        assert_ne!(
-            client.request(&catalogue, 0),
-            other.request(&catalogue, 0)
-        );
+        assert_ne!(client.request(&catalogue, 0), other.request(&catalogue, 0));
     }
 
     #[test]
@@ -292,6 +293,8 @@ mod tests {
         let response = server.unseal(request);
         // Decrypting payload 1 with document 0's key yields garbage (or
         // invalid UTF-8), never the true text of document 1.
-        if let Some(text) = client.recover(&catalogue, 1, response) { assert_ne!(text, "second text") }
+        if let Some(text) = client.recover(&catalogue, 1, response) {
+            assert_ne!(text, "second text")
+        }
     }
 }

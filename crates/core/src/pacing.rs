@@ -211,8 +211,10 @@ impl PacingScheduler {
                 let mut offsets = vec![0.0f64; n];
                 match genuine_slot {
                     Some(slot) => {
-                        let mut ghost_slots =
-                            (0..n).filter(|&s| s != slot).collect::<Vec<_>>().into_iter();
+                        let mut ghost_slots = (0..n)
+                            .filter(|&s| s != slot)
+                            .collect::<Vec<_>>()
+                            .into_iter();
                         for (i, slot_time) in offsets.iter_mut().enumerate() {
                             if i == genuine_index {
                                 *slot_time = times[slot];

@@ -212,10 +212,19 @@ mod tests {
 
     #[test]
     fn dirichlet_small_alpha_is_sparse() {
+        // Any single Dir(0.02) draw can fail to concentrate; assert the
+        // property over a batch so the test is robust to the RNG stream.
         let mut r = rng();
-        let v = sample_dirichlet(&mut r, 0.02, 50);
-        let max = v.iter().cloned().fold(0.0, f64::max);
-        assert!(max > 0.5, "small alpha should concentrate mass, max={max}");
+        let concentrated = (0..20)
+            .filter(|_| {
+                let v = sample_dirichlet(&mut r, 0.02, 50);
+                v.iter().cloned().fold(0.0, f64::max) > 0.5
+            })
+            .count();
+        assert!(
+            concentrated >= 14,
+            "small alpha should concentrate mass in most draws, got {concentrated}/20"
+        );
     }
 
     #[test]

@@ -98,8 +98,7 @@ impl SyntheticCorpus {
                 .iter()
                 .enumerate()
                 .map(|(rank, &slot)| {
-                    let w = ((rank + 1) as f64).powf(-config.zipf_exponent) / zipf_norm
-                        * core_mass;
+                    let w = ((rank + 1) as f64).powf(-config.zipf_exponent) / zipf_norm * core_mass;
                     (core[slot], w)
                 })
                 .collect();
@@ -160,7 +159,11 @@ impl SyntheticCorpus {
                 .round() as usize;
             let len = len.clamp(config.min_doc_len, config.max_doc_len);
             let from_new = rng.gen::<f64>() < evolution.new_topic_share;
-            let pool_size = if from_new { num_new_topics } else { old_num_topics };
+            let pool_size = if from_new {
+                num_new_topics
+            } else {
+                old_num_topics
+            };
             let k = (topic_count_sampler.sample(&mut rng) + 1).min(pool_size);
             let mut chosen: Vec<usize> = Vec::with_capacity(k);
             while chosen.len() < k {
@@ -171,8 +174,11 @@ impl SyntheticCorpus {
                 }
             }
             let weights = sample_dirichlet(&mut rng, config.mixture_alpha, k);
-            let mut mixture: Vec<(usize, f64)> =
-                chosen.iter().copied().zip(weights.iter().copied()).collect();
+            let mut mixture: Vec<(usize, f64)> = chosen
+                .iter()
+                .copied()
+                .zip(weights.iter().copied())
+                .collect();
             mixture.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
             let mixture_sampler = Categorical::new(&weights).expect("mixture weights");
 

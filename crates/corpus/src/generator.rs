@@ -120,8 +120,11 @@ impl SyntheticCorpus {
                 }
             }
             let weights = sample_dirichlet(&mut rng, config.mixture_alpha, k);
-            let mut mixture: Vec<(usize, f64)> =
-                chosen.iter().copied().zip(weights.iter().copied()).collect();
+            let mut mixture: Vec<(usize, f64)> = chosen
+                .iter()
+                .copied()
+                .zip(weights.iter().copied())
+                .collect();
             mixture.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
             let mixture_sampler = Categorical::new(&weights).expect("mixture weights");
 

@@ -10,8 +10,8 @@
 use tsearch_text::StopwordList;
 
 const ONSETS: &[&str] = &[
-    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
-    "br", "cr", "dr", "gr", "pr", "tr", "st", "sp", "pl", "cl",
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "br",
+    "cr", "dr", "gr", "pr", "tr", "st", "sp", "pl", "cl",
 ];
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
 const CODAS: &[&str] = &["", "n", "r", "s", "t", "l", "m", "x", "nd", "rk", "st"];

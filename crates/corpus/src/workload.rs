@@ -131,11 +131,7 @@ pub fn relevance_judgments(
         .docs
         .iter()
         .filter(|d| {
-            let mass: f64 = query
-                .target_topics
-                .iter()
-                .map(|&t| d.topic_weight(t))
-                .sum();
+            let mass: f64 = query.target_topics.iter().map(|&t| d.topic_weight(t)).sum();
             mass >= threshold
         })
         .map(|d| d.id)
@@ -195,8 +191,7 @@ mod tests {
         };
         for q in generate_workload(&corpus, &cfg) {
             let topic = &corpus.topics[q.target_topics[0]];
-            let topic_terms: HashSet<TermId> =
-                topic.term_weights.iter().map(|&(t, _)| t).collect();
+            let topic_terms: HashSet<TermId> = topic.term_weights.iter().map(|&(t, _)| t).collect();
             for tok in &q.tokens {
                 assert!(topic_terms.contains(tok), "term outside target topic");
             }

@@ -199,10 +199,10 @@ mod tests {
 
     fn docs() -> Vec<Vec<TermId>> {
         vec![
-            vec![0, 1, 2, 0],    // doc 0: term 0 twice
-            vec![1, 3],          // doc 1
-            vec![0, 3, 3, 3],    // doc 2
-            vec![],              // doc 3: empty
+            vec![0, 1, 2, 0], // doc 0: term 0 twice
+            vec![1, 3],       // doc 1
+            vec![0, 3, 3, 3], // doc 2
+            vec![],           // doc 3: empty
         ]
     }
 

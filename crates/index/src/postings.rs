@@ -192,7 +192,10 @@ mod tests {
             Posting { doc_id: 0, tf: 3 },
             Posting { doc_id: 1, tf: 1 },
             Posting { doc_id: 7, tf: 2 },
-            Posting { doc_id: 1000, tf: 9 },
+            Posting {
+                doc_id: 1000,
+                tf: 9,
+            },
             Posting {
                 doc_id: 1_000_000,
                 tf: 1,
@@ -218,9 +221,7 @@ mod tests {
     #[test]
     fn compression_beats_raw() {
         // Dense small gaps compress far below 8 bytes per posting.
-        let postings: Vec<Posting> = (0..10_000)
-            .map(|i| Posting { doc_id: i, tf: 1 })
-            .collect();
+        let postings: Vec<Posting> = (0..10_000).map(|i| Posting { doc_id: i, tf: 1 }).collect();
         let list = PostingsList::from_postings(&postings);
         assert_eq!(list.size_bytes(), (2 * 10_000)); // 1 byte gap + 1 byte tf
         assert!(list.size_bytes() < postings.len() * 8);
@@ -229,10 +230,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_rejected() {
-        PostingsList::from_postings(&[
-            Posting { doc_id: 5, tf: 1 },
-            Posting { doc_id: 5, tf: 1 },
-        ]);
+        PostingsList::from_postings(&[Posting { doc_id: 5, tf: 1 }, Posting { doc_id: 5, tf: 1 }]);
     }
 
     #[test]

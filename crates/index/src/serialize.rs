@@ -46,9 +46,8 @@ impl std::error::Error for IndexCodecError {}
 pub fn encode_index(index: &InvertedIndex) -> Vec<u8> {
     let num_docs = index.num_docs();
     let num_terms = index.num_terms();
-    let mut out = Vec::with_capacity(
-        32 + num_docs * 4 + num_terms * 12 + index.size_breakdown().total(),
-    );
+    let mut out =
+        Vec::with_capacity(32 + num_docs * 4 + num_terms * 12 + index.size_breakdown().total());
     out.put_slice(MAGIC);
     out.put_u32_le(VERSION);
     out.put_u32_le(num_docs as u32);
@@ -107,8 +106,7 @@ pub fn decode_index(mut bytes: &[u8]) -> Result<InvertedIndex, IndexCodecError> 
         }
         let raw = bytes[..byte_len].to_vec();
         bytes.advance(byte_len);
-        postings
-            .push(PostingsList::from_raw_parts(len, raw).ok_or(IndexCodecError::Truncated)?);
+        postings.push(PostingsList::from_raw_parts(len, raw).ok_or(IndexCodecError::Truncated)?);
     }
     Ok(InvertedIndex::from_parts(
         postings,
@@ -124,12 +122,8 @@ mod tests {
     use crate::index::InvertedIndex;
 
     fn sample_index() -> InvertedIndex {
-        let docs: Vec<Vec<u32>> = vec![
-            vec![0, 1, 1, 2],
-            vec![2, 2, 3],
-            vec![0, 4, 4, 4, 1],
-            vec![],
-        ];
+        let docs: Vec<Vec<u32>> =
+            vec![vec![0, 1, 1, 2], vec![2, 2, 3], vec![0, 4, 4, 4, 1], vec![]];
         let refs: Vec<&[u32]> = docs.iter().map(|d| d.as_slice()).collect();
         InvertedIndex::build(&refs, 6)
     }
@@ -163,7 +157,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(decode_index(b"nope").unwrap_err(), IndexCodecError::Truncated);
+        assert_eq!(
+            decode_index(b"nope").unwrap_err(),
+            IndexCodecError::Truncated
+        );
         assert_eq!(
             decode_index(b"XXXXxxxxxxxxxxxxxxxxxxxxxxxx").unwrap_err(),
             IndexCodecError::BadMagic

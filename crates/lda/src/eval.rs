@@ -126,7 +126,13 @@ pub fn model_topic_coherences(
     top_n: usize,
 ) -> (f64, Vec<f64>) {
     let tops: Vec<Vec<TermId>> = (0..model.num_topics())
-        .map(|t| model.top_words(t, top_n).into_iter().map(|(w, _)| w).collect())
+        .map(|t| {
+            model
+                .top_words(t, top_n)
+                .into_iter()
+                .map(|(w, _)| w)
+                .collect()
+        })
         .collect();
     let all: Vec<TermId> = tops.iter().flatten().copied().collect();
     let index = CoOccurrenceIndex::build(docs, &all);
@@ -153,11 +159,7 @@ pub fn query_coherence(index: &CoOccurrenceIndex, tokens: &[TermId]) -> f64 {
 /// Held-out perplexity of `docs` under `model`: each document's topic
 /// mixture is folded in with the given inference config, then
 /// `exp(−Σ ln p(w|θ_d) / Σ |d|)`. Empty inputs yield `f64::NAN`.
-pub fn held_out_perplexity(
-    model: &LdaModel,
-    docs: &[&[TermId]],
-    config: InferenceConfig,
-) -> f64 {
+pub fn held_out_perplexity(model: &LdaModel, docs: &[&[TermId]], config: InferenceConfig) -> f64 {
     let inferencer = Inferencer::with_config(model, config);
     let mut log_lik = 0.0f64;
     let mut tokens = 0usize;

@@ -102,10 +102,7 @@ impl<'m> Inferencer<'m> {
                 }
                 let new = if total > 0.0 {
                     let u = rng.gen::<f64>() * total;
-                    weights
-                        .iter()
-                        .position(|&cum| u < cum)
-                        .unwrap_or(k - 1)
+                    weights.iter().position(|&cum| u < cum).unwrap_or(k - 1)
                 } else {
                     rng.gen_range(0..k)
                 };
@@ -202,7 +199,11 @@ mod tests {
         let model = trained_model();
         let inf = Inferencer::new(&model);
         // Which trained topic owns the low block?
-        let low_topic = if model.phi(0, 0) > model.phi(1, 0) { 0 } else { 1 };
+        let low_topic = if model.phi(0, 0) > model.phi(1, 0) {
+            0
+        } else {
+            1
+        };
         let post_low = inf.infer(&[0, 1, 2, 3]);
         let post_high = inf.infer(&[5, 6, 7, 8]);
         assert!(

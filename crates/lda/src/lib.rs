@@ -45,7 +45,7 @@ pub use eval::{
     held_out_perplexity, model_topic_coherences, query_coherence, umass_coherence,
     CoOccurrenceIndex,
 };
-pub use infer::{Inferencer, InferenceConfig};
+pub use infer::{InferenceConfig, Inferencer};
 pub use model::{LdaModel, LdaSizeBreakdown};
 pub use plsa::{PlsaConfig, PlsaModel};
 pub use reduce::{sample_docs, ReducedModel, ReductionConfig, TermStats, VocabMap};

@@ -75,7 +75,10 @@ impl LdaModel {
 
     /// Number of training documents D.
     pub fn num_docs(&self) -> usize {
-        self.theta_dk.len().checked_div(self.num_topics).unwrap_or(0)
+        self.theta_dk
+            .len()
+            .checked_div(self.num_topics)
+            .unwrap_or(0)
     }
 
     /// Hyperparameter alpha.

@@ -323,7 +323,11 @@ mod tests {
         let post = model.heuristic_fold_in(&[0, 1, 2], 20);
         let sum: f64 = post.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
-        let low_topic = if model.phi(0, 0) > model.phi(1, 0) { 0 } else { 1 };
+        let low_topic = if model.phi(0, 0) > model.phi(1, 0) {
+            0
+        } else {
+            1
+        };
         assert!(post[low_topic] > 0.5, "{post:?}");
         // Empty query: uniform.
         assert_eq!(model.heuristic_fold_in(&[], 5), vec![0.5, 0.5]);

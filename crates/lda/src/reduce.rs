@@ -375,14 +375,8 @@ impl ReducedModel {
         let theta: Vec<f64> = (0..self.model.num_docs())
             .flat_map(|d| self.model.doc_topics(d).to_vec())
             .collect();
-        let expanded = LdaModel::from_parts(
-            k,
-            full,
-            self.model.alpha(),
-            self.model.beta(),
-            phi,
-            theta,
-        );
+        let expanded =
+            LdaModel::from_parts(k, full, self.model.alpha(), self.model.beta(), phi, theta);
         debug_assert!(expanded.validate().is_ok());
         expanded
     }

@@ -189,11 +189,7 @@ impl LdaTrainer {
     /// Runs the configured number of iterations, invoking `progress` after
     /// each (with perplexity computed every `perplexity_every` iterations,
     /// 0 meaning never).
-    pub fn run<F: FnMut(TrainProgress)>(
-        &mut self,
-        perplexity_every: usize,
-        mut progress: F,
-    ) {
+    pub fn run<F: FnMut(TrainProgress)>(&mut self, perplexity_every: usize, mut progress: F) {
         for it in 1..=self.config.iterations {
             self.sweep();
             if perplexity_every > 0 && (it % perplexity_every == 0 || it == self.config.iterations)

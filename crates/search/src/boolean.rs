@@ -92,10 +92,7 @@ pub fn gallop_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
 
 /// Disjunction: k-way ascending merge with deduplication.
 fn disjunction(index: &InvertedIndex, terms: &[TermId]) -> Vec<u32> {
-    let mut all: Vec<u32> = terms
-        .iter()
-        .flat_map(|&t| doc_ids(index, t))
-        .collect();
+    let mut all: Vec<u32> = terms.iter().flat_map(|&t| doc_ids(index, t)).collect();
     all.sort_unstable();
     all.dedup();
     all
@@ -130,17 +127,35 @@ mod tests {
     #[test]
     fn and_queries() {
         let idx = index();
-        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::And(vec![0, 1])), vec![0, 2]);
-        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::And(vec![0, 1, 2])), vec![2]);
-        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::And(vec![0, 3])), Vec::<u32>::new());
-        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::And(vec![])), Vec::<u32>::new());
+        assert_eq!(
+            evaluate_boolean(&idx, &BooleanQuery::And(vec![0, 1])),
+            vec![0, 2]
+        );
+        assert_eq!(
+            evaluate_boolean(&idx, &BooleanQuery::And(vec![0, 1, 2])),
+            vec![2]
+        );
+        assert_eq!(
+            evaluate_boolean(&idx, &BooleanQuery::And(vec![0, 3])),
+            Vec::<u32>::new()
+        );
+        assert_eq!(
+            evaluate_boolean(&idx, &BooleanQuery::And(vec![])),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]
     fn or_queries() {
         let idx = index();
-        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::Or(vec![0, 3])), vec![0, 2, 3]);
-        assert_eq!(evaluate_boolean(&idx, &BooleanQuery::Or(vec![])), Vec::<u32>::new());
+        assert_eq!(
+            evaluate_boolean(&idx, &BooleanQuery::Or(vec![0, 3])),
+            vec![0, 2, 3]
+        );
+        assert_eq!(
+            evaluate_boolean(&idx, &BooleanQuery::Or(vec![])),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]
@@ -159,8 +174,12 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..50 {
-            let mut a: Vec<u32> = (0..rng.gen_range(0..60)).map(|_| rng.gen_range(0..200)).collect();
-            let mut b: Vec<u32> = (0..rng.gen_range(0..400)).map(|_| rng.gen_range(0..200)).collect();
+            let mut a: Vec<u32> = (0..rng.gen_range(0..60))
+                .map(|_| rng.gen_range(0..200))
+                .collect();
+            let mut b: Vec<u32> = (0..rng.gen_range(0..400))
+                .map(|_| rng.gen_range(0..200))
+                .collect();
             a.sort_unstable();
             a.dedup();
             b.sort_unstable();

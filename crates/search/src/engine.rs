@@ -24,6 +24,16 @@ pub struct LoggedQuery {
     pub tokens: Vec<TermId>,
 }
 
+/// The server-side query log: entries plus a monotone ordinal counter
+/// that survives trimming, so ordinals stay unique even when old entries
+/// are dropped under a capacity bound.
+struct QueryLog {
+    entries: Vec<LoggedQuery>,
+    next_ordinal: u64,
+    /// Maximum retained entries; older entries are dropped first.
+    capacity: usize,
+}
+
 /// The search engine: index + document store + scorer + query log.
 pub struct SearchEngine {
     index: InvertedIndex,
@@ -33,7 +43,7 @@ pub struct SearchEngine {
     model: ScoringModel,
     /// Precomputed per-document vector norms for cosine scoring.
     doc_norms: Vec<f64>,
-    log: Mutex<Vec<LoggedQuery>>,
+    log: Mutex<QueryLog>,
 }
 
 impl SearchEngine {
@@ -53,7 +63,11 @@ impl SearchEngine {
             vocab,
             model,
             doc_norms,
-            log: Mutex::new(Vec::new()),
+            log: Mutex::new(QueryLog {
+                entries: Vec::new(),
+                next_ordinal: 0,
+                capacity: usize::MAX,
+            }),
         }
     }
 
@@ -107,9 +121,9 @@ impl SearchEngine {
                 continue;
             }
             for posting in self.index.postings(term).iter() {
-                let dw = self
-                    .model
-                    .doc_weight(posting.tf, self.index.doc_len(posting.doc_id), avg_len);
+                let dw =
+                    self.model
+                        .doc_weight(posting.tf, self.index.doc_len(posting.doc_id), avg_len);
                 *accumulators.entry(posting.doc_id).or_insert(0.0) += qw * dw;
             }
         }
@@ -199,9 +213,9 @@ impl SearchEngine {
                 || threshold == f64::NEG_INFINITY
                 || suffix_bounds[i] >= threshold;
             for posting in self.index.postings(term).iter() {
-                let dw = self
-                    .model
-                    .doc_weight(posting.tf, self.index.doc_len(posting.doc_id), avg_len);
+                let dw =
+                    self.model
+                        .doc_weight(posting.tf, self.index.doc_len(posting.doc_id), avg_len);
                 match accumulators.entry(posting.doc_id) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         *e.get_mut() += qw * dw;
@@ -260,7 +274,9 @@ impl SearchEngine {
                     continue;
                 }
                 let qw = self.model.query_weight(qtf, self.index.idf(term));
-                let dw = self.model.doc_weight(tf, self.index.doc_len(doc_id), avg_len);
+                let dw = self
+                    .model
+                    .doc_weight(tf, self.index.doc_len(doc_id), avg_len);
                 score += qw * dw;
             }
             if score == 0.0 {
@@ -279,8 +295,9 @@ impl SearchEngine {
 
     fn log_query(&self, text: String, query: &Query) {
         let mut log = self.log.lock().expect("query log poisoned");
-        let ordinal = log.len() as u64;
-        log.push(LoggedQuery {
+        let ordinal = log.next_ordinal;
+        log.next_ordinal += 1;
+        log.entries.push(LoggedQuery {
             ordinal,
             text,
             tokens: query
@@ -288,16 +305,37 @@ impl SearchEngine {
                 .flat_map(|(t, tf)| std::iter::repeat_n(t, tf as usize))
                 .collect(),
         });
+        if log.entries.len() > log.capacity {
+            // Amortized trim: drop the oldest half-beyond-capacity batch
+            // in one move instead of shifting per push.
+            let excess = log.entries.len() - log.capacity;
+            log.entries.drain(..excess);
+        }
     }
 
     /// Snapshot of the server-side query log — the adversary's view.
     pub fn query_log(&self) -> Vec<LoggedQuery> {
-        self.log.lock().expect("query log poisoned").clone()
+        self.log.lock().expect("query log poisoned").entries.clone()
     }
 
-    /// Clears the query log (between experiments).
+    /// Clears the query log (between experiments). Ordinals restart.
     pub fn clear_query_log(&self) {
-        self.log.lock().expect("query log poisoned").clear();
+        let mut log = self.log.lock().expect("query log poisoned");
+        log.entries.clear();
+        log.next_ordinal = 0;
+    }
+
+    /// Bounds the query log to the most recent `capacity` entries.
+    /// Long-running deployments (e.g. `toppriv-serve`) set this so the
+    /// demo-oriented adversary log cannot grow without limit; ordinals
+    /// keep counting across dropped entries.
+    pub fn set_query_log_capacity(&self, capacity: usize) {
+        let mut log = self.log.lock().expect("query log poisoned");
+        log.capacity = capacity;
+        if log.entries.len() > capacity {
+            let excess = log.entries.len() - capacity;
+            log.entries.drain(..excess);
+        }
     }
 
     /// Fetches a result document's text (Step 7 of the search process).
@@ -421,7 +459,9 @@ mod tests {
             let mut docs: Vec<Vec<TermId>> = (0..60)
                 .map(|_| {
                     let len = rng.gen_range(2..25);
-                    (0..len).map(|_| rng.gen_range(0..vocab_size) as u32).collect()
+                    (0..len)
+                        .map(|_| rng.gen_range(0..vocab_size) as u32)
+                        .collect()
                 })
                 .collect();
             let dup = docs[0].clone();
@@ -434,8 +474,9 @@ mod tests {
             let engine = SearchEngine::build(&refs, &texts, Analyzer::new(), vocab, model);
             for _ in 0..30 {
                 let qlen = rng.gen_range(1..7);
-                let tokens: Vec<u32> =
-                    (0..qlen).map(|_| rng.gen_range(0..vocab_size) as u32).collect();
+                let tokens: Vec<u32> = (0..qlen)
+                    .map(|_| rng.gen_range(0..vocab_size) as u32)
+                    .collect();
                 let q = Query::from_tokens(&tokens);
                 for k in [1usize, 5, 10] {
                     let fast = engine.evaluate_maxscore(&q, k);
@@ -465,6 +506,23 @@ mod tests {
     }
 
     #[test]
+    fn query_log_capacity_bounds_growth() {
+        let engine = toy_engine(ScoringModel::TfIdfCosine);
+        engine.set_query_log_capacity(3);
+        for _ in 0..10 {
+            engine.search("apache", 1);
+        }
+        let log = engine.query_log();
+        assert_eq!(log.len(), 3, "log trimmed to capacity");
+        // Oldest entries dropped, ordinals still unique and monotone.
+        assert_eq!(log.last().unwrap().ordinal, 9);
+        assert!(log.windows(2).all(|w| w[0].ordinal < w[1].ordinal));
+        // Tightening the capacity trims immediately.
+        engine.set_query_log_capacity(1);
+        assert_eq!(engine.query_log().len(), 1);
+    }
+
+    #[test]
     fn evaluate_does_not_log() {
         let engine = toy_engine(ScoringModel::TfIdfCosine);
         let q = Query::from_tokens(&[0]);
@@ -482,10 +540,7 @@ mod tests {
     #[test]
     fn fetch_document_roundtrip() {
         let engine = toy_engine(ScoringModel::TfIdfCosine);
-        assert_eq!(
-            engine.fetch_document(1),
-            Some("apache web server software")
-        );
+        assert_eq!(engine.fetch_document(1), Some("apache web server software"));
         assert_eq!(engine.fetch_document(99), None);
     }
 }

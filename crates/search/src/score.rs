@@ -7,8 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Scoring model selection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ScoringModel {
     /// TF-IDF with log tf weighting and cosine normalization (lnc.ltc).
     #[default]
@@ -21,7 +20,6 @@ pub enum ScoringModel {
         b: f64,
     },
 }
-
 
 impl ScoringModel {
     /// Default BM25 parameters.

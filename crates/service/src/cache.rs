@@ -1,0 +1,404 @@
+//! Sharded LRU result cache.
+//!
+//! Multi-tenant decoy traffic is highly redundant: the ghost generator is
+//! deterministic per query content (the RNG is seeded from the token
+//! hash), so two tenants protecting the same query emit the *same* ghost
+//! cycle, and popular masking topics repeat their top words across
+//! tenants. The seed's `load` experiment prices each ghost at a full
+//! engine evaluation (~7× a genuine query per cycle); this cache absorbs
+//! the duplicates before they reach the engine.
+//!
+//! Keys are normalized term multisets (sorted token ids) plus the result
+//! count `k` — the engine treats queries as bags of words, so token order
+//! never matters. Entries live in N independently locked shards selected
+//! by key hash; each shard is a classic intrusive-list LRU, so a get
+//! refreshes recency in O(1) and eviction removes the least-recently-used
+//! entry of that shard.
+//!
+//! Privacy note: the cache sits *inside* the trusted service boundary,
+//! and per-session privacy accounting covers every cycle member whether
+//! or not it hit cache, so the `(ε1, ε2)` certificates themselves are
+//! unchanged. The honest caveat is that the cache's effectiveness
+//! *depends on* ghost determinism under the publicly known default
+//! `GhostConfig` seed: an engine-side adversary who knows that seed can
+//! replay ghost generation per logged query and test which query's
+//! regenerated decoys all appear in the log — a stronger probing attack
+//! than the paper's (which assumes the client seed is secret). Deploying
+//! with a per-fleet *secret* ghost seed (shared by the service's
+//! sessions, unknown to the engine) restores the secret-seed assumption
+//! while keeping cross-tenant cacheability; see ROADMAP "Open items".
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tsearch_search::SearchHit;
+use tsearch_text::TermId;
+
+/// Normalized cache key: sorted tokens + requested depth.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    tokens: Vec<TermId>,
+    k: usize,
+}
+
+impl CacheKey {
+    /// Normalizes a token query (sorts; duplicates are kept — the engine
+    /// scores term frequency, so `a a b` and `a b` are different bags).
+    pub fn new(tokens: &[TermId], k: usize) -> Self {
+        let mut tokens = tokens.to_vec();
+        tokens.sort_unstable();
+        CacheKey { tokens, k }
+    }
+
+    fn shard_of(&self, shards: usize) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % shards
+    }
+}
+
+const NO_SLOT: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    hits: Vec<SearchHit>,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: slot arena + hash index + intrusive recency list.
+struct Shard {
+    slots: Vec<Entry>,
+    index: HashMap<CacheKey, usize>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            slots: Vec::with_capacity(capacity.min(64)),
+            index: HashMap::new(),
+            free: Vec::new(),
+            head: NO_SLOT,
+            tail: NO_SLOT,
+            capacity,
+        }
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        match prev {
+            NO_SLOT => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NO_SLOT => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Links `slot` at the head (most recently used).
+    fn link_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NO_SLOT;
+        self.slots[slot].next = self.head;
+        match self.head {
+            NO_SLOT => self.tail = slot,
+            h => self.slots[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Vec<SearchHit>> {
+        let slot = *self.index.get(key)?;
+        self.unlink(slot);
+        self.link_front(slot);
+        Some(self.slots[slot].hits.clone())
+    }
+
+    fn insert(&mut self, key: CacheKey, hits: Vec<SearchHit>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.index.get(&key) {
+            self.slots[slot].hits = hits;
+            self.unlink(slot);
+            self.link_front(slot);
+            return;
+        }
+        if self.index.len() >= self.capacity {
+            // Evict the least recently used entry of this shard.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = self.slots[victim].key.clone();
+            self.index.remove(&old_key);
+            self.free.push(victim);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Entry {
+                    key: key.clone(),
+                    hits,
+                    prev: NO_SLOT,
+                    next: NO_SLOT,
+                };
+                s
+            }
+            None => {
+                self.slots.push(Entry {
+                    key: key.clone(),
+                    hits,
+                    prev: NO_SLOT,
+                    next: NO_SLOT,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(key, slot);
+        self.link_front(slot);
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+}
+
+/// Thread-safe sharded LRU cache of search results.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Default shard count (capacity permitting).
+pub const DEFAULT_SHARDS: usize = 16;
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries across [`DEFAULT_SHARDS`]
+    /// shards (fewer shards when the capacity is tiny).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_SHARDS.min(capacity.max(1)))
+    }
+
+    /// Explicit shard count; total capacity is split evenly (rounded up).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        ResultCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[key.shard_of(self.shards.len())]
+    }
+
+    /// Looks up a normalized query, refreshing its recency.
+    pub fn get(&self, tokens: &[TermId], k: usize) -> Option<Vec<SearchHit>> {
+        let key = CacheKey::new(tokens, k);
+        let found = self
+            .shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or refreshes) a result list.
+    pub fn insert(&self, tokens: &[TermId], k: usize, hits: Vec<SearchHit>) {
+        let key = CacheKey::new(tokens, k);
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, hits);
+    }
+
+    /// Cache-through read: returns `(hits, was_cache_hit)`, computing and
+    /// inserting on miss. The shard lock is *not* held while `compute`
+    /// runs, so concurrent misses on the same key may both evaluate (last
+    /// write wins) — the engine is read-only, so that is merely duplicated
+    /// work, never inconsistency.
+    pub fn get_or_compute(
+        &self,
+        tokens: &[TermId],
+        k: usize,
+        compute: impl FnOnce() -> Vec<SearchHit>,
+    ) -> (Vec<SearchHit>, bool) {
+        if let Some(hits) = self.get(tokens, k) {
+            return (hits, true);
+        }
+        let hits = compute();
+        self.insert(tokens, k, hits.clone());
+        (hits, false)
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, 0 when never used.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(doc_id: u32) -> SearchHit {
+        SearchHit {
+            doc_id,
+            score: doc_id as f64,
+        }
+    }
+
+    #[test]
+    fn get_after_insert_and_normalization() {
+        let cache = ResultCache::new(8);
+        cache.insert(&[3, 1, 2], 10, vec![hit(7)]);
+        // Token order does not matter; k does.
+        assert_eq!(cache.get(&[1, 2, 3], 10).unwrap()[0].doc_id, 7);
+        assert!(cache.get(&[1, 2, 3], 5).is_none());
+        // Duplicates are a different bag.
+        assert!(cache.get(&[1, 1, 2, 3], 10).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        // Single shard so the recency order is total.
+        let cache = ResultCache::with_shards(3, 1);
+        cache.insert(&[1], 10, vec![hit(1)]);
+        cache.insert(&[2], 10, vec![hit(2)]);
+        cache.insert(&[3], 10, vec![hit(3)]);
+        assert_eq!(cache.len(), 3);
+        cache.insert(&[4], 10, vec![hit(4)]);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&[1], 10).is_none(), "oldest entry evicted");
+        assert!(cache.get(&[2], 10).is_some());
+        assert!(cache.get(&[3], 10).is_some());
+        assert!(cache.get(&[4], 10).is_some());
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let cache = ResultCache::with_shards(3, 1);
+        cache.insert(&[1], 10, vec![hit(1)]);
+        cache.insert(&[2], 10, vec![hit(2)]);
+        cache.insert(&[3], 10, vec![hit(3)]);
+        // Touch [1]: now [2] is the LRU entry.
+        assert!(cache.get(&[1], 10).is_some());
+        cache.insert(&[4], 10, vec![hit(4)]);
+        assert!(cache.get(&[2], 10).is_none(), "LRU after refresh is [2]");
+        assert!(cache.get(&[1], 10).is_some(), "refreshed entry survives");
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let cache = ResultCache::with_shards(2, 1);
+        cache.insert(&[1], 10, vec![hit(1)]);
+        cache.insert(&[2], 10, vec![hit(2)]);
+        cache.insert(&[1], 10, vec![hit(99)]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&[1], 10).unwrap()[0].doc_id, 99);
+        assert!(cache.get(&[2], 10).is_some());
+    }
+
+    #[test]
+    fn eviction_slots_are_reused() {
+        let cache = ResultCache::with_shards(2, 1);
+        for i in 0..100u32 {
+            cache.insert(&[i], 10, vec![hit(i)]);
+        }
+        assert_eq!(cache.len(), 2);
+        let shard = cache.shards[0].lock().unwrap();
+        assert!(
+            shard.slots.len() <= 3,
+            "arena should recycle slots, used {}",
+            shard.slots.len()
+        );
+    }
+
+    #[test]
+    fn get_or_compute_counts_hits() {
+        let cache = ResultCache::new(8);
+        let (r1, was_hit) = cache.get_or_compute(&[5, 6], 10, || vec![hit(42)]);
+        assert!(!was_hit);
+        assert_eq!(r1[0].doc_id, 42);
+        let (r2, was_hit) = cache.get_or_compute(&[6, 5], 10, || unreachable!("cached"));
+        assert!(was_hit);
+        assert_eq!(r2[0].doc_id, 42);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = std::sync::Arc::new(ResultCache::new(64));
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        // Keys normalize by sorting, so the expected value
+                        // must be order-independent too.
+                        let q = [i % 32, t % 4];
+                        let (lo, hi) = (q[0].min(q[1]), q[0].max(q[1]));
+                        let (hits, _) = cache.get_or_compute(&q, 10, || vec![hit(lo * 100 + hi)]);
+                        assert_eq!(hits[0].doc_id, lo * 100 + hi);
+                    }
+                });
+            }
+        });
+        assert!(cache.hits() > 0);
+        assert!(cache.len() <= 64);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let cache = ResultCache::new(0);
+        cache.insert(&[1], 10, vec![hit(1)]);
+        assert!(cache.get(&[1], 10).is_none());
+        assert!(cache.is_empty());
+    }
+}

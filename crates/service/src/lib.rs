@@ -1,0 +1,55 @@
+//! # toppriv-service
+//!
+//! The multi-tenant private-search service layer: runs many TopPriv
+//! client sessions concurrently against **one** shared `LdaModel` and
+//! `SearchEngine`.
+//!
+//! The paper's TopPriv (Figure 1) is a single-user client module; the
+//! production question it leaves open is the server-side cost of decoy
+//! traffic at fleet scale — each protected query multiplies engine load
+//! by the cycle length υ (the seed's `load` experiment measures ~7× at
+//! the paper's defaults). This crate amortizes that cost three ways:
+//!
+//! - **shared models** ([`SessionManager`]): the ~140 MB LDA model and
+//!   the inverted index exist once, behind `Arc`s; per-tenant state is
+//!   just a `TrustedClient`, a `SessionTracker`, and a `PacingScheduler`;
+//! - **a global cycle scheduler** ([`CycleScheduler`]): per-session
+//!   pacing schedules are merged into one time-ordered queue drained by
+//!   a `std::thread` worker pool;
+//! - **a sharded LRU result cache** ([`ResultCache`]): ghost generation
+//!   is deterministic per query content, so duplicate decoys across
+//!   tenants are served from cache instead of the engine.
+//!
+//! [`ServiceMetrics`] tracks cache hit rate, queue depth, p50/p99 submit
+//! latency, and per-session privacy metrics (exposure, mask level,
+//! satisfied rate, trace exposure). The `toppriv-serve` binary exposes
+//! everything over newline-delimited JSON (stdin or TCP) and ships a
+//! synthetic multi-tenant demo (`--demo`).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use toppriv_service::SessionManager;
+//! # let engine: Arc<tsearch_search::SearchEngine> = unimplemented!();
+//! # let model: Arc<tsearch_lda::LdaModel> = unimplemented!();
+//!
+//! let manager = SessionManager::new(engine, model).with_cache(4096);
+//! manager.open_session("alice").unwrap();
+//! let outcome = manager.search("alice", "apache helicopter", 10).unwrap();
+//! assert!(outcome.report.metrics.exposure <= outcome.report.metrics.mask_level);
+//! ```
+
+pub mod cache;
+pub mod metrics;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod session;
+
+pub use cache::{CacheKey, ResultCache};
+pub use metrics::{GlobalMetrics, MetricsSnapshot, ServiceMetrics, SessionMetrics};
+pub use protocol::{Op, Request, Response};
+pub use scheduler::{CycleScheduler, PlannedQuery, SubmitOutcome};
+pub use server::{handle, serve_lines, serve_tcp};
+pub use session::{SearchOutcome, ServiceError, SessionConfig, SessionManager};

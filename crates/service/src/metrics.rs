@@ -1,0 +1,259 @@
+//! Service-wide observability.
+//!
+//! [`ServiceMetrics`] is the shared registry every subsystem reports
+//! into: the cache (hit/miss), the cycle scheduler (queue depth, submit
+//! latency), and the session manager (per-session privacy counters).
+//! Snapshots are cheap and serializable, so the `metrics` op of the
+//! NDJSON protocol and the demo's final report both read from here.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Shared counters and the submit-latency reservoir.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Queries submitted to the engine (cache misses included).
+    submitted: AtomicU64,
+    /// Cycle-member lookups served from the result cache.
+    cache_hits: AtomicU64,
+    /// Cycle-member lookups that reached the engine.
+    cache_misses: AtomicU64,
+    /// Genuine queries served.
+    genuine_served: AtomicU64,
+    /// Ghost queries processed.
+    ghosts_processed: AtomicU64,
+    /// Current scheduler queue depth.
+    queue_depth: AtomicUsize,
+    /// High-water mark of the queue depth.
+    max_queue_depth: AtomicUsize,
+    /// Submit latencies in microseconds (engine or cache resolution
+    /// time), bounded reservoir sample.
+    latencies_us: Mutex<Reservoir>,
+}
+
+/// Bounded uniform sample of a stream (Vitter's Algorithm R with a
+/// deterministic SplitMix64 in place of a thread RNG): memory stays
+/// [`Reservoir::CAP`] forever, so a long-running server never grows,
+/// and percentiles stay representative of the whole stream.
+#[derive(Debug, Default)]
+struct Reservoir {
+    samples: Vec<u64>,
+    seen: u64,
+}
+
+impl Reservoir {
+    /// Samples kept (8 KiB of u64s).
+    const CAP: usize = 8192;
+
+    fn record(&mut self, value: u64) {
+        self.seen += 1;
+        if self.samples.len() < Self::CAP {
+            self.samples.push(value);
+            return;
+        }
+        // Keep with probability CAP/seen, replacing a uniform victim.
+        let mut z = self.seen.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ value;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let slot = z % self.seen;
+        if (slot as usize) < Self::CAP {
+            self.samples[slot as usize] = value;
+        }
+    }
+}
+
+impl ServiceMetrics {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one resolved cycle member.
+    pub fn record_submit(&self, latency_us: u64, cache_hit: bool, is_genuine: bool) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if is_genuine {
+            self.genuine_served.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.ghosts_processed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latencies_us
+            .lock()
+            .expect("latency reservoir poisoned")
+            .record(latency_us);
+    }
+
+    /// Sets the instantaneous queue depth (and bumps the high-water mark).
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Cache hit rate over all recorded submits.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let h = self.cache_hits.load(Ordering::Relaxed) as f64;
+        let m = self.cache_misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Snapshot of every global counter plus latency percentiles
+    /// (computed over the bounded reservoir sample).
+    pub fn snapshot(&self) -> GlobalMetrics {
+        let mut lat = self
+            .latencies_us
+            .lock()
+            .expect("latency reservoir poisoned")
+            .samples
+            .clone();
+        lat.sort_unstable();
+        GlobalMetrics {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_hit_rate: self.cache_hit_rate(),
+            genuine_served: self.genuine_served.load(Ordering::Relaxed),
+            ghosts_processed: self.ghosts_processed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            p50_submit_us: percentile(&lat, 0.50),
+            p99_submit_us: percentile(&lat, 0.99),
+        }
+    }
+}
+
+/// `p`-th percentile of an ascending-sorted sample (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Serializable snapshot of the global counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalMetrics {
+    /// Total cycle members resolved (cache + engine).
+    pub submitted: u64,
+    /// Lookups served from cache.
+    pub cache_hits: u64,
+    /// Lookups that reached the engine.
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`.
+    pub cache_hit_rate: f64,
+    /// Genuine queries answered.
+    pub genuine_served: u64,
+    /// Ghost queries processed.
+    pub ghosts_processed: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Highest queue depth observed.
+    pub max_queue_depth: usize,
+    /// Median submit latency (µs).
+    pub p50_submit_us: u64,
+    /// 99th-percentile submit latency (µs).
+    pub p99_submit_us: u64,
+}
+
+/// Per-session privacy accounting, maintained by the session itself.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SessionMetrics {
+    /// Session identifier.
+    pub session: String,
+    /// Protected searches served.
+    pub cycles: u64,
+    /// Total queries emitted (genuine + ghosts).
+    pub queries_emitted: u64,
+    /// Mean cycle length υ.
+    pub mean_cycle_len: f64,
+    /// Mean per-cycle exposure `max_{t∈U} B(t|C)`.
+    pub mean_exposure: f64,
+    /// Worst per-cycle exposure seen.
+    pub worst_exposure: f64,
+    /// Mean mask level `max_{t∈T\U} B(t|C)`.
+    pub mean_mask_level: f64,
+    /// Fraction of cycles whose `(ε1, ε2)` requirement was satisfied.
+    pub satisfied_rate: f64,
+    /// Exposure of the whole recorded trace (Equation 2 over the session).
+    pub trace_exposure: f64,
+}
+
+/// Full service snapshot: global counters plus one entry per session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Global counters.
+    pub global: GlobalMetrics,
+    /// Per-session privacy metrics, sorted by session id.
+    pub sessions: Vec<SessionMetrics>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_rates() {
+        let m = ServiceMetrics::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            m.record_submit(us, us <= 30, us == 10);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.submitted, 10);
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.cache_misses, 7);
+        assert!((snap.cache_hit_rate - 0.3).abs() < 1e-12);
+        assert_eq!(snap.genuine_served, 1);
+        assert_eq!(snap.ghosts_processed, 9);
+        assert_eq!(snap.p50_submit_us, 50);
+        assert_eq!(snap.p99_submit_us, 100);
+    }
+
+    #[test]
+    fn queue_depth_high_water() {
+        let m = ServiceMetrics::new();
+        m.set_queue_depth(5);
+        m.set_queue_depth(12);
+        m.set_queue_depth(3);
+        let snap = m.snapshot();
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.max_queue_depth, 12);
+    }
+
+    #[test]
+    fn latency_reservoir_is_bounded() {
+        let m = ServiceMetrics::new();
+        for i in 0..(Reservoir::CAP as u64 * 4) {
+            m.record_submit(i, false, false);
+        }
+        let held = m.latencies_us.lock().unwrap().samples.len();
+        assert_eq!(held, Reservoir::CAP, "reservoir never exceeds its cap");
+        let snap = m.snapshot();
+        assert_eq!(snap.submitted, Reservoir::CAP as u64 * 4);
+        // The sample spans the stream, not just its head: the reservoir
+        // must have admitted values from the later three quarters.
+        assert!(snap.p99_submit_us > Reservoir::CAP as u64);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        let snap = ServiceMetrics::new().snapshot();
+        assert_eq!(snap.p50_submit_us, 0);
+        assert_eq!(snap.p99_submit_us, 0);
+        assert_eq!(snap.cache_hit_rate, 0.0);
+    }
+}

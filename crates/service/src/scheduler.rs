@@ -1,0 +1,216 @@
+//! The global cycle scheduler.
+//!
+//! Each session paces its own cycle onto a simulated clock (the per-user
+//! timing defense of `toppriv_core::pacing`); the service must then
+//! submit the union of all tenants' schedules. [`CycleScheduler`] merges
+//! the per-session plans into one time-ordered queue — the service-level
+//! counterpart of [`toppriv_core::merge_schedules`], keeping its exact
+//! ordering semantics — and drains it with a pool of `std::thread`
+//! workers that resolve each submission through the shared
+//! [`ResultCache`] / [`SearchEngine`].
+//!
+//! Draining consumes the queue in time order but does not sleep between
+//! submissions: simulated time orders the trace the engine sees, while
+//! wall-clock throughput is bounded only by the worker pool. Queue depth
+//! and per-submit latency are reported to [`ServiceMetrics`].
+
+use crate::cache::ResultCache;
+use crate::metrics::ServiceMetrics;
+use crate::session::SessionManager;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use toppriv_core::ScheduledQuery;
+use tsearch_search::{SearchEngine, SearchHit};
+
+/// One scheduled submission, tagged with its tenant.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// Owning session id.
+    pub session: String,
+    /// The paced submission (simulated time, tokens, ground truth).
+    pub scheduled: ScheduledQuery,
+    /// Results to fetch.
+    pub k: usize,
+}
+
+/// Outcome of one drained submission.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// Owning session id.
+    pub session: String,
+    /// Ground-truth cycle id within the session (evaluation only).
+    pub cycle_id: usize,
+    /// Simulated submission time.
+    pub time_secs: f64,
+    /// Whether this was the genuine query (evaluation only).
+    pub is_genuine: bool,
+    /// Whether the result came from the cache.
+    pub cache_hit: bool,
+    /// The genuine query's hits; ghost results are discarded at the
+    /// trusted boundary and never materialize here.
+    pub hits: Vec<SearchHit>,
+}
+
+/// Merges per-session plans and drains them on a worker pool.
+pub struct CycleScheduler {
+    engine: Arc<SearchEngine>,
+    cache: Option<Arc<ResultCache>>,
+    metrics: Arc<ServiceMetrics>,
+    workers: usize,
+}
+
+impl CycleScheduler {
+    /// A scheduler over explicit parts.
+    pub fn new(
+        engine: Arc<SearchEngine>,
+        cache: Option<Arc<ResultCache>>,
+        metrics: Arc<ServiceMetrics>,
+        workers: usize,
+    ) -> Self {
+        CycleScheduler {
+            engine,
+            cache,
+            metrics,
+            workers: workers.max(1),
+        }
+    }
+
+    /// A scheduler sharing a [`SessionManager`]'s engine, cache, and
+    /// metrics registry.
+    pub fn for_manager(manager: &SessionManager, workers: usize) -> Self {
+        Self::new(
+            manager.engine().clone(),
+            manager.cache().cloned(),
+            manager.metrics_registry().clone(),
+            workers,
+        )
+    }
+
+    /// Merges per-session plans into one globally time-ordered queue —
+    /// the same stable ascending-time order as
+    /// [`toppriv_core::merge_schedules`].
+    pub fn merge(plans: Vec<Vec<PlannedQuery>>) -> Vec<PlannedQuery> {
+        let mut all: Vec<PlannedQuery> = plans.into_iter().flatten().collect();
+        all.sort_by(|a, b| {
+            a.scheduled
+                .time_secs
+                .partial_cmp(&b.scheduled.time_secs)
+                .expect("finite time")
+        });
+        all
+    }
+
+    /// Drains a merged queue: workers claim submissions in queue order and
+    /// resolve them through the cache/engine. Returns outcomes sorted by
+    /// simulated time (ties broken by queue position).
+    pub fn drain(&self, queue: Vec<PlannedQuery>) -> Vec<SubmitOutcome> {
+        let total = queue.len();
+        self.metrics.set_queue_depth(total);
+        let next = AtomicUsize::new(0);
+        let outcomes: Mutex<Vec<(usize, SubmitOutcome)>> = Mutex::new(Vec::with_capacity(total));
+        std::thread::scope(|s| {
+            for _ in 0..self.workers.min(total.max(1)) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let plan = &queue[i];
+                    let (hits, cache_hit) = SessionManager::resolve(
+                        &self.engine,
+                        self.cache.as_deref(),
+                        &self.metrics,
+                        &plan.scheduled.tokens,
+                        plan.k,
+                        plan.scheduled.is_genuine,
+                    );
+                    self.metrics.set_queue_depth(total.saturating_sub(i + 1));
+                    let outcome = SubmitOutcome {
+                        session: plan.session.clone(),
+                        cycle_id: plan.scheduled.cycle_id,
+                        time_secs: plan.scheduled.time_secs,
+                        is_genuine: plan.scheduled.is_genuine,
+                        cache_hit,
+                        // Ghost results are discarded inside the trusted
+                        // boundary; only genuine hits leave the scheduler.
+                        hits: if plan.scheduled.is_genuine {
+                            hits
+                        } else {
+                            Vec::new()
+                        },
+                    };
+                    outcomes
+                        .lock()
+                        .expect("outcome collector poisoned")
+                        .push((i, outcome));
+                });
+            }
+        });
+        self.metrics.set_queue_depth(0);
+        let mut outcomes = outcomes.into_inner().expect("outcome collector poisoned");
+        outcomes.sort_by_key(|&(i, _)| i);
+        outcomes.into_iter().map(|(_, o)| o).collect()
+    }
+
+    /// Convenience: merge then drain.
+    pub fn run(&self, plans: Vec<Vec<PlannedQuery>>) -> Vec<SubmitOutcome> {
+        self.drain(Self::merge(plans))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toppriv_core::merge_schedules;
+
+    fn plan(session: &str, times: &[f64]) -> Vec<PlannedQuery> {
+        times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| PlannedQuery {
+                session: session.to_string(),
+                scheduled: ScheduledQuery {
+                    time_secs: t,
+                    tokens: vec![i as u32],
+                    is_genuine: i == 0,
+                    cycle_id: 0,
+                },
+                k: 10,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_is_globally_time_ordered() {
+        let merged = CycleScheduler::merge(vec![
+            plan("a", &[3.0, 1.0, 2.0]),
+            plan("b", &[0.5, 2.5]),
+            plan("c", &[]),
+        ]);
+        assert_eq!(merged.len(), 5);
+        assert!(merged
+            .windows(2)
+            .all(|w| w[0].scheduled.time_secs <= w[1].scheduled.time_secs));
+        assert_eq!(merged[0].session, "b");
+    }
+
+    #[test]
+    fn merge_matches_core_merge_schedules() {
+        // The service-level merge must order submissions exactly like the
+        // core's merge_schedules on the projected schedule (stable sort by
+        // time, ties keeping input order).
+        let plans = vec![plan("a", &[2.0, 1.0, 1.0]), plan("b", &[1.0, 3.0])];
+        let flat: Vec<ScheduledQuery> = plans
+            .iter()
+            .flatten()
+            .map(|p| p.scheduled.clone())
+            .collect();
+        let expected = merge_schedules(flat);
+        let merged = CycleScheduler::merge(plans);
+        assert_eq!(merged.len(), expected.len());
+        for (m, e) in merged.iter().zip(&expected) {
+            assert_eq!(m.scheduled.time_secs, e.time_secs);
+            assert_eq!(m.scheduled.tokens, e.tokens);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Protocol server: NDJSON over any line stream, plus a TCP front end.
+
+use crate::protocol::{HitDto, Op, Request, Response, SearchReportDto};
+use crate::session::{ServiceError, SessionConfig, SessionManager};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::Arc;
+use toppriv_core::PrivacyRequirement;
+
+/// Handles one request against the manager.
+pub fn handle(manager: &SessionManager, request: Request) -> Response {
+    match request.op {
+        Op::Open {
+            session,
+            eps1,
+            eps2,
+        } => {
+            let default = PrivacyRequirement::paper_default();
+            let requirement = match PrivacyRequirement::new(
+                eps1.unwrap_or(default.eps1),
+                eps2.unwrap_or(default.eps2),
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    return Response::Error {
+                        message: e.to_string(),
+                    }
+                }
+            };
+            let config = SessionConfig {
+                requirement,
+                ..SessionConfig::default()
+            };
+            match manager.open_session_with(&session, config) {
+                Ok(()) => Response::Opened { session },
+                Err(e) => error(e),
+            }
+        }
+        Op::Search { session, query, k } => {
+            match manager.search(&session, &query, k.unwrap_or(0)) {
+                Ok(outcome) => Response::Results {
+                    hits: outcome
+                        .hits
+                        .iter()
+                        .map(|h| HitDto {
+                            doc_id: h.doc_id,
+                            score: h.score,
+                        })
+                        .collect(),
+                    report: SearchReportDto {
+                        cycle_len: outcome.report.cycle_len(),
+                        exposure: outcome.report.metrics.exposure,
+                        mask_level: outcome.report.metrics.mask_level,
+                        satisfied: outcome.report.satisfied,
+                        intention: outcome.report.intention.clone(),
+                        cache_hits: outcome.cache_hits,
+                    },
+                },
+                Err(e) => error(e),
+            }
+        }
+        Op::Metrics => Response::Metrics(manager.metrics()),
+        Op::Close { session } => match manager.close_session(&session) {
+            Ok(metrics) => Response::Closed(metrics),
+            Err(e) => error(e),
+        },
+    }
+}
+
+fn error(e: ServiceError) -> Response {
+    Response::Error {
+        message: e.to_string(),
+    }
+}
+
+/// Serves NDJSON requests from `reader`, writing one JSON response per
+/// line to `writer`. Returns when the reader is exhausted.
+pub fn serve_lines<R: BufRead, W: Write>(
+    manager: &SessionManager,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Ok(request) => handle(manager, request),
+            Err(e) => Response::Error {
+                message: format!("unparseable request: {e}"),
+            },
+        };
+        let encoded = serde_json::to_string(&response)
+            .unwrap_or_else(|e| format!("{{\"Error\":{{\"message\":\"encode: {e}\"}}}}"));
+        writeln!(writer, "{encoded}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Accepts TCP connections forever, one service thread per connection,
+/// all sharing the same manager (and therefore the same model, engine,
+/// cache, and metrics).
+pub fn serve_tcp(manager: Arc<SessionManager>, addr: impl ToSocketAddrs) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("[toppriv-serve] listening on {}", listener.local_addr()?);
+    loop {
+        let (stream, peer) = listener.accept()?;
+        let manager = manager.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            if let Err(e) = serve_lines(&manager, reader, stream) {
+                eprintln!("[toppriv-serve] connection {peer}: {e}");
+            }
+        });
+    }
+}

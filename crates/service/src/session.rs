@@ -1,0 +1,507 @@
+//! Multi-tenant session management.
+//!
+//! One [`SessionManager`] serves many users against a single shared
+//! [`LdaModel`] and [`SearchEngine`] (both behind `Arc`s — the paper's
+//! ~140 MB model exists once in memory, not once per tenant). Each
+//! session owns the per-user state of the paper's Figure 1 client:
+//!
+//! - a [`TrustedClient`] (belief engine + ghost generator + engine
+//!   handle) that formulates and certifies cycles;
+//! - a [`SessionTracker`] recording the whole trace for Equation-2
+//!   session-level accounting;
+//! - a [`PacingScheduler`] with a per-session seed and clock, producing
+//!   the submission schedule the [`crate::CycleScheduler`] merges.
+//!
+//! Two submission paths exist: [`SessionManager::search`] resolves a
+//! cycle synchronously (through the shared [`ResultCache`]), while
+//! [`SessionManager::plan_cycle`] emits a paced schedule for the global
+//! cycle scheduler to drain on its worker pool.
+
+use crate::cache::ResultCache;
+use crate::metrics::{MetricsSnapshot, ServiceMetrics, SessionMetrics};
+use crate::scheduler::PlannedQuery;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+use toppriv_core::{
+    BeliefEngine, CycleResult, GhostConfig, PacingConfig, PacingScheduler, PrivacyRequirement,
+    SessionTracker, TrustedClient,
+};
+use tsearch_lda::LdaModel;
+use tsearch_search::{SearchEngine, SearchHit};
+use tsearch_text::TermId;
+
+/// Per-session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The `(ε1, ε2)` requirement this tenant asked for.
+    pub requirement: PrivacyRequirement,
+    /// Ghost generation parameters.
+    pub ghost: GhostConfig,
+    /// Pacing parameters (seed is re-derived per session).
+    pub pacing: PacingConfig,
+    /// When true, cycles are certified against the whole recorded trace
+    /// (`generate_with_history`), not just per cycle.
+    pub history_aware: bool,
+    /// Results fetched per query.
+    pub top_k: usize,
+    /// Simulated seconds between a session's consecutive cycles when
+    /// pacing schedules are planned.
+    pub think_time_secs: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            requirement: PrivacyRequirement::paper_default(),
+            ghost: GhostConfig::default(),
+            pacing: PacingConfig::default(),
+            history_aware: false,
+            top_k: 10,
+            think_time_secs: 30.0,
+        }
+    }
+}
+
+/// Service-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No session with that id.
+    UnknownSession(String),
+    /// A session with that id already exists.
+    DuplicateSession(String),
+    /// Malformed request (empty query, bad thresholds, ...).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownSession(id) => write!(f, "unknown session '{id}'"),
+            ServiceError::DuplicateSession(id) => write!(f, "session '{id}' already open"),
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Outcome of one synchronous private search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The genuine query's hits (ghost results are discarded).
+    pub hits: Vec<SearchHit>,
+    /// The full cycle report (privacy accounting, ground truth).
+    pub report: CycleResult,
+    /// How many cycle members were served from the result cache.
+    pub cache_hits: usize,
+}
+
+/// One tenant's state. All fields live behind the manager's per-session
+/// mutex; the heavyweight model/engine state is shared through `Arc`s
+/// inside `client`.
+struct Session {
+    client: TrustedClient,
+    /// Full per-query posterior history. Only populated when
+    /// `history_aware` — it is what `generate_with_history` certifies
+    /// against; in the default per-cycle mode the running sum below is
+    /// enough and the session stays O(1) in memory per search.
+    tracker: SessionTracker,
+    pacer: PacingScheduler,
+    config: SessionConfig,
+    /// Session-local simulated clock for schedule planning.
+    clock_secs: f64,
+    /// Union of every certified intention (for trace exposure).
+    intention_union: BTreeSet<usize>,
+    /// Running sum of every submitted query's posterior (genuine and
+    /// ghosts alike): Equation 2's trace posterior is the mean of these,
+    /// so trace exposure is computable without retaining the history.
+    posterior_sum: Vec<f64>,
+    /// Queries accumulated into `posterior_sum`.
+    posterior_count: u64,
+    // Aggregates for SessionMetrics.
+    cycles: u64,
+    queries_emitted: u64,
+    sum_cycle_len: f64,
+    sum_exposure: f64,
+    worst_exposure: f64,
+    sum_mask: f64,
+    satisfied: u64,
+}
+
+impl Session {
+    fn new(
+        engine: Arc<SearchEngine>,
+        model: Arc<LdaModel>,
+        config: SessionConfig,
+        seed: u64,
+    ) -> Self {
+        // Ghost content stays content-seeded (deterministic per query,
+        // which is what makes cross-tenant decoys cacheable); pacing must
+        // differ per tenant, so its seed mixes in the session hash.
+        let ghost = config.ghost.clone();
+        let pacing = PacingConfig {
+            seed: config.pacing.seed ^ seed,
+            ..config.pacing
+        };
+        let client =
+            TrustedClient::with_parts(engine, BeliefEngine::new(model), config.requirement, ghost);
+        Session {
+            client,
+            tracker: SessionTracker::new(),
+            pacer: PacingScheduler::new(pacing),
+            config,
+            clock_secs: 0.0,
+            intention_union: BTreeSet::new(),
+            posterior_sum: Vec::new(),
+            posterior_count: 0,
+            cycles: 0,
+            queries_emitted: 0,
+            sum_cycle_len: 0.0,
+            sum_exposure: 0.0,
+            worst_exposure: 0.0,
+            sum_mask: 0.0,
+            satisfied: 0,
+        }
+    }
+
+    /// Formulates (and records) one cycle for `tokens`.
+    fn formulate(&mut self, tokens: &[TermId]) -> CycleResult {
+        let generator = self.client.generator();
+        let result = if self.config.history_aware && !self.tracker.is_empty() {
+            generator.generate_with_history(tokens, self.tracker.posteriors())
+        } else {
+            generator.generate(tokens)
+        };
+        // Trace accounting. History-aware mode needs the full posterior
+        // history (the generator certifies against it); per-cycle mode
+        // only ever consumes the mean, so a running sum suffices and the
+        // session does not grow with its age.
+        let belief = self.client.generator().belief();
+        if self.posterior_sum.is_empty() {
+            self.posterior_sum = vec![0.0; belief.num_topics()];
+        }
+        if self.config.history_aware {
+            // The tracker just inferred every member; fold its tail in
+            // rather than inferring a second time.
+            self.tracker.record_cycle(belief, &result);
+            let tail_start = self.tracker.len() - result.cycle_len();
+            for posterior in &self.tracker.posteriors()[tail_start..] {
+                for (acc, p) in self.posterior_sum.iter_mut().zip(posterior) {
+                    *acc += p;
+                }
+                self.posterior_count += 1;
+            }
+        } else {
+            for q in &result.cycle {
+                let posterior = belief.posterior(&q.tokens);
+                for (acc, p) in self.posterior_sum.iter_mut().zip(&posterior) {
+                    *acc += p;
+                }
+                self.posterior_count += 1;
+            }
+        }
+        self.intention_union
+            .extend(result.intention.iter().copied());
+        self.cycles += 1;
+        self.queries_emitted += result.cycle_len() as u64;
+        self.sum_cycle_len += result.cycle_len() as f64;
+        self.sum_exposure += result.metrics.exposure;
+        self.worst_exposure = self.worst_exposure.max(result.metrics.exposure);
+        self.sum_mask += result.metrics.mask_level;
+        if result.satisfied {
+            self.satisfied += 1;
+        }
+        result
+    }
+
+    fn metrics(&self, id: &str) -> SessionMetrics {
+        let n = self.cycles.max(1) as f64;
+        let intention: Vec<usize> = self.intention_union.iter().copied().collect();
+        // Equation 2 over the whole trace from the running sum: trace
+        // boost = mean posterior − prior; exposure is its max over the
+        // union of certified intentions.
+        let trace_exposure = if self.posterior_count == 0 {
+            0.0
+        } else {
+            let belief = self.client.generator().belief();
+            let prior = belief.prior();
+            let trace_boosts: Vec<f64> = self
+                .posterior_sum
+                .iter()
+                .zip(prior)
+                .map(|(&sum, &pri)| sum / self.posterior_count as f64 - pri)
+                .collect();
+            toppriv_core::exposure(&trace_boosts, &intention)
+        };
+        SessionMetrics {
+            session: id.to_string(),
+            cycles: self.cycles,
+            queries_emitted: self.queries_emitted,
+            mean_cycle_len: self.sum_cycle_len / n,
+            mean_exposure: self.sum_exposure / n,
+            worst_exposure: self.worst_exposure,
+            mean_mask_level: self.sum_mask / n,
+            satisfied_rate: self.satisfied as f64 / n,
+            trace_exposure,
+        }
+    }
+}
+
+/// The multi-tenant service core.
+pub struct SessionManager {
+    engine: Arc<SearchEngine>,
+    model: Arc<LdaModel>,
+    cache: Option<Arc<ResultCache>>,
+    metrics: Arc<ServiceMetrics>,
+    defaults: SessionConfig,
+    sessions: RwLock<HashMap<String, Arc<Mutex<Session>>>>,
+}
+
+impl SessionManager {
+    /// A manager over a shared engine and model, with no result cache.
+    pub fn new(engine: Arc<SearchEngine>, model: Arc<LdaModel>) -> Self {
+        SessionManager {
+            engine,
+            model,
+            cache: None,
+            metrics: Arc::new(ServiceMetrics::new()),
+            defaults: SessionConfig::default(),
+            sessions: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Attaches a sharded LRU result cache of `capacity` entries.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(Arc::new(ResultCache::new(capacity)));
+        self
+    }
+
+    /// Overrides the default per-session configuration.
+    pub fn with_defaults(mut self, defaults: SessionConfig) -> Self {
+        self.defaults = defaults;
+        self
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<SearchEngine> {
+        &self.engine
+    }
+
+    /// The shared model.
+    pub fn model(&self) -> &Arc<LdaModel> {
+        &self.model
+    }
+
+    /// The result cache, if one is attached.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics_registry(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
+    }
+
+    /// Opens a session with the manager's default configuration.
+    pub fn open_session(&self, id: &str) -> Result<(), ServiceError> {
+        self.open_session_with(id, self.defaults.clone())
+    }
+
+    /// Opens a session with an explicit configuration.
+    pub fn open_session_with(&self, id: &str, config: SessionConfig) -> Result<(), ServiceError> {
+        if id.is_empty() {
+            return Err(ServiceError::BadRequest("empty session id".into()));
+        }
+        let mut sessions = self.sessions.write().expect("session table poisoned");
+        if sessions.contains_key(id) {
+            return Err(ServiceError::DuplicateSession(id.to_string()));
+        }
+        let session = Session::new(
+            self.engine.clone(),
+            self.model.clone(),
+            config,
+            session_seed(id),
+        );
+        sessions.insert(id.to_string(), Arc::new(Mutex::new(session)));
+        Ok(())
+    }
+
+    /// Closes a session, returning its final metrics.
+    pub fn close_session(&self, id: &str) -> Result<SessionMetrics, ServiceError> {
+        let session = self
+            .sessions
+            .write()
+            .expect("session table poisoned")
+            .remove(id)
+            .ok_or_else(|| ServiceError::UnknownSession(id.to_string()))?;
+        let session = session.lock().expect("session poisoned");
+        Ok(session.metrics(id))
+    }
+
+    /// Open session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.read().expect("session table poisoned").len()
+    }
+
+    /// Sorted ids of the open sessions.
+    pub fn session_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .sessions
+            .read()
+            .expect("session table poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    fn session(&self, id: &str) -> Result<Arc<Mutex<Session>>, ServiceError> {
+        self.sessions
+            .read()
+            .expect("session table poisoned")
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownSession(id.to_string()))
+    }
+
+    /// Resolves one cycle member through the cache (when attached) or the
+    /// engine, recording submit metrics. Returns `(hits, cache_hit)`.
+    pub(crate) fn resolve(
+        engine: &SearchEngine,
+        cache: Option<&ResultCache>,
+        metrics: &ServiceMetrics,
+        tokens: &[TermId],
+        k: usize,
+        is_genuine: bool,
+    ) -> (Vec<SearchHit>, bool) {
+        let t0 = Instant::now();
+        let (hits, cache_hit) = match cache {
+            Some(cache) => cache.get_or_compute(tokens, k, || engine.search_tokens(tokens, k)),
+            None => (engine.search_tokens(tokens, k), false),
+        };
+        metrics.record_submit(t0.elapsed().as_micros() as u64, cache_hit, is_genuine);
+        (hits, cache_hit)
+    }
+
+    /// Synchronous private search: formulates the cycle, resolves every
+    /// member in (shuffled) cycle order, discards ghost results, and
+    /// returns the genuine hits plus the privacy report.
+    ///
+    /// `k == 0` is a sentinel meaning "the session's configured `top_k`".
+    pub fn search(&self, id: &str, text: &str, k: usize) -> Result<SearchOutcome, ServiceError> {
+        let tokens = self
+            .engine
+            .analyzer()
+            .analyze_frozen(text, self.engine.vocab());
+        self.search_tokens(id, &tokens, k)
+    }
+
+    /// Token-level variant of [`SessionManager::search`] (`k == 0` means
+    /// the session's configured `top_k`).
+    pub fn search_tokens(
+        &self,
+        id: &str,
+        tokens: &[TermId],
+        k: usize,
+    ) -> Result<SearchOutcome, ServiceError> {
+        // Session existence first: an unknown tenant should hear that, not
+        // a complaint about its query text.
+        let session = self.session(id)?;
+        if tokens.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "query analyzed to zero tokens".into(),
+            ));
+        }
+        let mut session = session.lock().expect("session poisoned");
+        let k = if k == 0 { session.config.top_k } else { k };
+        let report = session.formulate(tokens);
+        let mut genuine_hits = Vec::new();
+        let mut cache_hits = 0usize;
+        for query in &report.cycle {
+            let (hits, was_hit) = Self::resolve(
+                &self.engine,
+                self.cache.as_deref(),
+                &self.metrics,
+                &query.tokens,
+                k,
+                query.is_genuine,
+            );
+            if was_hit {
+                cache_hits += 1;
+            }
+            if query.is_genuine {
+                genuine_hits = hits;
+            }
+            // Ghost results are dropped on the floor (Figure 1, step 4).
+        }
+        Ok(SearchOutcome {
+            hits: genuine_hits,
+            report,
+            cache_hits,
+        })
+    }
+
+    /// Plans one paced cycle: formulates it, schedules it on the session's
+    /// simulated clock, and returns the per-submission plan for the
+    /// [`crate::CycleScheduler`]. The session clock advances by its
+    /// configured think time.
+    pub fn plan_cycle(
+        &self,
+        id: &str,
+        tokens: &[TermId],
+        k: usize,
+    ) -> Result<Vec<PlannedQuery>, ServiceError> {
+        let session = self.session(id)?;
+        if tokens.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "query analyzed to zero tokens".into(),
+            ));
+        }
+        let mut session = session.lock().expect("session poisoned");
+        let k = if k == 0 { session.config.top_k } else { k };
+        let report = session.formulate(tokens);
+        let start = session.clock_secs;
+        session.clock_secs += session.config.think_time_secs;
+        let schedule = session.pacer.schedule(&report, start);
+        Ok(schedule
+            .into_iter()
+            .map(|scheduled| PlannedQuery {
+                session: id.to_string(),
+                scheduled,
+                k,
+            })
+            .collect())
+    }
+
+    /// Metrics for one session.
+    pub fn session_metrics(&self, id: &str) -> Result<SessionMetrics, ServiceError> {
+        let session = self.session(id)?;
+        let session = session.lock().expect("session poisoned");
+        Ok(session.metrics(id))
+    }
+
+    /// Full service snapshot: global counters plus every session.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut sessions: Vec<SessionMetrics> = self
+            .session_ids()
+            .iter()
+            .filter_map(|id| self.session_metrics(id).ok())
+            .collect();
+        sessions.sort_by(|a, b| a.session.cmp(&b.session));
+        MetricsSnapshot {
+            global: self.metrics.snapshot(),
+            sessions,
+        }
+    }
+}
+
+/// Stable per-session seed from the id.
+fn session_seed(id: &str) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    id.hash(&mut h);
+    h.finish()
+}

@@ -231,7 +231,9 @@ mod tests {
     fn put_get_roundtrip() {
         let dir = scratch("roundtrip");
         let mut store = ArtifactStore::open(&dir).unwrap();
-        store.put("model-k200", kind::LDA_MODEL, b"model bytes").unwrap();
+        store
+            .put("model-k200", kind::LDA_MODEL, b"model bytes")
+            .unwrap();
         assert_eq!(
             store.get("model-k200", kind::LDA_MODEL).unwrap(),
             b"model bytes"

@@ -76,10 +76,16 @@ impl std::fmt::Display for StoreError {
             StoreError::BadMagic => write!(f, "not a TPS1 container"),
             StoreError::BadVersion(v) => write!(f, "unsupported container version {v}"),
             StoreError::KindMismatch { expected, found } => {
-                write!(f, "artifact kind mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "artifact kind mismatch: expected {expected}, found {found}"
+                )
             }
             StoreError::Truncated { declared, present } => {
-                write!(f, "container truncated: {present} of {declared} payload bytes")
+                write!(
+                    f,
+                    "container truncated: {present} of {declared} payload bytes"
+                )
             }
             StoreError::ChecksumMismatch { stored, computed } => write!(
                 f,
@@ -160,7 +166,10 @@ mod tests {
 
     #[test]
     fn rejects_foreign_bytes() {
-        assert_eq!(unseal(b"not a container at all").unwrap_err(), StoreError::BadMagic);
+        assert_eq!(
+            unseal(b"not a container at all").unwrap_err(),
+            StoreError::BadMagic
+        );
         assert_eq!(unseal(b"").unwrap_err(), StoreError::BadMagic);
     }
 
@@ -176,7 +185,10 @@ mod tests {
         let blob = seal(kind::VOCABULARY, b"x");
         assert!(matches!(
             unseal_kind(&blob, kind::LDA_MODEL).unwrap_err(),
-            StoreError::KindMismatch { expected: 1, found: 3 }
+            StoreError::KindMismatch {
+                expected: 1,
+                found: 3
+            }
         ));
     }
 
@@ -186,7 +198,10 @@ mod tests {
         let cut = &blob[..blob.len() - 3];
         assert!(matches!(
             unseal(cut).unwrap_err(),
-            StoreError::Truncated { declared: 10, present: 7 }
+            StoreError::Truncated {
+                declared: 10,
+                present: 7
+            }
         ));
     }
 

@@ -250,17 +250,14 @@ fn step3(buf: &mut Vec<u8>, end: usize) -> usize {
 /// requires the stem to end in s or t.
 fn step4(buf: &mut Vec<u8>, end: usize) -> usize {
     const RULES: &[&[u8]] = &[
-        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
-        b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment", b"ent",
+        b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
     ];
     // -ion needs special stem-final-letter handling and must be checked in
     // correct longest-match order relative to -ement/-ment/-ent.
     if ends_with(buf, end, b"ion") {
         let stem_end = end - 3;
-        if stem_end > 0
-            && matches!(buf[stem_end - 1], b's' | b't')
-            && measure(buf, stem_end) > 1
-        {
+        if stem_end > 0 && matches!(buf[stem_end - 1], b's' | b't') && measure(buf, stem_end) > 1 {
             return set_suffix(buf, end, b"ion", b"");
         }
         // -ion matched but condition failed: but a longer suffix like

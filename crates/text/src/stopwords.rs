@@ -9,21 +9,169 @@ use std::collections::HashSet;
 
 /// Default English stopword list (a compact SMART/Glasgow-style list).
 pub const DEFAULT_STOPWORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
-    "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
-    "but", "by", "can", "cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
-    "doing", "don", "down", "during", "each", "few", "for", "from", "further", "had", "hadn",
-    "has", "hasn", "have", "haven", "having", "he", "her", "here", "hers", "herself", "him",
-    "himself", "his", "how", "i", "if", "in", "into", "is", "isn", "it", "its", "itself", "let",
-    "me", "more", "most", "mustn", "my", "myself", "no", "nor", "not", "of", "off", "on", "once",
-    "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own", "same",
-    "shan", "she", "should", "shouldn", "so", "some", "such", "than", "that", "the", "their",
-    "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those", "through",
-    "to", "too", "under", "until", "up", "very", "was", "wasn", "we", "were", "weren", "what",
-    "when", "where", "which", "while", "who", "whom", "why", "with", "won", "would", "wouldn",
-    "you", "your", "yours", "yourself", "yourselves", "also", "however", "thus", "hence",
-    "therefore", "will", "shall", "may", "might", "must", "one", "two", "many", "much", "said",
-    "says", "say", "new", "mr", "mrs", "ms",
+    "a",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "aren",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "could",
+    "couldn",
+    "did",
+    "didn",
+    "do",
+    "does",
+    "doesn",
+    "doing",
+    "don",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "hadn",
+    "has",
+    "hasn",
+    "have",
+    "haven",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "i",
+    "if",
+    "in",
+    "into",
+    "is",
+    "isn",
+    "it",
+    "its",
+    "itself",
+    "let",
+    "me",
+    "more",
+    "most",
+    "mustn",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "ought",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "same",
+    "shan",
+    "she",
+    "should",
+    "shouldn",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "very",
+    "was",
+    "wasn",
+    "we",
+    "were",
+    "weren",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "why",
+    "with",
+    "won",
+    "would",
+    "wouldn",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
+    "also",
+    "however",
+    "thus",
+    "hence",
+    "therefore",
+    "will",
+    "shall",
+    "may",
+    "might",
+    "must",
+    "one",
+    "two",
+    "many",
+    "much",
+    "said",
+    "says",
+    "say",
+    "new",
+    "mr",
+    "mrs",
+    "ms",
 ];
 
 /// A set of stopwords with O(1) membership tests.

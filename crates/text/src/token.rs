@@ -137,10 +137,7 @@ impl Analyzer {
     /// statistics; callers indexing documents should follow up with
     /// [`Vocabulary::observe_document`].
     pub fn analyze_into(&self, text: &str, vocab: &mut Vocabulary) -> Vec<TermId> {
-        self.analyze(text)
-            .iter()
-            .map(|t| vocab.intern(t))
-            .collect()
+        self.analyze(text).iter().map(|t| vocab.intern(t)).collect()
     }
 
     /// Analyzes text against a *frozen* vocabulary: unseen terms are dropped.

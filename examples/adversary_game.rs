@@ -8,8 +8,7 @@
 //! ```
 
 use toppriv::adversary::{
-    run_coherence_attack, run_exposure_attack, run_probing_attack,
-    run_term_elimination_attack,
+    run_coherence_attack, run_exposure_attack, run_probing_attack, run_term_elimination_attack,
 };
 use toppriv::baselines::{TrackMeNot, TrackMeNotConfig};
 use toppriv::core::semantic_coherence;
@@ -36,7 +35,7 @@ fn main() {
     );
     let requirement = PrivacyRequirement::paper_default();
     let generator = GhostGenerator::new(
-        BeliefEngine::new(&model),
+        BeliefEngine::new(model.clone()),
         requirement,
         GhostConfig::default(),
     );
@@ -45,7 +44,10 @@ fn main() {
         .map(|q| generator.generate(&q.tokens))
         .filter(|c| c.cycle_len() > 1)
         .collect();
-    println!("protected {} contested cycles; running attacks...\n", cycles.len());
+    println!(
+        "protected {} contested cycles; running attacks...\n",
+        cycles.len()
+    );
 
     for report in [
         run_coherence_attack(&model, &cycles),
@@ -66,7 +68,7 @@ fn main() {
     // Positive control: the same coherence attack demolishes random ghosts.
     println!("\npositive control: coherence attack vs TrackMeNot random ghosts");
     let tmn = TrackMeNot::new(corpus.vocab.len(), TrackMeNotConfig::default());
-    let attack = toppriv::adversary::CoherenceAttack::new(&model);
+    let attack = toppriv::adversary::CoherenceAttack::new(model.clone());
     let mut hits = 0usize;
     let mut ghost_coherence = 0.0;
     let mut genuine_coherence = 0.0;

@@ -54,7 +54,7 @@ fn main() {
     );
 
     let requirement = PrivacyRequirement::paper_default();
-    let belief = BeliefEngine::new(&model);
+    let belief = BeliefEngine::new(model.clone());
 
     // --- Without protection -------------------------------------------------
     println!("\n--- unprotected trace (what a naive client leaks)");
@@ -75,7 +75,11 @@ fn main() {
     println!("\n--- TopPriv-protected trace");
     let client = TrustedClient::new(
         engine.clone(),
-        GhostGenerator::new(BeliefEngine::new(&model), requirement, GhostConfig::default()),
+        GhostGenerator::new(
+            BeliefEngine::new(model.clone()),
+            requirement,
+            GhostConfig::default(),
+        ),
     );
     for q in &session {
         let result = client.search_tokens(&q.tokens, 5);

@@ -66,7 +66,7 @@ fn main() {
     );
     let engine = Arc::new(engine);
     let generator = GhostGenerator::new(
-        BeliefEngine::new(&model),
+        BeliefEngine::new(model.clone()),
         PrivacyRequirement::paper_default(),
         GhostConfig::default(),
     );

@@ -10,9 +10,7 @@
 //! ```
 
 use toppriv::corpus::{generate_workload, WorkloadConfig};
-use toppriv::{
-    BeliefEngine, CorpusConfig, GhostConfig, GhostGenerator, PrivacyRequirement,
-};
+use toppriv::{BeliefEngine, CorpusConfig, GhostConfig, GhostGenerator, PrivacyRequirement};
 
 fn main() {
     let (corpus, _engine, model) = toppriv::build_demo_stack(
@@ -41,7 +39,7 @@ fn main() {
     );
     for eps2 in [0.05, 0.04, 0.03, 0.02, 0.01, 0.005] {
         let generator = GhostGenerator::new(
-            BeliefEngine::new(&model),
+            BeliefEngine::new(model.clone()),
             PrivacyRequirement::new(eps1, eps2).expect("eps1 >= eps2"),
             GhostConfig::default(),
         );

@@ -6,10 +6,10 @@
 //! ```
 
 use std::sync::Arc;
+use toppriv::corpus::{generate_workload, WorkloadConfig};
 use toppriv::{
     BeliefEngine, CorpusConfig, GhostConfig, GhostGenerator, PrivacyRequirement, TrustedClient,
 };
-use toppriv::corpus::{generate_workload, WorkloadConfig};
 
 fn main() {
     // 1. A corpus the enterprise search engine hosts (WSJ stand-in) and a
@@ -37,7 +37,7 @@ fn main() {
     let client = TrustedClient::new(
         engine.clone(),
         GhostGenerator::new(
-            BeliefEngine::new(&model),
+            BeliefEngine::new(model.clone()),
             PrivacyRequirement::paper_default(),
             GhostConfig::default(),
         ),
@@ -64,12 +64,18 @@ fn main() {
         for hit in result.hits.iter().take(3) {
             let text = engine.fetch_document(hit.doc_id).unwrap_or("<missing>");
             let preview: String = text.chars().take(60).collect();
-            println!("      doc {:>4}  score {:.3}  {}...", hit.doc_id, hit.score, preview);
+            println!(
+                "      doc {:>4}  score {:.3}  {}...",
+                hit.doc_id, hit.score, preview
+            );
         }
     }
 
     // 3. What the server-side adversary saw: only the mixed trace.
-    println!("\n=== server query log ({} entries)", engine.query_log().len());
+    println!(
+        "\n=== server query log ({} entries)",
+        engine.query_log().len()
+    );
     for entry in engine.query_log().iter().take(8) {
         let preview: String = entry.text.chars().take(70).collect();
         println!("    #{:<3} {}", entry.ordinal, preview);

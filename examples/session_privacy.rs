@@ -44,14 +44,17 @@ fn main() {
     );
 
     let requirement = PrivacyRequirement::paper_default();
-    let belief = BeliefEngine::new(&model);
+    let belief = BeliefEngine::new(model.clone());
     let generator = GhostGenerator::new(
-        BeliefEngine::new(&model),
+        BeliefEngine::new(model.clone()),
         requirement,
         GhostConfig::default(),
     );
 
-    for (name, session_aware) in [("per-cycle TopPriv", false), ("session-aware TopPriv", true)] {
+    for (name, session_aware) in [
+        ("per-cycle TopPriv", false),
+        ("session-aware TopPriv", true),
+    ] {
         let mut tracker = SessionTracker::new();
         let mut intention = Vec::new();
         println!("--- {name}");

@@ -12,19 +12,26 @@
 //!    returning client would;
 //! 3. protect queries with ghosts generated from the reduced model;
 //! 4. audit the result with the *full* model — the adversary's view —
-//!    to show the (ε1, ε2) requirement still holds.
+//!    to show the (ε1, ε2) requirement still holds;
+//! 5. hand the session over to the `toppriv-service` layer: the same
+//!    thin client becomes one tenant of a shared `SessionManager`, with
+//!    the heavyweight model living once behind an `Arc`.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example thin_client
 //! ```
 
+use std::sync::Arc;
 use toppriv::core::exposure;
 use toppriv::corpus::{generate_workload, WorkloadConfig};
 use toppriv::lda::{LdaConfig, LdaTrainer, ReducedModel, ReductionConfig};
+use toppriv::service::SessionManager;
 use toppriv::store::{kind, ArtifactStore};
+use toppriv::text::Analyzer;
 use toppriv::{
-    BeliefEngine, CorpusConfig, GhostConfig, GhostGenerator, PrivacyRequirement,
+    BeliefEngine, CorpusConfig, GhostConfig, GhostGenerator, PrivacyRequirement, ScoringModel,
+    SearchEngine,
 };
 
 fn main() {
@@ -48,14 +55,14 @@ fn main() {
 
     // The reference model — what the search engine (adversary) can train
     // on the full corpus it hosts.
-    let full = LdaTrainer::train(
+    let full = Arc::new(LdaTrainer::train(
         &docs,
         corpus.vocab.len(),
         LdaConfig {
             iterations: iters,
             ..LdaConfig::with_topics(k)
         },
-    );
+    ));
 
     // 1. The thin client trains on half the docs, a quarter of the vocab.
     let t0 = std::time::Instant::now();
@@ -107,8 +114,9 @@ fn main() {
     }
     let store = ArtifactStore::open(&dir).expect("reopen store");
     assert!(store.verify_all().is_empty(), "artifacts intact");
-    let reloaded =
-        toppriv::lda::decode(&store.get("reduced-model", kind::LDA_MODEL).unwrap()).unwrap();
+    let reloaded = Arc::new(
+        toppriv::lda::decode(&store.get("reduced-model", kind::LDA_MODEL).unwrap()).unwrap(),
+    );
     println!(
         "store: {} artifacts verified under {}",
         store.list().count(),
@@ -125,11 +133,11 @@ fn main() {
     let reduced = (reloaded, map);
     let requirement = PrivacyRequirement::paper_default();
     let generator = GhostGenerator::new(
-        BeliefEngine::new(&reduced.0),
+        BeliefEngine::new(reduced.0.clone()),
         requirement,
         GhostConfig::default(),
     );
-    let audit = BeliefEngine::new(&full);
+    let audit = BeliefEngine::new(full.clone());
 
     let mut worst = 0.0f64;
     let mut satisfied = 0usize;
@@ -156,8 +164,7 @@ fn main() {
         if intention.is_empty() {
             continue;
         }
-        let posteriors: Vec<Vec<f64>> =
-            cycle_full.iter().map(|t| audit.posterior(t)).collect();
+        let posteriors: Vec<Vec<f64>> = cycle_full.iter().map(|t| audit.posterior(t)).collect();
         let cycle_boosts = audit.cycle_boost(&posteriors);
         let e = exposure(&cycle_boosts, &intention);
         worst = worst.max(e);
@@ -169,6 +176,48 @@ fn main() {
     println!(
         "audit with the FULL model: {satisfied}/{audited} queries satisfy (ε1,ε2)=(5%,1%), worst exposure {:.2}%",
         worst * 100.0
+    );
+
+    // 5. The same client as a service tenant: one SessionManager shares
+    //    the engine and the full model across any number of thin clients;
+    //    the result cache absorbs the decoys tenants have in common.
+    let texts: Vec<String> = corpus.docs.iter().map(|d| d.text.clone()).collect();
+    let engine = Arc::new(SearchEngine::build(
+        &docs,
+        &texts,
+        Analyzer::new(),
+        corpus.vocab.clone(),
+        ScoringModel::TfIdfCosine,
+    ));
+    let manager = SessionManager::new(engine, full.clone()).with_cache(1024);
+    for tenant in ["thin-a", "thin-b"] {
+        manager.open_session(tenant).expect("fresh tenant id");
+    }
+    for q in queries.iter().take(6) {
+        let a = manager
+            .search_tokens("thin-a", &q.tokens, 10)
+            .expect("tenant open");
+        let b = manager
+            .search_tokens("thin-b", &q.tokens, 10)
+            .expect("tenant open");
+        assert_eq!(a.hits.len(), b.hits.len(), "tenants see identical results");
+        assert!(
+            b.cache_hits > 0,
+            "the repeated cycle should come from cache"
+        );
+    }
+    let snapshot = manager.metrics();
+    println!(
+        "service: {} tenants, {} submissions, cache hit rate {:.0}%, worst session exposure {:.2}%",
+        snapshot.sessions.len(),
+        snapshot.global.submitted,
+        snapshot.global.cache_hit_rate * 100.0,
+        snapshot
+            .sessions
+            .iter()
+            .map(|m| m.worst_exposure)
+            .fold(0.0f64, f64::max)
+            * 100.0,
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,67 @@
+//! # toppriv
+//!
+//! Facade crate for the TopPriv reproduction and its production service
+//! layer. Re-exports every subsystem under a stable module path and
+//! provides [`build_demo_stack`] — the three-piece demo stack (corpus,
+//! engine, shared LDA model) that the examples and the `toppriv-serve`
+//! demo mode are built on.
+//!
+//! Layering (each layer only depends on the ones above it):
+//!
+//! - substrates: [`text`], [`index`], [`store`], [`corpus`];
+//! - models and engines: [`lda`], [`search`];
+//! - the paper's client module: [`core`] (with [`baselines`] and
+//!   [`adversary`] for the evaluation);
+//! - the multi-tenant service layer: [`service`].
+
+pub use toppriv_adversary as adversary;
+pub use toppriv_baselines as baselines;
+pub use toppriv_core as core;
+pub use toppriv_service as service;
+pub use tsearch_corpus as corpus;
+pub use tsearch_index as index;
+pub use tsearch_lda as lda;
+pub use tsearch_search as search;
+pub use tsearch_store as store;
+pub use tsearch_text as text;
+
+pub use toppriv_core::{
+    BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement, TrustedClient,
+};
+pub use toppriv_service::{ResultCache, ServiceMetrics, SessionManager};
+pub use tsearch_corpus::{CorpusConfig, SyntheticCorpus};
+pub use tsearch_lda::LdaModel;
+pub use tsearch_search::{ScoringModel, SearchEngine};
+
+use std::sync::Arc;
+use tsearch_lda::{LdaConfig, LdaTrainer};
+use tsearch_text::Analyzer;
+
+/// Builds the demo stack: a synthetic corpus, a search engine hosting it,
+/// and an LDA model trained on it (wrapped in an [`Arc`] so any number of
+/// belief engines, clients, and service sessions can share it).
+pub fn build_demo_stack(
+    config: CorpusConfig,
+    topics: usize,
+    iterations: usize,
+) -> (SyntheticCorpus, SearchEngine, Arc<LdaModel>) {
+    let corpus = SyntheticCorpus::generate(config);
+    let docs = corpus.token_docs();
+    let texts: Vec<String> = corpus.docs.iter().map(|d| d.text.clone()).collect();
+    let engine = SearchEngine::build(
+        &docs,
+        &texts,
+        Analyzer::new(),
+        corpus.vocab.clone(),
+        ScoringModel::TfIdfCosine,
+    );
+    let model = Arc::new(LdaTrainer::train(
+        &docs,
+        corpus.vocab.len(),
+        LdaConfig {
+            iterations,
+            ..LdaConfig::with_topics(topics)
+        },
+    ));
+    (corpus, engine, model)
+}

@@ -1,0 +1,405 @@
+//! Offline stand-in for `serde_json`: prints and parses the [`serde`]
+//! stand-in's [`Value`] tree as JSON. Provides the call surface this
+//! workspace uses: `to_string[_pretty]`, `to_vec[_pretty]`, `from_str`,
+//! `from_slice`, and a `json-error`-compatible [`Error`] type.
+
+pub use serde::Value;
+use serde::{DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/parse failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Keep integral floats distinguishable as floats.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&format!("{f}"));
+                }
+            } else {
+                // JSON has no Inf/NaN; serde_json writes null.
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Seq(items) => write_block(out, indent, level, '[', ']', items.len(), |out, i| {
+            write_value(out, &items[i], indent, level + 1);
+        }),
+        Value::Map(entries) => {
+            write_block(out, indent, level, '{', '}', entries.len(), |out, i| {
+                write_string(out, &entries[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, &entries[i].1, indent, level + 1);
+            })
+        }
+    }
+}
+
+fn write_block(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    n: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if n > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Parses a type from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_complete(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses a type from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(s)
+}
+
+/// Parses a raw [`Value`] from a JSON string.
+pub fn value_from_str(s: &str) -> Result<Value> {
+    parse_value_complete(s)
+}
+
+fn parse_value_complete(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => expect_literal(b, pos, "null").map(|_| Value::Null),
+        Some(b't') => expect_literal(b, pos, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => expect_literal(b, pos, "false").map(|_| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error(format!("expected ':' at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn expect_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<()> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("digits are UTF-8");
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error(format!("invalid number '{text}' at byte {start}")))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let first = parse_hex4(b, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&first) {
+                            // Surrogate pair: expect \uXXXX low half.
+                            if b.get(*pos + 1) != Some(&b'\\') || b.get(*pos + 2) != Some(&b'u') {
+                                return Err(Error("lone high surrogate".into()));
+                            }
+                            *pos += 2;
+                            let second = parse_hex4(b, pos)?;
+                            let combined = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                            char::from_u32(combined)
+                                .ok_or_else(|| Error("bad surrogate pair".into()))?
+                        } else {
+                            char::from_u32(first)
+                                .ok_or_else(|| Error("bad unicode escape".into()))?
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(Error(format!("bad escape at byte {pos}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| Error(e.to_string()))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Parses the 4 hex digits after `\u`; leaves `pos` on the last digit.
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32> {
+    let start = *pos + 1;
+    let end = start + 4;
+    if end > b.len() {
+        return Err(Error("truncated unicode escape".into()));
+    }
+    let hex = std::str::from_utf8(&b[start..end]).map_err(|e| Error(e.to_string()))?;
+    let v = u32::from_str_radix(hex, 16).map_err(|_| Error("bad hex escape".into()))?;
+    *pos = end - 1;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::String("ghost \"q\"\n".into())),
+            ("count".into(), Value::UInt(42)),
+            ("neg".into(), Value::Int(-7)),
+            ("score".into(), Value::Float(0.25)),
+            ("flag".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+            (
+                "items".into(),
+                Value::Seq(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
+        ]);
+        let compact = {
+            let mut s = String::new();
+            super::write_value(&mut s, &v, None, 0);
+            s
+        };
+        assert_eq!(value_from_str(&compact).unwrap(), v);
+        let pretty = {
+            let mut s = String::new();
+            super::write_value(&mut s, &v, Some(2), 0);
+            s
+        };
+        assert_eq!(value_from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        m.insert("a".into(), vec![1, 2, 3]);
+        m.insert("b".into(), vec![]);
+        let bytes = to_vec_pretty(&m).unwrap();
+        let back: BTreeMap<String, Vec<u32>> = from_slice(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u32>("{").is_err());
+        assert!(from_str::<u32>("12 trailing").is_err());
+        assert!(from_str::<u32>("\"unterminated").is_err());
+        assert!(from_str::<u32>("-1").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let s: String = from_str("\"\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(s, "é😀");
+    }
+}
