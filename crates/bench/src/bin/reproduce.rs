@@ -3,7 +3,8 @@
 //! Usage:
 //! ```text
 //! reproduce [--exp all|fig2|fig3|fig4|fig5|fig6|tables|stats|ablations|adversary|
-//!                  classifier|mc|session|reduced|pacing|quality|load|service|staleness|appendix]
+//!                  classifier|mc|session|reduced|pacing|quality|load|service|sharding|
+//!                  staleness|appendix]
 //!           [--scale quick|standard] [--out results] [--no-cache] [--quiet]
 //! ```
 
@@ -38,6 +39,7 @@ const ALL_EXPS: &[&str] = &[
     "quality",
     "load",
     "service",
+    "sharding",
     "staleness",
     "appendix",
 ];
@@ -147,6 +149,7 @@ fn main() {
             "quality" => experiments::quality::run(&ctx),
             "load" => experiments::load::run(&ctx),
             "service" => experiments::service::run(&ctx),
+            "sharding" => experiments::sharding::run(&ctx),
             "staleness" => experiments::staleness::run(&ctx),
             "appendix" => experiments::appendix::run(&ctx),
             _ => unreachable!("validated in parse_args"),

@@ -20,6 +20,7 @@ pub mod quality;
 pub mod reduced;
 pub mod service;
 pub mod session;
+pub mod sharding;
 pub mod staleness;
 pub mod stats;
 pub mod tables;

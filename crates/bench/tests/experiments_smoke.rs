@@ -51,6 +51,7 @@ fn every_experiment_runs_at_quick_scale() {
         ("quality", experiments::quality::run),
         ("load", experiments::load::run),
         ("service", experiments::service::run),
+        ("sharding", experiments::sharding::run),
         ("staleness", experiments::staleness::run),
         ("appendix", experiments::appendix::run),
     ];

@@ -85,6 +85,19 @@ impl InvertedIndex {
         }
     }
 
+    /// Decomposes the index into its parts `(postings, doc_lens,
+    /// total_tokens, max_tfs)` — the inverse of
+    /// [`InvertedIndex::from_parts`]. Used by the term-sharded index to
+    /// redistribute postings lists without re-encoding them.
+    pub fn into_parts(self) -> (Vec<PostingsList>, Vec<u32>, u64, Vec<u32>) {
+        (
+            self.postings,
+            self.doc_lens,
+            self.total_tokens,
+            self.max_tfs,
+        )
+    }
+
     /// Number of indexed documents.
     pub fn num_docs(&self) -> usize {
         self.doc_lens.len()

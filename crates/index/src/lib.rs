@@ -17,10 +17,13 @@
 //! assert_eq!(index.term_freq(1, 0), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod docstore;
 pub mod index;
 pub mod postings;
 pub mod serialize;
+pub mod sharded;
 pub mod stats;
 pub mod varint;
 
@@ -28,4 +31,5 @@ pub use docstore::DocumentStore;
 pub use index::{IndexSizeBreakdown, InvertedIndex};
 pub use postings::{Posting, PostingsBuilder, PostingsList};
 pub use serialize::{decode_index, encode_index, IndexCodecError};
+pub use sharded::{ShardRouter, ShardedIndex};
 pub use stats::{IndexStats, PIR_PAIR_BYTES};

@@ -1,0 +1,371 @@
+//! Term-sharded inverted index.
+//!
+//! At fleet scale the search tier — not the trusted client — is the
+//! bottleneck: every protected query multiplies engine load by the cycle
+//! length υ. [`ShardedIndex`] partitions the postings lists of a single
+//! [`InvertedIndex`] across N shards by *term hash*, so independent
+//! worker pools can serve disjoint slices of the vocabulary with no
+//! shared mutable state. [`ShardRouter`] is the pure routing function
+//! both the index and the service scheduler use to map a query's terms
+//! to the shard set it must touch.
+//!
+//! Every shard is itself a complete [`InvertedIndex`] over the *full*
+//! document collection: it owns the postings lists of its terms and
+//! carries the global document-length table, so per-term scoring
+//! statistics (`df`, `idf`, `avg_doc_len`, `max_tf`) computed against a
+//! shard are identical to those of the unsharded index. Terms owned by
+//! other shards simply have empty lists. This is what makes sharded
+//! evaluation *exactly* equivalent to single-index evaluation: a term's
+//! entire postings list lives on exactly one shard.
+
+use crate::index::InvertedIndex;
+use crate::postings::PostingsList;
+use serde::{Deserialize, Serialize};
+use tsearch_text::TermId;
+
+/// Maps terms to shards by a stable hash of the term id.
+///
+/// The routing function is deterministic and build-independent: the same
+/// `(term, num_shards)` pair always lands on the same shard, so routers
+/// can be reconstructed anywhere (client, scheduler, engine) from the
+/// shard count alone.
+///
+/// ## Example
+///
+/// ```
+/// use tsearch_index::ShardRouter;
+///
+/// let router = ShardRouter::new(4);
+/// assert_eq!(router.num_shards(), 4);
+/// // A term's shard is stable...
+/// assert_eq!(router.shard_of(7), router.shard_of(7));
+/// // ...and a query's shard set is sorted and deduplicated.
+/// let shards = router.shard_set([7, 7, 9, 1].iter().copied());
+/// assert!(shards.windows(2).all(|w| w[0] < w[1]));
+/// assert!(shards.iter().all(|&s| s < 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRouter {
+    num_shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `num_shards` shards (clamped to at least 1).
+    pub fn new(num_shards: usize) -> Self {
+        ShardRouter {
+            num_shards: num_shards.max(1),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard owning `term`'s postings list.
+    pub fn shard_of(&self, term: TermId) -> usize {
+        (splitmix64(term as u64) % self.num_shards as u64) as usize
+    }
+
+    /// The sorted, deduplicated set of shards a query over `terms` must
+    /// touch. Empty iff `terms` is empty.
+    pub fn shard_set(&self, terms: impl IntoIterator<Item = TermId>) -> Vec<usize> {
+        let mut shards: Vec<usize> = terms.into_iter().map(|t| self.shard_of(t)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+}
+
+/// SplitMix64 finalizer: a fast, well-mixed stable hash for shard
+/// assignment (term ids are dense small integers, so a bare modulus
+/// would stripe adjacent vocabulary entries onto adjacent shards).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An inverted index partitioned into term-hash shards.
+///
+/// Construction splits an ordinary [`InvertedIndex`] without re-encoding
+/// any postings bytes: each list is *moved* to its owning shard. Each
+/// shard keeps the global document-length table, so any scorer that is
+/// correct against a single index is correct against a shard for the
+/// terms that shard owns.
+///
+/// ## Example
+///
+/// ```
+/// use tsearch_index::{InvertedIndex, ShardedIndex};
+///
+/// let docs: Vec<Vec<u32>> = vec![vec![0, 1, 1], vec![1, 2]];
+/// let refs: Vec<&[u32]> = docs.iter().map(|d| d.as_slice()).collect();
+/// let sharded = ShardedIndex::build(&refs, 3, 2);
+///
+/// // Global statistics are preserved exactly...
+/// let single = InvertedIndex::build(&refs, 3);
+/// assert_eq!(sharded.num_docs(), single.num_docs());
+/// assert_eq!(sharded.doc_freq(1), single.doc_freq(1));
+/// assert_eq!(sharded.total_postings(), single.total_postings());
+/// // ...and each term's full postings list lives on exactly one shard.
+/// let owner = sharded.router().shard_of(1);
+/// assert_eq!(sharded.shard(owner).doc_freq(1), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedIndex {
+    router: ShardRouter,
+    shards: Vec<InvertedIndex>,
+}
+
+impl ShardedIndex {
+    /// Builds a sharded index directly from token-id documents.
+    pub fn build(docs: &[&[TermId]], vocab_size: usize, num_shards: usize) -> Self {
+        Self::from_single(InvertedIndex::build(docs, vocab_size), num_shards)
+    }
+
+    /// Shards an existing single index by moving each term's postings
+    /// list to its hash-owning shard. Non-owned terms get empty lists, so
+    /// every shard addresses the full `TermId` space.
+    pub fn from_single(index: InvertedIndex, num_shards: usize) -> Self {
+        let router = ShardRouter::new(num_shards);
+        let n = router.num_shards();
+        let num_terms = index.num_terms();
+        let (postings, doc_lens, total_tokens, max_tfs) = index.into_parts();
+        let mut shard_postings: Vec<Vec<PostingsList>> = (0..n)
+            .map(|_| vec![PostingsList::default(); num_terms])
+            .collect();
+        let mut shard_max_tfs: Vec<Vec<u32>> = (0..n).map(|_| vec![0u32; num_terms]).collect();
+        for (term, (list, max_tf)) in postings.into_iter().zip(max_tfs).enumerate() {
+            let s = router.shard_of(term as TermId);
+            shard_postings[s][term] = list;
+            shard_max_tfs[s][term] = max_tf;
+        }
+        let shards = shard_postings
+            .into_iter()
+            .zip(shard_max_tfs)
+            .map(|(postings, max_tfs)| {
+                InvertedIndex::from_parts(postings, doc_lens.clone(), total_tokens, max_tfs)
+            })
+            .collect();
+        ShardedIndex { router, shards }
+    }
+
+    /// The routing function in use.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard at `shard_id` (a full [`InvertedIndex`] owning the
+    /// postings of its hash slice of the vocabulary).
+    pub fn shard(&self, shard_id: usize) -> &InvertedIndex {
+        &self.shards[shard_id]
+    }
+
+    /// All shards, in shard-id order.
+    pub fn shards(&self) -> &[InvertedIndex] {
+        &self.shards
+    }
+
+    /// The sorted shard set a query over `terms` touches.
+    pub fn shard_set(&self, terms: impl IntoIterator<Item = TermId>) -> Vec<usize> {
+        self.router.shard_set(terms)
+    }
+
+    /// Number of indexed documents (global).
+    pub fn num_docs(&self) -> usize {
+        self.shards[0].num_docs()
+    }
+
+    /// Number of terms (the full vocabulary; every shard addresses it).
+    pub fn num_terms(&self) -> usize {
+        self.shards[0].num_terms()
+    }
+
+    /// Length (token count) of document `doc_id` (global).
+    pub fn doc_len(&self, doc_id: u32) -> u32 {
+        self.shards[0].doc_len(doc_id)
+    }
+
+    /// Mean document length (global).
+    pub fn avg_doc_len(&self) -> f64 {
+        self.shards[0].avg_doc_len()
+    }
+
+    /// Total token occurrences indexed (global).
+    pub fn total_tokens(&self) -> u64 {
+        self.shards[0].total_tokens()
+    }
+
+    /// Total postings pairs across all shards (equals the single index's).
+    pub fn total_postings(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_postings()).sum()
+    }
+
+    /// The postings list of `term`, read from its owning shard.
+    pub fn postings(&self, term: TermId) -> &PostingsList {
+        self.owner(term).postings(term)
+    }
+
+    /// Document frequency of `term` (global — the owning shard holds the
+    /// term's entire list).
+    pub fn doc_freq(&self, term: TermId) -> usize {
+        self.owner(term).doc_freq(term)
+    }
+
+    /// Inverse document frequency of `term` (identical to the unsharded
+    /// index's, since `N` and `df` are both global on the owning shard).
+    pub fn idf(&self, term: TermId) -> f64 {
+        self.owner(term).idf(term)
+    }
+
+    /// Maximum term frequency of `term` across all documents.
+    pub fn max_tf(&self, term: TermId) -> u32 {
+        self.owner(term).max_tf(term)
+    }
+
+    /// The shard owning `term`.
+    pub fn owner(&self, term: TermId) -> &InvertedIndex {
+        &self.shards[self.router.shard_of(term)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<TermId>> {
+        vec![
+            vec![0, 1, 2, 0],
+            vec![1, 3],
+            vec![0, 3, 3, 3],
+            vec![],
+            vec![4, 4, 2, 1, 0],
+        ]
+    }
+
+    fn both(num_shards: usize) -> (InvertedIndex, ShardedIndex) {
+        let docs = docs();
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        (
+            InvertedIndex::build(&refs, 6),
+            ShardedIndex::build(&refs, 6, num_shards),
+        )
+    }
+
+    #[test]
+    fn router_is_stable_and_in_range() {
+        for n in [1usize, 2, 3, 8, 16] {
+            let router = ShardRouter::new(n);
+            for term in 0..1000u32 {
+                let s = router.shard_of(term);
+                assert!(s < n);
+                assert_eq!(s, router.shard_of(term), "routing must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn router_clamps_zero_shards() {
+        let router = ShardRouter::new(0);
+        assert_eq!(router.num_shards(), 1);
+        assert_eq!(router.shard_of(42), 0);
+    }
+
+    #[test]
+    fn router_spreads_terms() {
+        // With 8 shards and 4096 terms, every shard should own a
+        // reasonable slice (splitmix64 is well-mixed).
+        let router = ShardRouter::new(8);
+        let mut counts = [0usize; 8];
+        for term in 0..4096u32 {
+            counts[router.shard_of(term)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 4096 / 8 / 2 && c < 4096 / 8 * 2,
+                "shard {s} owns a pathological slice: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_set_is_sorted_unique() {
+        let router = ShardRouter::new(4);
+        let set = router.shard_set([0u32, 1, 2, 3, 4, 5, 0, 1].iter().copied());
+        assert!(set.windows(2).all(|w| w[0] < w[1]));
+        assert!(router.shard_set(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn every_statistic_matches_the_single_index() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let (single, sharded) = both(n);
+            assert_eq!(sharded.num_shards(), n);
+            assert_eq!(sharded.num_docs(), single.num_docs());
+            assert_eq!(sharded.num_terms(), single.num_terms());
+            assert_eq!(sharded.total_tokens(), single.total_tokens());
+            assert_eq!(sharded.total_postings(), single.total_postings());
+            assert!((sharded.avg_doc_len() - single.avg_doc_len()).abs() < 1e-12);
+            for d in 0..single.num_docs() as u32 {
+                assert_eq!(sharded.doc_len(d), single.doc_len(d));
+            }
+            for t in 0..6u32 {
+                assert_eq!(sharded.doc_freq(t), single.doc_freq(t), "df term {t}");
+                assert_eq!(sharded.max_tf(t), single.max_tf(t), "max_tf term {t}");
+                assert!(
+                    (sharded.idf(t) - single.idf(t)).abs() < 1e-12,
+                    "idf term {t}"
+                );
+                assert_eq!(
+                    sharded.postings(t).to_vec(),
+                    single.postings(t).to_vec(),
+                    "postings term {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn terms_live_on_exactly_one_shard() {
+        let (_, sharded) = both(4);
+        for t in 0..6u32 {
+            let populated: Vec<usize> = (0..sharded.num_shards())
+                .filter(|&s| !sharded.shard(s).postings(t).is_empty())
+                .collect();
+            if sharded.doc_freq(t) == 0 {
+                assert!(populated.is_empty(), "unused term {t} nowhere");
+            } else {
+                assert_eq!(populated, vec![sharded.router().shard_of(t)], "term {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn shards_carry_global_doc_stats() {
+        let (single, sharded) = both(3);
+        for s in 0..3 {
+            let shard = sharded.shard(s);
+            assert_eq!(shard.num_docs(), single.num_docs());
+            assert_eq!(shard.total_tokens(), single.total_tokens());
+            assert!((shard.avg_doc_len() - single.avg_doc_len()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_single_equals_direct_build() {
+        let docs = docs();
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let a = ShardedIndex::build(&refs, 6, 4);
+        let b = ShardedIndex::from_single(InvertedIndex::build(&refs, 6), 4);
+        for t in 0..6u32 {
+            assert_eq!(a.postings(t).to_vec(), b.postings(t).to_vec());
+        }
+    }
+}

@@ -5,34 +5,15 @@
 //! and — being a curious adversary — keeps a log of every query it
 //! processes for after-the-fact analysis.
 
+use crate::log::QueryLog;
 use crate::query::Query;
 use crate::score::ScoringModel;
 use crate::topk::{SearchHit, TopK};
-use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 use tsearch_index::{DocumentStore, InvertedIndex};
 use tsearch_text::{Analyzer, TermId, Vocabulary};
 
-/// One entry of the server-side query log (what the adversary sees).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LoggedQuery {
-    /// Arrival position in the log.
-    pub ordinal: u64,
-    /// Raw query text as received.
-    pub text: String,
-    /// Analyzed token ids.
-    pub tokens: Vec<TermId>,
-}
-
-/// The server-side query log: entries plus a monotone ordinal counter
-/// that survives trimming, so ordinals stay unique even when old entries
-/// are dropped under a capacity bound.
-struct QueryLog {
-    entries: Vec<LoggedQuery>,
-    next_ordinal: u64,
-    /// Maximum retained entries; older entries are dropped first.
-    capacity: usize,
-}
+pub use crate::log::LoggedQuery;
 
 /// The search engine: index + document store + scorer + query log.
 pub struct SearchEngine {
@@ -63,11 +44,7 @@ impl SearchEngine {
             vocab,
             model,
             doc_norms,
-            log: Mutex::new(QueryLog {
-                entries: Vec::new(),
-                next_ordinal: 0,
-                capacity: usize::MAX,
-            }),
+            log: Mutex::new(QueryLog::new()),
         }
     }
 
@@ -112,20 +89,14 @@ impl SearchEngine {
             std::collections::HashMap::new();
         let avg_len = self.index.avg_doc_len();
         for (term, qtf) in query.terms() {
-            let idf = self.index.idf(term);
-            if idf <= 0.0 && self.index.doc_freq(term) == 0 {
-                continue;
-            }
-            let qw = self.model.query_weight(qtf, idf);
-            if qw == 0.0 {
-                continue;
-            }
-            for posting in self.index.postings(term).iter() {
-                let dw =
-                    self.model
-                        .doc_weight(posting.tf, self.index.doc_len(posting.doc_id), avg_len);
-                *accumulators.entry(posting.doc_id).or_insert(0.0) += qw * dw;
-            }
+            accumulate_term(
+                &self.index,
+                self.model,
+                avg_len,
+                term,
+                qtf,
+                &mut accumulators,
+            );
         }
         let mut topk = TopK::new(k);
         for (doc_id, mut score) in accumulators {
@@ -294,35 +265,23 @@ impl SearchEngine {
     }
 
     fn log_query(&self, text: String, query: &Query) {
-        let mut log = self.log.lock().expect("query log poisoned");
-        let ordinal = log.next_ordinal;
-        log.next_ordinal += 1;
-        log.entries.push(LoggedQuery {
-            ordinal,
+        self.log.lock().expect("query log poisoned").push(
             text,
-            tokens: query
+            query
                 .terms()
                 .flat_map(|(t, tf)| std::iter::repeat_n(t, tf as usize))
                 .collect(),
-        });
-        if log.entries.len() > log.capacity {
-            // Amortized trim: drop the oldest half-beyond-capacity batch
-            // in one move instead of shifting per push.
-            let excess = log.entries.len() - log.capacity;
-            log.entries.drain(..excess);
-        }
+        );
     }
 
     /// Snapshot of the server-side query log — the adversary's view.
     pub fn query_log(&self) -> Vec<LoggedQuery> {
-        self.log.lock().expect("query log poisoned").entries.clone()
+        self.log.lock().expect("query log poisoned").snapshot()
     }
 
     /// Clears the query log (between experiments). Ordinals restart.
     pub fn clear_query_log(&self) {
-        let mut log = self.log.lock().expect("query log poisoned");
-        log.entries.clear();
-        log.next_ordinal = 0;
+        self.log.lock().expect("query log poisoned").clear();
     }
 
     /// Bounds the query log to the most recent `capacity` entries.
@@ -330,12 +289,10 @@ impl SearchEngine {
     /// demo-oriented adversary log cannot grow without limit; ordinals
     /// keep counting across dropped entries.
     pub fn set_query_log_capacity(&self, capacity: usize) {
-        let mut log = self.log.lock().expect("query log poisoned");
-        log.capacity = capacity;
-        if log.entries.len() > capacity {
-            let excess = log.entries.len() - capacity;
-            log.entries.drain(..excess);
-        }
+        self.log
+            .lock()
+            .expect("query log poisoned")
+            .set_capacity(capacity);
     }
 
     /// Fetches a result document's text (Step 7 of the search process).
@@ -361,6 +318,33 @@ impl SearchEngine {
     /// The scoring model in use.
     pub fn model(&self) -> ScoringModel {
         self.model
+    }
+}
+
+/// Accumulates one query term's (unnormalized) score contributions from
+/// `index` into `accumulators`. This is the inner loop of accumulator
+/// evaluation, shared by [`SearchEngine::evaluate`] and the sharded
+/// engine's per-shard scatter step — the two MUST score identically
+/// (the shard-equivalence contract), so there is exactly one copy.
+pub(crate) fn accumulate_term(
+    index: &InvertedIndex,
+    model: ScoringModel,
+    avg_len: f64,
+    term: TermId,
+    qtf: u32,
+    accumulators: &mut std::collections::HashMap<u32, f64>,
+) {
+    let idf = index.idf(term);
+    if idf <= 0.0 && index.doc_freq(term) == 0 {
+        return;
+    }
+    let qw = model.query_weight(qtf, idf);
+    if qw == 0.0 {
+        return;
+    }
+    for posting in index.postings(term).iter() {
+        let dw = model.doc_weight(posting.tf, index.doc_len(posting.doc_id), avg_len);
+        *accumulators.entry(posting.doc_id).or_insert(0.0) += qw * dw;
     }
 }
 

@@ -25,16 +25,22 @@
 //! assert_eq!(engine.query_log().len(), 1); // the server saw the query
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod boolean;
 pub mod engine;
 pub mod eval;
+pub mod log;
 pub mod query;
 pub mod score;
+pub mod sharded;
 pub mod topk;
 
 pub use boolean::{evaluate_boolean, gallop_intersect, BooleanQuery};
-pub use engine::{LoggedQuery, SearchEngine};
+pub use engine::SearchEngine;
 pub use eval::{average_precision, precision_at_k, recall_at_k, result_lists_identical};
+pub use log::{LoggedQuery, QueryLog};
 pub use query::Query;
 pub use score::ScoringModel;
+pub use sharded::ShardedEngine;
 pub use topk::{SearchHit, TopK};

@@ -1,0 +1,92 @@
+//! Shard-equivalence property: for ANY corpus, query, scoring model, and
+//! shard count 1–8, [`ShardedEngine`] returns the same ranked top-k as
+//! the single [`SearchEngine`] over the same documents. This is the
+//! contract the whole sharded search tier rests on — the service layer
+//! may split a tenant fleet across shards only because sharding is
+//! invisible in the results.
+
+use proptest::prelude::*;
+use tsearch_search::{Query, ScoringModel, SearchEngine, ShardedEngine};
+use tsearch_text::{Analyzer, TermId, Vocabulary};
+
+/// Strategy: a random corpus, a random query over the same vocabulary, a
+/// shard count in 1..=8, and a scoring-model selector.
+#[allow(clippy::type_complexity)]
+fn case_strategy() -> impl Strategy<Value = (Vec<Vec<u32>>, Vec<u32>, usize, bool, usize)> {
+    (2usize..40).prop_flat_map(|vocab_size| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(0u32..vocab_size as u32, 0..25),
+                1..30,
+            ),
+            proptest::collection::vec(0u32..vocab_size as u32, 1..8),
+            1usize..9,
+            any::<bool>(),
+            1usize..12,
+        )
+    })
+}
+
+fn build_engines(
+    docs: &[Vec<u32>],
+    vocab_size: usize,
+    model: ScoringModel,
+    shards: usize,
+) -> (SearchEngine, ShardedEngine) {
+    let mut vocab = Vocabulary::new();
+    for i in 0..vocab_size {
+        vocab.intern(&format!("w{i:03}"));
+    }
+    for d in docs {
+        vocab.observe_document(d);
+    }
+    let texts: Vec<String> = docs.iter().map(|_| String::new()).collect();
+    let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+    let single = SearchEngine::build(&refs, &texts, Analyzer::new(), vocab.clone(), model);
+    let sharded = ShardedEngine::build(&refs, &texts, Analyzer::new(), vocab, model, shards);
+    (single, sharded)
+}
+
+proptest! {
+    #[test]
+    fn sharded_topk_equals_single_topk(
+        (docs, query_tokens, shards, bm25, k) in case_strategy()
+    ) {
+        let vocab_size = 1 + docs
+            .iter()
+            .flatten()
+            .chain(query_tokens.iter())
+            .copied()
+            .max()
+            .unwrap_or(0) as usize;
+        let model = if bm25 {
+            ScoringModel::bm25_default()
+        } else {
+            ScoringModel::TfIdfCosine
+        };
+        let (single, sharded) = build_engines(&docs, vocab_size, model, shards);
+        let query = Query::from_tokens(&query_tokens);
+        let expected = single.evaluate(&query, k);
+        let actual = sharded.evaluate(&query, k);
+        prop_assert_eq!(expected.len(), actual.len());
+        for (e, a) in expected.iter().zip(&actual) {
+            prop_assert_eq!(e.doc_id, a.doc_id);
+            prop_assert!(
+                (e.score - a.score).abs() < 1e-9,
+                "doc {}: {} vs {}", e.doc_id, e.score, a.score
+            );
+        }
+        // The shard logs must jointly cover exactly the query's terms.
+        sharded.search_tokens(&query_tokens, k);
+        let mut logged: Vec<u32> = sharded
+            .shard_logs()
+            .iter()
+            .flatten()
+            .flat_map(|e| e.tokens.iter().copied())
+            .collect();
+        logged.sort_unstable();
+        let mut sent = query_tokens.clone();
+        sent.sort_unstable();
+        prop_assert_eq!(logged, sent);
+    }
+}

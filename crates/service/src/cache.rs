@@ -18,15 +18,19 @@
 //! Privacy note: the cache sits *inside* the trusted service boundary,
 //! and per-session privacy accounting covers every cycle member whether
 //! or not it hit cache, so the `(ε1, ε2)` certificates themselves are
-//! unchanged. The honest caveat is that the cache's effectiveness
-//! *depends on* ghost determinism under the publicly known default
-//! `GhostConfig` seed: an engine-side adversary who knows that seed can
-//! replay ghost generation per logged query and test which query's
-//! regenerated decoys all appear in the log — a stronger probing attack
-//! than the paper's (which assumes the client seed is secret). Deploying
-//! with a per-fleet *secret* ghost seed (shared by the service's
-//! sessions, unknown to the engine) restores the secret-seed assumption
-//! while keeping cross-tenant cacheability; see ROADMAP "Open items".
+//! unchanged. The cache's effectiveness *depends on* ghost determinism
+//! per query content — which, under a publicly known seed, would let an
+//! engine-side adversary replay ghost generation per logged query and
+//! test which query's regenerated decoys all appear in the log (a
+//! stronger probing attack than the paper's, which assumes the client
+//! seed is secret). The [`crate::SessionManager`] therefore mixes a
+//! per-fleet **secret** seed into every session's `GhostConfig`: all
+//! sessions of the fleet share it, so cross-tenant decoys stay
+//! cache-identical, but the engine cannot regenerate them, restoring the
+//! paper's secret-seed assumption. See
+//! [`SessionManager::with_fleet_seed`](crate::SessionManager::with_fleet_seed)
+//! to pin the secret across service replicas (replicas with different
+//! secrets still work — they just stop sharing decoy cache entries).
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -170,6 +174,23 @@ impl Shard {
 }
 
 /// Thread-safe sharded LRU cache of search results.
+///
+/// ## Example
+///
+/// ```
+/// use toppriv_service::ResultCache;
+/// use tsearch_search::SearchHit;
+///
+/// let cache = ResultCache::new(1024);
+/// let hits = vec![SearchHit { doc_id: 7, score: 1.5 }];
+/// // Keys normalize token order: `a b` and `b a` are the same bag.
+/// cache.insert(&[3, 1], 10, hits.clone());
+/// assert_eq!(cache.get(&[1, 3], 10).unwrap()[0].doc_id, 7);
+/// // A different result depth is a different key.
+/// assert!(cache.get(&[1, 3], 5).is_none());
+/// let (cached, was_hit) = cache.get_or_compute(&[1, 3], 10, || unreachable!());
+/// assert!(was_hit && cached[0].doc_id == 7);
+/// ```
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,

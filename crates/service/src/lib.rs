@@ -11,20 +11,27 @@
 //! the paper's defaults). This crate amortizes that cost three ways:
 //!
 //! - **shared models** ([`SessionManager`]): the ~140 MB LDA model and
-//!   the inverted index exist once, behind `Arc`s; per-tenant state is
-//!   just a `TrustedClient`, a `SessionTracker`, and a `PacingScheduler`;
+//!   the search tier exist once, behind `Arc`s; per-tenant state is just
+//!   a `GhostGenerator`, a `SessionTracker`, and a `PacingScheduler`;
+//! - **a term-sharded search tier** ([`SearchTier`]): the same service
+//!   stack runs over one `SearchEngine` or a `ShardedEngine` whose
+//!   postings are split across N term-hash shards, each with its own
+//!   bounded query log — no engine-wide mutex on the submission path;
 //! - **a global cycle scheduler** ([`CycleScheduler`]): per-session
-//!   pacing schedules are merged into one time-ordered queue drained by
-//!   a `std::thread` worker pool;
+//!   pacing schedules are merged into one time-ordered queue, then
+//!   partitioned into per-shard queues drained independently by a
+//!   `std::thread` worker pool;
 //! - **a sharded LRU result cache** ([`ResultCache`]): ghost generation
-//!   is deterministic per query content, so duplicate decoys across
-//!   tenants are served from cache instead of the engine.
+//!   is deterministic per query content (under the fleet's secret seed),
+//!   so duplicate decoys across tenants are served from cache instead of
+//!   the engine.
 //!
-//! [`ServiceMetrics`] tracks cache hit rate, queue depth, p50/p99 submit
-//! latency, and per-session privacy metrics (exposure, mask level,
-//! satisfied rate, trace exposure). The `toppriv-serve` binary exposes
-//! everything over newline-delimited JSON (stdin or TCP) and ships a
-//! synthetic multi-tenant demo (`--demo`).
+//! [`ServiceMetrics`] tracks cache hit rate, global and per-shard queue
+//! depth, p50/p99 submit latency, and per-session privacy metrics
+//! (exposure, mask level, satisfied rate, trace exposure). The
+//! `toppriv-serve` binary exposes everything over newline-delimited JSON
+//! (stdin or TCP) and ships a synthetic multi-tenant demo (`--demo`,
+//! sharded with `--shards N`).
 //!
 //! ## Example
 //!
@@ -40,12 +47,15 @@
 //! assert!(outcome.report.metrics.exposure <= outcome.report.metrics.mask_level);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod metrics;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
 pub mod session;
+pub mod tier;
 
 pub use cache::{CacheKey, ResultCache};
 pub use metrics::{GlobalMetrics, MetricsSnapshot, ServiceMetrics, SessionMetrics};
@@ -53,3 +63,4 @@ pub use protocol::{Op, Request, Response};
 pub use scheduler::{CycleScheduler, PlannedQuery, SubmitOutcome};
 pub use server::{handle, serve_lines, serve_tcp};
 pub use session::{SearchOutcome, ServiceError, SessionConfig, SessionManager};
+pub use tier::SearchTier;

@@ -27,6 +27,10 @@ pub struct ServiceMetrics {
     queue_depth: AtomicUsize,
     /// High-water mark of the queue depth.
     max_queue_depth: AtomicUsize,
+    /// Per-shard queue depths, set by the scheduler when it partitions a
+    /// drain (written once per drain, not per submission — the per-shard
+    /// hot path stays lock-free).
+    shard_queue_depths: Mutex<Vec<usize>>,
     /// Submit latencies in microseconds (engine or cache resolution
     /// time), bounded reservoir sample.
     latencies_us: Mutex<Reservoir>,
@@ -100,6 +104,23 @@ impl ServiceMetrics {
         self.queue_depth.load(Ordering::Relaxed)
     }
 
+    /// Publishes the per-shard queue depths of the current drain.
+    pub fn set_shard_queue_depths(&self, depths: Vec<usize>) {
+        *self
+            .shard_queue_depths
+            .lock()
+            .expect("shard depths poisoned") = depths;
+    }
+
+    /// Per-shard queue depths as last published by the scheduler (empty
+    /// before any sharded drain ran).
+    pub fn shard_queue_depths(&self) -> Vec<usize> {
+        self.shard_queue_depths
+            .lock()
+            .expect("shard depths poisoned")
+            .clone()
+    }
+
     /// Cache hit rate over all recorded submits.
     pub fn cache_hit_rate(&self) -> f64 {
         let h = self.cache_hits.load(Ordering::Relaxed) as f64;
@@ -130,6 +151,7 @@ impl ServiceMetrics {
             ghosts_processed: self.ghosts_processed.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            shard_queue_depths: self.shard_queue_depths(),
             p50_submit_us: percentile(&lat, 0.50),
             p99_submit_us: percentile(&lat, 0.99),
         }
@@ -164,6 +186,9 @@ pub struct GlobalMetrics {
     pub queue_depth: usize,
     /// Highest queue depth observed.
     pub max_queue_depth: usize,
+    /// Per-shard queue depths as last published by the scheduler (empty
+    /// until a drain has run; all zeros after one completes).
+    pub shard_queue_depths: Vec<usize>,
     /// Median submit latency (µs).
     pub p50_submit_us: u64,
     /// 99th-percentile submit latency (µs).

@@ -5,24 +5,31 @@
 //! submit the union of all tenants' schedules. [`CycleScheduler`] merges
 //! the per-session plans into one time-ordered queue — the service-level
 //! counterpart of [`toppriv_core::merge_schedules`], keeping its exact
-//! ordering semantics — and drains it with a pool of `std::thread`
-//! workers that resolve each submission through the shared
-//! [`ResultCache`] / [`SearchEngine`].
+//! ordering semantics — then **partitions it by shard**: every planned
+//! submission carries the shard set its terms route to (tagged by
+//! [`crate::SessionManager::plan_cycle`]), and the drain assigns it to
+//! the queue of its primary (lowest) shard. Each shard's queue is
+//! drained by its own workers with its own cursor, so shards proceed
+//! independently: no global claim lock, no head-of-line blocking across
+//! shards, and — together with the sharded engine's per-shard query
+//! logs — no engine-wide mutex anywhere on the submission hot path.
 //!
-//! Draining consumes the queue in time order but does not sleep between
+//! Draining consumes each queue in time order but does not sleep between
 //! submissions: simulated time orders the trace the engine sees, while
-//! wall-clock throughput is bounded only by the worker pool. Queue depth
-//! and per-submit latency are reported to [`ServiceMetrics`].
+//! wall-clock throughput is bounded only by the worker pool. Global and
+//! per-shard queue depths and per-submit latency are reported to
+//! [`ServiceMetrics`].
 
 use crate::cache::ResultCache;
 use crate::metrics::ServiceMetrics;
 use crate::session::SessionManager;
+use crate::tier::SearchTier;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use toppriv_core::ScheduledQuery;
-use tsearch_search::{SearchEngine, SearchHit};
+use tsearch_search::SearchHit;
 
-/// One scheduled submission, tagged with its tenant.
+/// One scheduled submission, tagged with its tenant and shard set.
 #[derive(Debug, Clone)]
 pub struct PlannedQuery {
     /// Owning session id.
@@ -31,6 +38,17 @@ pub struct PlannedQuery {
     pub scheduled: ScheduledQuery,
     /// Results to fetch.
     pub k: usize,
+    /// Sorted shard set the submission's terms route to (`[0]` on a
+    /// single-engine tier). The scheduler queues the submission on its
+    /// primary — lowest — shard.
+    pub shards: Vec<usize>,
+}
+
+impl PlannedQuery {
+    /// The shard whose queue carries this submission.
+    pub fn primary_shard(&self) -> usize {
+        self.shards.first().copied().unwrap_or(0)
+    }
 }
 
 /// Outcome of one drained submission.
@@ -51,35 +69,37 @@ pub struct SubmitOutcome {
     pub hits: Vec<SearchHit>,
 }
 
-/// Merges per-session plans and drains them on a worker pool.
+/// Merges per-session plans and drains them on per-shard worker queues.
 pub struct CycleScheduler {
-    engine: Arc<SearchEngine>,
+    tier: SearchTier,
     cache: Option<Arc<ResultCache>>,
     metrics: Arc<ServiceMetrics>,
     workers: usize,
 }
 
 impl CycleScheduler {
-    /// A scheduler over explicit parts.
+    /// A scheduler over explicit parts. `workers` is the total pool size,
+    /// spread across the tier's shards at drain time (each active shard
+    /// always gets at least one worker).
     pub fn new(
-        engine: Arc<SearchEngine>,
+        tier: SearchTier,
         cache: Option<Arc<ResultCache>>,
         metrics: Arc<ServiceMetrics>,
         workers: usize,
     ) -> Self {
         CycleScheduler {
-            engine,
+            tier,
             cache,
             metrics,
             workers: workers.max(1),
         }
     }
 
-    /// A scheduler sharing a [`SessionManager`]'s engine, cache, and
+    /// A scheduler sharing a [`SessionManager`]'s search tier, cache, and
     /// metrics registry.
     pub fn for_manager(manager: &SessionManager, workers: usize) -> Self {
         Self::new(
-            manager.engine().clone(),
+            manager.tier().clone(),
             manager.cache().cloned(),
             manager.metrics_registry().clone(),
             workers,
@@ -100,54 +120,92 @@ impl CycleScheduler {
         all
     }
 
-    /// Drains a merged queue: workers claim submissions in queue order and
-    /// resolve them through the cache/engine. Returns outcomes sorted by
-    /// simulated time (ties broken by queue position).
+    /// Drains a merged queue. The queue is split into per-shard queues by
+    /// primary shard (each inherits the global time order); every shard's
+    /// workers claim from their own cursor and resolve through the shared
+    /// cache/tier, so shards drain independently. Returns outcomes sorted
+    /// by simulated time (ties broken by merged-queue position).
     pub fn drain(&self, queue: Vec<PlannedQuery>) -> Vec<SubmitOutcome> {
         let total = queue.len();
         self.metrics.set_queue_depth(total);
-        let next = AtomicUsize::new(0);
-        let outcomes: Mutex<Vec<(usize, SubmitOutcome)>> = Mutex::new(Vec::with_capacity(total));
-        std::thread::scope(|s| {
-            for _ in 0..self.workers.min(total.max(1)) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let plan = &queue[i];
-                    let (hits, cache_hit) = SessionManager::resolve(
-                        &self.engine,
-                        self.cache.as_deref(),
-                        &self.metrics,
-                        &plan.scheduled.tokens,
-                        plan.k,
-                        plan.scheduled.is_genuine,
-                    );
-                    self.metrics.set_queue_depth(total.saturating_sub(i + 1));
-                    let outcome = SubmitOutcome {
-                        session: plan.session.clone(),
-                        cycle_id: plan.scheduled.cycle_id,
-                        time_secs: plan.scheduled.time_secs,
-                        is_genuine: plan.scheduled.is_genuine,
-                        cache_hit,
-                        // Ghost results are discarded inside the trusted
-                        // boundary; only genuine hits leave the scheduler.
-                        hits: if plan.scheduled.is_genuine {
-                            hits
-                        } else {
-                            Vec::new()
-                        },
-                    };
-                    outcomes
-                        .lock()
-                        .expect("outcome collector poisoned")
-                        .push((i, outcome));
-                });
+        let num_shards = self.tier.num_shards();
+        // Partition by primary shard; each per-shard queue stays in the
+        // merged (time) order.
+        let mut shard_queues: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for (i, plan) in queue.iter().enumerate() {
+            shard_queues[plan.primary_shard().min(num_shards - 1)].push(i);
+        }
+        self.metrics
+            .set_shard_queue_depths(shard_queues.iter().map(|q| q.len()).collect());
+        let active: Vec<usize> = (0..num_shards)
+            .filter(|&s| !shard_queues[s].is_empty())
+            .collect();
+        // Spread the pool over the active shards: every active shard
+        // gets at least one worker, and the remainder (workers not
+        // evenly divisible) goes one-per-shard to the first shards so
+        // the whole configured pool is used.
+        let base = self.workers / active.len().max(1);
+        let extra = self.workers % active.len().max(1);
+        let remaining = AtomicUsize::new(total);
+        let cursors: Vec<AtomicUsize> = (0..num_shards).map(|_| AtomicUsize::new(0)).collect();
+        let collectors: Vec<Mutex<Vec<(usize, SubmitOutcome)>>> = (0..num_shards)
+            .map(|s| Mutex::new(Vec::with_capacity(shard_queues[s].len())))
+            .collect();
+        let queue = &queue;
+        std::thread::scope(|scope| {
+            for (rank, &s) in active.iter().enumerate() {
+                let per_shard = (base + usize::from(rank < extra)).max(1);
+                for _ in 0..per_shard.min(shard_queues[s].len()) {
+                    let shard_queue = &shard_queues[s];
+                    let cursor = &cursors[s];
+                    let collector = &collectors[s];
+                    let remaining = &remaining;
+                    scope.spawn(move || loop {
+                        let at = cursor.fetch_add(1, Ordering::Relaxed);
+                        if at >= shard_queue.len() {
+                            break;
+                        }
+                        let i = shard_queue[at];
+                        let plan = &queue[i];
+                        let (hits, cache_hit) = SessionManager::resolve(
+                            &self.tier,
+                            self.cache.as_deref(),
+                            &self.metrics,
+                            &plan.scheduled.tokens,
+                            plan.k,
+                            plan.scheduled.is_genuine,
+                        );
+                        let left = remaining.fetch_sub(1, Ordering::Relaxed) - 1;
+                        self.metrics.set_queue_depth(left);
+                        let outcome = SubmitOutcome {
+                            session: plan.session.clone(),
+                            cycle_id: plan.scheduled.cycle_id,
+                            time_secs: plan.scheduled.time_secs,
+                            is_genuine: plan.scheduled.is_genuine,
+                            cache_hit,
+                            // Ghost results are discarded inside the
+                            // trusted boundary; only genuine hits leave
+                            // the scheduler.
+                            hits: if plan.scheduled.is_genuine {
+                                hits
+                            } else {
+                                Vec::new()
+                            },
+                        };
+                        collector
+                            .lock()
+                            .expect("outcome collector poisoned")
+                            .push((i, outcome));
+                    });
+                }
             }
         });
         self.metrics.set_queue_depth(0);
-        let mut outcomes = outcomes.into_inner().expect("outcome collector poisoned");
+        self.metrics.set_shard_queue_depths(vec![0; num_shards]);
+        let mut outcomes: Vec<(usize, SubmitOutcome)> = collectors
+            .into_iter()
+            .flat_map(|c| c.into_inner().expect("outcome collector poisoned"))
+            .collect();
         outcomes.sort_by_key(|&(i, _)| i);
         outcomes.into_iter().map(|(_, o)| o).collect()
     }
@@ -176,6 +234,7 @@ mod tests {
                     cycle_id: 0,
                 },
                 k: 10,
+                shards: vec![0],
             })
             .collect()
     }
@@ -212,5 +271,14 @@ mod tests {
             assert_eq!(m.scheduled.time_secs, e.time_secs);
             assert_eq!(m.scheduled.tokens, e.tokens);
         }
+    }
+
+    #[test]
+    fn primary_shard_is_the_lowest() {
+        let mut p = plan("a", &[0.0]).remove(0);
+        p.shards = vec![2, 5];
+        assert_eq!(p.primary_shard(), 2);
+        p.shards.clear();
+        assert_eq!(p.primary_shard(), 0);
     }
 }

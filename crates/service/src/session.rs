@@ -1,12 +1,13 @@
 //! Multi-tenant session management.
 //!
 //! One [`SessionManager`] serves many users against a single shared
-//! [`LdaModel`] and [`SearchEngine`] (both behind `Arc`s — the paper's
-//! ~140 MB model exists once in memory, not once per tenant). Each
-//! session owns the per-user state of the paper's Figure 1 client:
+//! [`LdaModel`] and one [`SearchTier`] (a monolithic engine or a
+//! term-sharded one — both behind `Arc`s, so the paper's ~140 MB model
+//! exists once in memory, not once per tenant). Each session owns the
+//! per-user state of the paper's Figure 1 client:
 //!
-//! - a [`TrustedClient`] (belief engine + ghost generator + engine
-//!   handle) that formulates and certifies cycles;
+//! - a [`GhostGenerator`] (over the shared belief model) that formulates
+//!   and certifies cycles;
 //! - a [`SessionTracker`] recording the whole trace for Equation-2
 //!   session-level accounting;
 //! - a [`PacingScheduler`] with a per-session seed and clock, producing
@@ -14,21 +15,35 @@
 //!
 //! Two submission paths exist: [`SessionManager::search`] resolves a
 //! cycle synchronously (through the shared [`ResultCache`]), while
-//! [`SessionManager::plan_cycle`] emits a paced schedule for the global
-//! cycle scheduler to drain on its worker pool.
+//! [`SessionManager::plan_cycle`] emits a paced schedule — each planned
+//! submission tagged with the shard set its terms route to — for the
+//! global cycle scheduler to drain on its per-shard worker queues.
+//!
+//! ## The fleet secret ghost seed
+//!
+//! Ghost generation is seeded from the query content XOR a config seed.
+//! With the *public* default seed, an engine-side adversary could replay
+//! ghost generation per logged query and test which logged query's
+//! regenerated decoys all appear in the trace. The manager therefore
+//! draws one service-wide **secret** seed at construction (or accepts
+//! one via [`SessionManager::with_fleet_seed`]) and mixes it into every
+//! session's [`GhostConfig`]. All sessions of the fleet share it, so
+//! cross-tenant decoys stay cache-identical; the engine does not know
+//! it, so the paper's secret-seed assumption is restored.
 
 use crate::cache::ResultCache;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics, SessionMetrics};
 use crate::scheduler::PlannedQuery;
+use crate::tier::SearchTier;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use toppriv_core::{
-    BeliefEngine, CycleResult, GhostConfig, PacingConfig, PacingScheduler, PrivacyRequirement,
-    SessionTracker, TrustedClient,
+    BeliefEngine, CycleResult, GhostConfig, GhostGenerator, PacingConfig, PacingScheduler,
+    PrivacyRequirement, SessionTracker,
 };
 use tsearch_lda::LdaModel;
-use tsearch_search::{SearchEngine, SearchHit};
+use tsearch_search::{SearchEngine, SearchHit, ShardedEngine};
 use tsearch_text::TermId;
 
 /// Per-session configuration.
@@ -101,7 +116,7 @@ pub struct SearchOutcome {
 /// mutex; the heavyweight model/engine state is shared through `Arc`s
 /// inside `client`.
 struct Session {
-    client: TrustedClient,
+    generator: GhostGenerator,
     /// Full per-query posterior history. Only populated when
     /// `history_aware` — it is what `generate_with_history` certifies
     /// against; in the default per-cycle mode the running sum below is
@@ -130,24 +145,24 @@ struct Session {
 }
 
 impl Session {
-    fn new(
-        engine: Arc<SearchEngine>,
-        model: Arc<LdaModel>,
-        config: SessionConfig,
-        seed: u64,
-    ) -> Self {
+    fn new(model: Arc<LdaModel>, config: SessionConfig, seed: u64, fleet_seed: u64) -> Self {
         // Ghost content stays content-seeded (deterministic per query,
-        // which is what makes cross-tenant decoys cacheable); pacing must
-        // differ per tenant, so its seed mixes in the session hash.
-        let ghost = config.ghost.clone();
+        // which is what makes cross-tenant decoys cacheable) but mixes in
+        // the fleet-wide *secret* seed — shared by every session of this
+        // service, unknown to the engine — so an engine-side adversary
+        // cannot replay ghost generation from the public defaults. Pacing
+        // must differ per tenant, so its seed mixes in the session hash.
+        let ghost = GhostConfig {
+            seed: config.ghost.seed ^ fleet_seed,
+            ..config.ghost.clone()
+        };
         let pacing = PacingConfig {
             seed: config.pacing.seed ^ seed,
             ..config.pacing
         };
-        let client =
-            TrustedClient::with_parts(engine, BeliefEngine::new(model), config.requirement, ghost);
+        let generator = GhostGenerator::new(BeliefEngine::new(model), config.requirement, ghost);
         Session {
-            client,
+            generator,
             tracker: SessionTracker::new(),
             pacer: PacingScheduler::new(pacing),
             config,
@@ -167,17 +182,17 @@ impl Session {
 
     /// Formulates (and records) one cycle for `tokens`.
     fn formulate(&mut self, tokens: &[TermId]) -> CycleResult {
-        let generator = self.client.generator();
         let result = if self.config.history_aware && !self.tracker.is_empty() {
-            generator.generate_with_history(tokens, self.tracker.posteriors())
+            self.generator
+                .generate_with_history(tokens, self.tracker.posteriors())
         } else {
-            generator.generate(tokens)
+            self.generator.generate(tokens)
         };
         // Trace accounting. History-aware mode needs the full posterior
         // history (the generator certifies against it); per-cycle mode
         // only ever consumes the mean, so a running sum suffices and the
         // session does not grow with its age.
-        let belief = self.client.generator().belief();
+        let belief = self.generator.belief();
         if self.posterior_sum.is_empty() {
             self.posterior_sum = vec![0.0; belief.num_topics()];
         }
@@ -224,7 +239,7 @@ impl Session {
         let trace_exposure = if self.posterior_count == 0 {
             0.0
         } else {
-            let belief = self.client.generator().belief();
+            let belief = self.generator.belief();
             let prior = belief.prior();
             let trace_boosts: Vec<f64> = self
                 .posterior_sum
@@ -249,24 +264,57 @@ impl Session {
 }
 
 /// The multi-tenant service core.
+///
+/// ## Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use toppriv_service::SessionManager;
+/// # let engine: Arc<tsearch_search::SearchEngine> = unimplemented!();
+/// # let model: Arc<tsearch_lda::LdaModel> = unimplemented!();
+///
+/// // One shared engine + model, a 4096-entry decoy cache, and a fixed
+/// // fleet secret (omit `with_fleet_seed` to draw a random one).
+/// let manager = SessionManager::new(engine, model)
+///     .with_cache(4096)
+///     .with_fleet_seed(0xC0FFEE);
+/// manager.open_session("alice").unwrap();
+/// let outcome = manager.search("alice", "apache helicopter", 10).unwrap();
+/// assert!(outcome.report.metrics.exposure <= outcome.report.metrics.mask_level);
+/// ```
 pub struct SessionManager {
-    engine: Arc<SearchEngine>,
+    tier: SearchTier,
     model: Arc<LdaModel>,
     cache: Option<Arc<ResultCache>>,
     metrics: Arc<ServiceMetrics>,
     defaults: SessionConfig,
+    /// Service-wide secret mixed into every session's ghost seed.
+    fleet_seed: u64,
     sessions: RwLock<HashMap<String, Arc<Mutex<Session>>>>,
 }
 
 impl SessionManager {
-    /// A manager over a shared engine and model, with no result cache.
+    /// A manager over a shared single engine and model, no result cache,
+    /// and a randomly drawn fleet secret ghost seed.
     pub fn new(engine: Arc<SearchEngine>, model: Arc<LdaModel>) -> Self {
+        Self::with_tier(SearchTier::Single(engine), model)
+    }
+
+    /// A manager over a term-sharded engine (queries fan out to their
+    /// shard sets; the scheduler drains shards independently).
+    pub fn new_sharded(engine: Arc<ShardedEngine>, model: Arc<LdaModel>) -> Self {
+        Self::with_tier(SearchTier::Sharded(engine), model)
+    }
+
+    /// A manager over an explicit search tier.
+    pub fn with_tier(tier: SearchTier, model: Arc<LdaModel>) -> Self {
         SessionManager {
-            engine,
+            tier,
             model,
             cache: None,
             metrics: Arc::new(ServiceMetrics::new()),
             defaults: SessionConfig::default(),
+            fleet_seed: random_fleet_seed(),
             sessions: RwLock::new(HashMap::new()),
         }
     }
@@ -283,9 +331,18 @@ impl SessionManager {
         self
     }
 
-    /// The shared engine.
-    pub fn engine(&self) -> &Arc<SearchEngine> {
-        &self.engine
+    /// Overrides the fleet secret ghost seed (e.g. to share one secret
+    /// across service replicas, or to make tests deterministic). Must be
+    /// called before sessions are opened — already-open sessions keep
+    /// the seed they were created with.
+    pub fn with_fleet_seed(mut self, seed: u64) -> Self {
+        self.fleet_seed = seed;
+        self
+    }
+
+    /// The search tier (single engine or shards).
+    pub fn tier(&self) -> &SearchTier {
+        &self.tier
     }
 
     /// The shared model.
@@ -318,10 +375,10 @@ impl SessionManager {
             return Err(ServiceError::DuplicateSession(id.to_string()));
         }
         let session = Session::new(
-            self.engine.clone(),
             self.model.clone(),
             config,
             session_seed(id),
+            self.fleet_seed,
         );
         sessions.insert(id.to_string(), Arc::new(Mutex::new(session)));
         Ok(())
@@ -367,9 +424,9 @@ impl SessionManager {
     }
 
     /// Resolves one cycle member through the cache (when attached) or the
-    /// engine, recording submit metrics. Returns `(hits, cache_hit)`.
+    /// search tier, recording submit metrics. Returns `(hits, cache_hit)`.
     pub(crate) fn resolve(
-        engine: &SearchEngine,
+        tier: &SearchTier,
         cache: Option<&ResultCache>,
         metrics: &ServiceMetrics,
         tokens: &[TermId],
@@ -378,8 +435,8 @@ impl SessionManager {
     ) -> (Vec<SearchHit>, bool) {
         let t0 = Instant::now();
         let (hits, cache_hit) = match cache {
-            Some(cache) => cache.get_or_compute(tokens, k, || engine.search_tokens(tokens, k)),
-            None => (engine.search_tokens(tokens, k), false),
+            Some(cache) => cache.get_or_compute(tokens, k, || tier.search_tokens(tokens, k)),
+            None => (tier.search_tokens(tokens, k), false),
         };
         metrics.record_submit(t0.elapsed().as_micros() as u64, cache_hit, is_genuine);
         (hits, cache_hit)
@@ -391,10 +448,7 @@ impl SessionManager {
     ///
     /// `k == 0` is a sentinel meaning "the session's configured `top_k`".
     pub fn search(&self, id: &str, text: &str, k: usize) -> Result<SearchOutcome, ServiceError> {
-        let tokens = self
-            .engine
-            .analyzer()
-            .analyze_frozen(text, self.engine.vocab());
+        let tokens = self.tier.analyzer().analyze_frozen(text, self.tier.vocab());
         self.search_tokens(id, &tokens, k)
     }
 
@@ -421,7 +475,7 @@ impl SessionManager {
         let mut cache_hits = 0usize;
         for query in &report.cycle {
             let (hits, was_hit) = Self::resolve(
-                &self.engine,
+                &self.tier,
                 self.cache.as_deref(),
                 &self.metrics,
                 &query.tokens,
@@ -445,8 +499,9 @@ impl SessionManager {
 
     /// Plans one paced cycle: formulates it, schedules it on the session's
     /// simulated clock, and returns the per-submission plan for the
-    /// [`crate::CycleScheduler`]. The session clock advances by its
-    /// configured think time.
+    /// [`crate::CycleScheduler`] — each submission tagged with the shard
+    /// set its terms route to, so the scheduler can queue it per shard.
+    /// The session clock advances by its configured think time.
     pub fn plan_cycle(
         &self,
         id: &str,
@@ -467,10 +522,14 @@ impl SessionManager {
         let schedule = session.pacer.schedule(&report, start);
         Ok(schedule
             .into_iter()
-            .map(|scheduled| PlannedQuery {
-                session: id.to_string(),
-                scheduled,
-                k,
+            .map(|scheduled| {
+                let shards = self.tier.shard_set(&scheduled.tokens);
+                PlannedQuery {
+                    session: id.to_string(),
+                    scheduled,
+                    k,
+                    shards,
+                }
             })
             .collect())
     }
@@ -504,4 +563,14 @@ fn session_seed(id: &str) -> u64 {
     let mut h = DefaultHasher::new();
     id.hash(&mut h);
     h.finish()
+}
+
+/// Draws a random fleet secret from the OS entropy `RandomState` seeds
+/// its hashers with (the build is std-only; this avoids a crypto dep
+/// while still being unpredictable to the engine).
+fn random_fleet_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
 }

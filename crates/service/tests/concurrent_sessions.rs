@@ -9,7 +9,7 @@ use std::sync::Arc;
 use toppriv_service::{CycleScheduler, ResultCache, SessionManager};
 use tsearch_corpus::{generate_workload, CorpusConfig, SyntheticCorpus, WorkloadConfig};
 use tsearch_lda::{LdaConfig, LdaModel, LdaTrainer};
-use tsearch_search::{ScoringModel, SearchEngine};
+use tsearch_search::{ScoringModel, SearchEngine, ShardedEngine};
 use tsearch_text::Analyzer;
 
 struct Stack {
@@ -197,6 +197,138 @@ fn paced_schedules_merge_and_drain_in_time_order() {
     // Queue fully drained.
     assert_eq!(manager.metrics_registry().queue_depth(), 0);
     assert!(manager.metrics().global.max_queue_depth >= expected);
+}
+
+/// A sharded engine over the same corpus as `stack()`'s single engine.
+fn sharded_engine(stack: &Stack, shards: usize) -> Arc<ShardedEngine> {
+    let docs = stack.corpus.token_docs();
+    let texts: Vec<String> = stack.corpus.docs.iter().map(|d| d.text.clone()).collect();
+    Arc::new(ShardedEngine::build(
+        &docs,
+        &texts,
+        Analyzer::new(),
+        stack.corpus.vocab.clone(),
+        ScoringModel::TfIdfCosine,
+        shards,
+    ))
+}
+
+#[test]
+fn sharded_tier_returns_identical_results_and_drains_per_shard() {
+    let stack = stack();
+    let queries = generate_workload(
+        &stack.corpus,
+        &WorkloadConfig {
+            num_queries: 6,
+            ..WorkloadConfig::default()
+        },
+    );
+    // Same fleet seed on both managers so their ghost cycles (and thus
+    // their submission streams) are identical.
+    let single = Arc::new(
+        SessionManager::new(stack.engine.clone(), stack.model.clone()).with_fleet_seed(42),
+    );
+    let sharded = Arc::new(
+        SessionManager::new_sharded(sharded_engine(&stack, 4), stack.model.clone())
+            .with_fleet_seed(42),
+    );
+    for manager in [&single, &sharded] {
+        for s in 0..3 {
+            manager.open_session(&format!("t{s}")).unwrap();
+        }
+    }
+    // Synchronous path: identical genuine hits.
+    for (s, q) in queries.iter().enumerate() {
+        let id = format!("t{}", s % 3);
+        let a = single.search_tokens(&id, &q.tokens, 10).unwrap();
+        let b = sharded.search_tokens(&id, &q.tokens, 10).unwrap();
+        assert_eq!(a.hits.len(), b.hits.len(), "query {s}");
+        for (x, y) in a.hits.iter().zip(&b.hits) {
+            assert_eq!(x.doc_id, y.doc_id);
+            assert!((x.score - y.score).abs() < 1e-9);
+        }
+    }
+    // Paced path: plans carry real shard sets and drain per shard.
+    let mut plans = Vec::new();
+    for (s, id) in sharded.session_ids().iter().enumerate() {
+        plans.push(
+            sharded
+                .plan_cycle(id, &queries[s % queries.len()].tokens, 10)
+                .unwrap(),
+        );
+    }
+    let expected: usize = plans.iter().map(|p| p.len()).sum();
+    assert!(plans
+        .iter()
+        .flatten()
+        .all(|p| !p.shards.is_empty() && p.shards.iter().all(|&s| s < 4)));
+    assert!(
+        plans.iter().flatten().any(|p| p.primary_shard() > 0),
+        "submissions should spread beyond shard 0"
+    );
+    let scheduler = CycleScheduler::for_manager(&sharded, 4);
+    let outcomes = scheduler.run(plans);
+    assert_eq!(outcomes.len(), expected, "every submission drained");
+    assert!(outcomes
+        .windows(2)
+        .all(|w| w[0].time_secs <= w[1].time_secs));
+    let snapshot = sharded.metrics();
+    assert_eq!(snapshot.global.shard_queue_depths, vec![0; 4]);
+    // Each touched shard logged only its slice of the trace.
+    let engine = sharded.tier().as_sharded().unwrap();
+    let logs = engine.shard_logs();
+    assert!(logs.iter().filter(|l| !l.is_empty()).count() > 1);
+    for (s, entries) in logs.iter().enumerate() {
+        for e in entries {
+            for &t in &e.tokens {
+                assert_eq!(engine.router().shard_of(t), s);
+            }
+        }
+    }
+}
+
+#[test]
+fn fleet_seed_is_secret_but_shared() {
+    let stack = stack();
+    let query = generate_workload(
+        &stack.corpus,
+        &WorkloadConfig {
+            num_queries: 1,
+            ..WorkloadConfig::default()
+        },
+    )
+    .remove(0);
+    // Same fleet secret → identical decoy streams (cache-compatible
+    // replicas); the engine-side adversary, not knowing the secret,
+    // cannot regenerate them from the public default config.
+    let runs: Vec<Vec<Vec<u32>>> = [7u64, 7, 99]
+        .iter()
+        .map(|&seed| {
+            let manager = SessionManager::new(stack.engine.clone(), stack.model.clone())
+                .with_fleet_seed(seed);
+            manager.open_session("u").unwrap();
+            let outcome = manager.search_tokens("u", &query.tokens, 10).unwrap();
+            outcome
+                .report
+                .cycle
+                .iter()
+                .map(|q| q.tokens.clone())
+                .collect()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "same secret, same ghost cycle");
+    assert_ne!(runs[0], runs[2], "different secret, different decoys");
+    // A random-seed manager does not reproduce the fixed-seed stream.
+    let manager = SessionManager::new(stack.engine.clone(), stack.model.clone());
+    manager.open_session("u").unwrap();
+    let outcome = manager.search_tokens("u", &query.tokens, 10).unwrap();
+    let random_run: Vec<Vec<u32>> = outcome
+        .report
+        .cycle
+        .iter()
+        .map(|q| q.tokens.clone())
+        .collect();
+    assert_ne!(runs[0], random_run, "random fleet secret differs");
 }
 
 #[test]

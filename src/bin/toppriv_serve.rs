@@ -10,14 +10,17 @@
 //! - `--stdin`: serve the NDJSON protocol over stdin/stdout (default
 //!   when no mode flag is given).
 //!
+//! All modes accept `--shards N` to term-shard the search tier: postings
+//! split across N shards, per-shard scheduler queues and adversary logs.
+//!
 //! ```text
-//! cargo run --release --bin toppriv-serve -- --sessions 64 --demo
+//! cargo run --release --bin toppriv-serve -- --sessions 64 --shards 4 --demo
 //! ```
 
 use std::sync::Arc;
 use toppriv::corpus::{generate_workload, SyntheticCorpus, WorkloadConfig};
 use toppriv::service::{CycleScheduler, SessionConfig, SessionManager};
-use toppriv::{CorpusConfig, LdaModel, SearchEngine};
+use toppriv::{CorpusConfig, LdaModel, SearchTier};
 
 struct Args {
     sessions: usize,
@@ -27,6 +30,7 @@ struct Args {
     cache_capacity: usize,
     no_cache: bool,
     workers: usize,
+    shards: usize,
     docs: usize,
     topics: usize,
     lda_iterations: usize,
@@ -42,6 +46,7 @@ impl Default for Args {
             cache_capacity: 4096,
             no_cache: false,
             workers: 4,
+            shards: 1,
             docs: 800,
             topics: 24,
             lda_iterations: 40,
@@ -68,6 +73,9 @@ fn parse_args() -> Result<Args, String> {
                 args.cache_capacity = parse_usize(&argv, &mut i, "--cache-capacity")?
             }
             "--workers" => args.workers = parse_usize(&argv, &mut i, "--workers")?,
+            "--shards" => {
+                args.shards = parse_usize(&argv, &mut i, "--shards")?.max(1);
+            }
             "--docs" => args.docs = parse_usize(&argv, &mut i, "--docs")?,
             "--topics" => args.topics = parse_usize(&argv, &mut i, "--topics")?,
             "--lda-iterations" => {
@@ -91,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
                      --cache-capacity N result cache entries (default 4096)\n\
                      --no-cache         disable the result cache\n\
                      --workers N        scheduler worker threads (default 4)\n\
+                     --shards N         term-shard the search tier across N shards (default 1)\n\
                      --docs N           synthetic corpus size (default 800)\n\
                      --topics N         LDA topic count (default 24)\n\
                      --lda-iterations N Gibbs iterations (default 40)"
@@ -104,10 +113,11 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Builds the shared stack: synthetic corpus, engine hosting it, LDA model.
-fn build_stack(args: &Args) -> (SyntheticCorpus, Arc<SearchEngine>, Arc<LdaModel>) {
+/// Builds the shared stack: synthetic corpus, search tier hosting it
+/// (term-sharded when `--shards > 1`), LDA model.
+fn build_stack(args: &Args) -> (SyntheticCorpus, SearchTier, Arc<LdaModel>) {
     let t0 = std::time::Instant::now();
-    let (corpus, engine, model) = toppriv::build_demo_stack(
+    let (corpus, tier, model) = toppriv::build_demo_stack_sharded(
         CorpusConfig {
             num_docs: args.docs,
             num_topics: (args.topics / 2).max(4),
@@ -116,19 +126,21 @@ fn build_stack(args: &Args) -> (SyntheticCorpus, Arc<SearchEngine>, Arc<LdaModel
         },
         args.topics,
         args.lda_iterations,
+        args.shards,
     );
     eprintln!(
-        "[toppriv-serve] stack ready in {:.1}s: {} docs, {} vocab, LDA K={}",
+        "[toppriv-serve] stack ready in {:.1}s: {} docs, {} vocab, LDA K={}, {} shard(s)",
         t0.elapsed().as_secs_f64(),
         corpus.num_docs(),
         corpus.vocab.len(),
         args.topics,
+        tier.num_shards(),
     );
-    (corpus, Arc::new(engine), model)
+    (corpus, tier, model)
 }
 
-fn build_manager(args: &Args, engine: Arc<SearchEngine>, model: Arc<LdaModel>) -> SessionManager {
-    let manager = SessionManager::new(engine, model).with_defaults(SessionConfig::default());
+fn build_manager(args: &Args, tier: SearchTier, model: Arc<LdaModel>) -> SessionManager {
+    let manager = SessionManager::with_tier(tier, model).with_defaults(SessionConfig::default());
     if args.no_cache {
         manager
     } else {
@@ -137,8 +149,8 @@ fn build_manager(args: &Args, engine: Arc<SearchEngine>, model: Arc<LdaModel>) -
 }
 
 fn run_demo(args: &Args) {
-    let (corpus, engine, model) = build_stack(args);
-    let manager = build_manager(args, engine, model);
+    let (corpus, tier, model) = build_stack(args);
+    let manager = build_manager(args, tier, model);
 
     // Tenants share a realistic workload: each session draws its queries
     // from a common pool (overlap across tenants is what a shared search
@@ -206,6 +218,14 @@ fn run_demo(args: &Args) {
         snapshot.global.p99_submit_us,
         snapshot.global.max_queue_depth,
     );
+    if let Some(engine) = manager.tier().as_sharded() {
+        let log_sizes: Vec<usize> = engine.shard_logs().iter().map(|l| l.len()).collect();
+        println!(
+            "    {} shards drained independently; per-shard adversary log entries: {:?}",
+            engine.num_shards(),
+            log_sizes,
+        );
+    }
     println!("\n    per-session privacy (first 12 shown):");
     println!(
         "    {:<12} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10}",
@@ -247,11 +267,12 @@ fn main() {
         run_demo(&args);
         return;
     }
-    let (_corpus, engine, model) = build_stack(&args);
-    // Long-running server modes: bound the engine's demo-oriented
-    // adversary log so it cannot grow without limit.
-    engine.set_query_log_capacity(100_000);
-    let manager = Arc::new(build_manager(&args, engine, model));
+    let (_corpus, tier, model) = build_stack(&args);
+    // Long-running server modes: bound the demo-oriented adversary
+    // log(s) — each shard's, when sharded — so they cannot grow without
+    // limit.
+    tier.set_query_log_capacity(100_000);
+    let manager = Arc::new(build_manager(&args, tier, model));
     match &args.tcp {
         Some(addr) => {
             if let Err(e) = toppriv::service::serve_tcp(manager, addr.as_str()) {

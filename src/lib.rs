@@ -28,10 +28,11 @@ pub use tsearch_text as text;
 pub use toppriv_core::{
     BeliefEngine, GhostConfig, GhostGenerator, PrivacyRequirement, TrustedClient,
 };
-pub use toppriv_service::{ResultCache, ServiceMetrics, SessionManager};
+pub use toppriv_service::{ResultCache, SearchTier, ServiceMetrics, SessionManager};
 pub use tsearch_corpus::{CorpusConfig, SyntheticCorpus};
+pub use tsearch_index::{ShardRouter, ShardedIndex};
 pub use tsearch_lda::LdaModel;
-pub use tsearch_search::{ScoringModel, SearchEngine};
+pub use tsearch_search::{ScoringModel, SearchEngine, ShardedEngine};
 
 use std::sync::Arc;
 use tsearch_lda::{LdaConfig, LdaTrainer};
@@ -45,16 +46,47 @@ pub fn build_demo_stack(
     topics: usize,
     iterations: usize,
 ) -> (SyntheticCorpus, SearchEngine, Arc<LdaModel>) {
+    let (corpus, tier, model) = build_demo_stack_sharded(config, topics, iterations, 1);
+    let engine = match tier {
+        SearchTier::Single(engine) => {
+            Arc::try_unwrap(engine).unwrap_or_else(|_| unreachable!("freshly built, sole Arc"))
+        }
+        SearchTier::Sharded(_) => unreachable!("shards = 1 always builds a single tier"),
+    };
+    (corpus, engine, model)
+}
+
+/// Variant of [`build_demo_stack`] whose search tier is term-sharded:
+/// returns a [`SearchTier::Sharded`] over `shards` index shards when
+/// `shards > 1`, else a [`SearchTier::Single`] (the two are
+/// result-identical; sharding only changes how the service scales).
+pub fn build_demo_stack_sharded(
+    config: CorpusConfig,
+    topics: usize,
+    iterations: usize,
+    shards: usize,
+) -> (SyntheticCorpus, SearchTier, Arc<LdaModel>) {
     let corpus = SyntheticCorpus::generate(config);
     let docs = corpus.token_docs();
     let texts: Vec<String> = corpus.docs.iter().map(|d| d.text.clone()).collect();
-    let engine = SearchEngine::build(
-        &docs,
-        &texts,
-        Analyzer::new(),
-        corpus.vocab.clone(),
-        ScoringModel::TfIdfCosine,
-    );
+    let tier = if shards > 1 {
+        SearchTier::Sharded(Arc::new(ShardedEngine::build(
+            &docs,
+            &texts,
+            Analyzer::new(),
+            corpus.vocab.clone(),
+            ScoringModel::TfIdfCosine,
+            shards,
+        )))
+    } else {
+        SearchTier::Single(Arc::new(SearchEngine::build(
+            &docs,
+            &texts,
+            Analyzer::new(),
+            corpus.vocab.clone(),
+            ScoringModel::TfIdfCosine,
+        )))
+    };
     let model = Arc::new(LdaTrainer::train(
         &docs,
         corpus.vocab.len(),
@@ -63,5 +95,5 @@ pub fn build_demo_stack(
             ..LdaConfig::with_topics(topics)
         },
     ));
-    (corpus, engine, model)
+    (corpus, tier, model)
 }

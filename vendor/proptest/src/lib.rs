@@ -176,6 +176,8 @@ impl_tuple_strategy! {
     (A: 0, B: 1)
     (A: 0, B: 1, C: 2)
     (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
 }
 
 /// Types with a canonical "any value" strategy.
@@ -243,7 +245,7 @@ pub mod collection {
         VecStrategy { elem, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: Range<usize>,
