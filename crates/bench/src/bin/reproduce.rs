@@ -2,11 +2,18 @@
 //!
 //! Usage:
 //! ```text
-//! reproduce [--exp all|fig2|fig3|fig4|fig5|fig6|tables|stats|ablations|adversary|
+//! reproduce [EXPERIMENT ...]
+//!           [--exp all|fig2|fig3|fig4|fig5|fig6|tables|stats|ablations|adversary|
 //!                  classifier|mc|session|reduced|pacing|quality|load|service|sharding|
 //!                  staleness|appendix]
 //!           [--scale quick|standard] [--out results] [--no-cache] [--quiet]
 //! ```
+//!
+//! Bare positional names select experiments (`reproduce -- service
+//! sharding`); the `service`, `sharding`, and `staleness` experiments
+//! additionally write machine-readable `BENCH_<name>.json` snapshots
+//! (per-stage p50/p99 from the toppriv-obs histograms) to the current
+//! directory or `$TOPPRIV_BENCH_DIR`.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -46,6 +53,7 @@ const ALL_EXPS: &[&str] = &[
 
 fn parse_args() -> Result<Args, String> {
     let mut exps = vec!["all".to_string()];
+    let mut positional: Vec<String> = Vec::new();
     let mut scale = Scale::standard();
     let mut out = PathBuf::from("results");
     let mut cache = true;
@@ -73,7 +81,9 @@ fn parse_args() -> Result<Args, String> {
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "reproduce — regenerate the paper's tables and figures\n\
+                    "reproduce [EXPERIMENT ...] — regenerate the paper's tables and figures\n\
+                     Bare names select experiments, e.g. `reproduce service sharding`\n\
+                     (these also write BENCH_<name>.json machine-readable snapshots).\n\
                      --exp   comma list of {ALL_EXPS:?} or 'all' (default all)\n\
                      --scale quick|standard (default standard)\n\
                      --out   output directory (default results/)\n\
@@ -82,9 +92,15 @@ fn parse_args() -> Result<Args, String> {
                 );
                 std::process::exit(0);
             }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown argument '{other}'")),
         }
         i += 1;
+    }
+    // Bare experiment names (`reproduce -- service sharding`) select just
+    // those experiments, same as `--exp service,sharding`.
+    if !positional.is_empty() {
+        exps = positional;
     }
     if exps.iter().any(|e| e == "all") {
         exps = ALL_EXPS.iter().map(|s| s.to_string()).collect();

@@ -15,6 +15,7 @@
 //! near-perfect-cache upper bound by construction).
 
 use crate::context::ExperimentContext;
+use crate::obsbench;
 use crate::table::{f3, ResultTable};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -65,6 +66,8 @@ struct ServiceRun {
     hit_rate_steady: f64,
     secs: f64,
     user_queries: usize,
+    /// Machine-readable stage breakdown of this run (BENCH trail).
+    bench: toppriv_obs::BenchSnapshot,
 }
 
 /// Protected run through the service: `SESSIONS` tenants plan paced
@@ -98,6 +101,7 @@ fn run_service(ctx: &ExperimentContext, cached: bool, rounds: usize) -> ServiceR
     let submissions_per_round = queue.len();
     let scheduler = CycleScheduler::for_manager(&manager, WORKERS);
     ctx.engine.clear_query_log();
+    obsbench::reset_engine_stages();
     let t0 = Instant::now();
     let mut round1: Option<toppriv_service::GlobalMetrics> = None;
     for _ in 0..rounds {
@@ -110,6 +114,15 @@ fn run_service(ctx: &ExperimentContext, cached: bool, rounds: usize) -> ServiceR
     let secs = t0.elapsed().as_secs_f64();
     let round1 = round1.expect("at least one round");
     let snapshot = manager.metrics();
+    let bench = obsbench::service_bench_snapshot(
+        "service",
+        manager.metrics_registry().registry(),
+        (submissions_per_round * rounds) as f64 / secs.max(1e-9),
+        format!(
+            "{SESSIONS} tenants, {WORKERS} workers, cache {}, {rounds} round(s)",
+            if cached { "on" } else { "off" }
+        ),
+    );
     ctx.engine.clear_query_log();
     ServiceRun {
         mean_upsilon: submissions_per_round as f64 / user_queries as f64,
@@ -119,6 +132,7 @@ fn run_service(ctx: &ExperimentContext, cached: bool, rounds: usize) -> ServiceR
         hit_rate_steady: snapshot.global.cache_hit_rate,
         secs,
         user_queries: user_queries * rounds,
+        bench,
     }
 }
 
@@ -174,6 +188,10 @@ pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
         let rounds = MIN_SUBMISSIONS.div_ceil((probe.submissions).max(1)).max(1);
         let run = run_service(ctx, cached, rounds);
         let user_qps = run.user_queries as f64 / run.secs.max(1e-9);
+        if cached {
+            // The bench trail records the full-featured configuration.
+            obsbench::emit_bench(&run.bench);
+        }
         table.push_row(vec![
             if cached { "service+cache" } else { "service" }.into(),
             f3(run.mean_upsilon),

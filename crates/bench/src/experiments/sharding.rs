@@ -17,6 +17,7 @@
 //!   worker queues. qps is submissions per wall-clock second.
 
 use crate::context::ExperimentContext;
+use crate::obsbench;
 use crate::table::{f3, ResultTable};
 use std::sync::Arc;
 use std::time::Instant;
@@ -116,7 +117,12 @@ fn equivalence_table(ctx: &ExperimentContext) -> ResultTable {
 /// One throughput cell: plan every session's paced cycles over the
 /// shared workload, merge, then drain the queue repeatedly until at
 /// least [`MIN_SUBMISSIONS`] submissions have been measured.
-fn run_cell(ctx: &ExperimentContext, tier: SearchTier, sessions: usize) -> (f64, u64, f64) {
+fn run_cell(
+    ctx: &ExperimentContext,
+    tier: SearchTier,
+    shards: usize,
+    sessions: usize,
+) -> (f64, u64, f64, toppriv_obs::BenchSnapshot) {
     let manager = Arc::new(
         SessionManager::with_tier(tier.clone(), ctx.default_model().clone())
             .with_fleet_seed(FLEET_SEED),
@@ -145,6 +151,7 @@ fn run_cell(ctx: &ExperimentContext, tier: SearchTier, sessions: usize) -> (f64,
         WORKERS,
     );
     std::hint::black_box(warmup.drain(queue.clone()));
+    obsbench::reset_engine_stages();
     let t0 = Instant::now();
     for _ in 0..rounds {
         std::hint::black_box(scheduler.drain(queue.clone()));
@@ -153,7 +160,13 @@ fn run_cell(ctx: &ExperimentContext, tier: SearchTier, sessions: usize) -> (f64,
     tier.clear_query_logs();
     let snapshot = manager.metrics_registry().snapshot();
     let qps = (queue.len() * rounds) as f64 / secs.max(1e-9);
-    (qps, snapshot.p99_submit_us, queue.len() as f64)
+    let bench = obsbench::service_bench_snapshot(
+        "sharding",
+        manager.metrics_registry().registry(),
+        qps,
+        format!("{shards} shard(s), {sessions} session(s), {WORKERS} workers, cache off, {rounds} round(s)"),
+    );
+    (qps, snapshot.p99_submit_us, queue.len() as f64, bench)
 }
 
 fn scaling_table(ctx: &ExperimentContext) -> ResultTable {
@@ -176,6 +189,7 @@ fn scaling_table(ctx: &ExperimentContext) -> ResultTable {
             "p99_submit_us".into(),
         ],
     );
+    let mut last_bench: Option<toppriv_obs::BenchSnapshot> = None;
     for &shards in &SHARD_COUNTS {
         let tier: SearchTier = if shards == 1 {
             SearchTier::Single(ctx.engine.clone())
@@ -183,7 +197,7 @@ fn scaling_table(ctx: &ExperimentContext) -> ResultTable {
             SearchTier::Sharded(sharded_engine(ctx, shards))
         };
         for &sessions in &SESSION_COUNTS {
-            let (qps, p99, queue_len) = run_cell(ctx, tier.clone(), sessions);
+            let (qps, p99, queue_len, bench) = run_cell(ctx, tier.clone(), shards, sessions);
             table.push_row(vec![
                 shards.to_string(),
                 sessions.to_string(),
@@ -191,8 +205,14 @@ fn scaling_table(ctx: &ExperimentContext) -> ResultTable {
                 f3(qps),
                 p99.to_string(),
             ]);
+            last_bench = Some(bench);
         }
         tier.clear_query_logs();
+    }
+    // The bench trail keeps the most heavily sharded, most contended
+    // cell — the configuration the per-shard breakdown exists for.
+    if let Some(bench) = last_bench {
+        obsbench::emit_bench(&bench);
     }
     table
 }

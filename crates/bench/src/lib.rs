@@ -14,9 +14,11 @@
 
 pub mod context;
 pub mod experiments;
+pub mod obsbench;
 pub mod scale;
 pub mod table;
 
 pub use context::ExperimentContext;
+pub use obsbench::{emit_bench, service_bench_snapshot, service_stage_stats};
 pub use scale::Scale;
 pub use table::ResultTable;

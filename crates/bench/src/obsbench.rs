@@ -1,0 +1,104 @@
+//! Bridge from experiments to the `toppriv-obs` bench trail.
+//!
+//! The `service`, `sharding`, and `staleness` experiments call
+//! [`emit_bench`] after their measured runs, landing a machine-readable
+//! `BENCH_<experiment>.json` (host core count, qps, per-stage p50/p99,
+//! cache hit rate, per-shard imbalance) next to the human tables. The
+//! per-stage numbers are read straight out of the run's
+//! `MetricsRegistry` — the same registry `toppriv-serve` exposes — so
+//! the bench trail and the live metrics endpoint can never disagree.
+
+use toppriv_obs::{write_bench_snapshot, BenchSnapshot, MetricsRegistry, StageStats};
+
+/// Stage names the service-layer bench snapshots use.
+pub const STAGES: [&str; 5] = [
+    "queue_wait",
+    "shard_service",
+    "gather",
+    "cache_lookup",
+    "submit",
+];
+
+/// Clears the process-global engine-layer histograms (`engine_gather_us`
+/// and friends) so a measured run starts from a clean slate. Call
+/// immediately before the timed section.
+pub fn reset_engine_stages() {
+    let global = toppriv_obs::global();
+    global.histogram(tsearch_search::M_GATHER_US, &[]).clear();
+    global.histogram(tsearch_search::M_EVAL_US, &[]).clear();
+    for snap in global.snapshot() {
+        if snap.name == tsearch_search::M_SHARD_EVAL_US {
+            let labels: Vec<(&str, &str)> = snap
+                .labels
+                .iter()
+                .map(|l| (l.key.as_str(), l.value.as_str()))
+                .collect();
+            global
+                .histogram(tsearch_search::M_SHARD_EVAL_US, &labels)
+                .clear();
+        }
+    }
+}
+
+/// Builds the per-stage latency breakdown of one service-layer run:
+/// queue wait, shard service time, and cache lookup from the manager's
+/// registry; engine gather from the process-global registry (the engine
+/// layer records there regardless of which manager drove it).
+pub fn service_stage_stats(registry: &MetricsRegistry) -> Vec<StageStats> {
+    let mut stages = Vec::new();
+    for (stage, name) in [
+        ("queue_wait", toppriv_service::scheduler::M_QUEUE_WAIT_US),
+        ("shard_service", toppriv_service::scheduler::M_SERVICE_US),
+        ("cache_lookup", toppriv_service::cache::M_CACHE_LOOKUP_US),
+        ("submit", toppriv_service::metrics::M_SUBMIT_US),
+    ] {
+        if let Some(h) = registry.merged_histogram(name) {
+            stages.push(StageStats::from_histogram(stage, &h));
+        }
+    }
+    if let Some(h) = toppriv_obs::global().merged_histogram(tsearch_search::M_GATHER_US) {
+        stages.push(StageStats::from_histogram("gather", &h));
+    }
+    stages
+}
+
+/// Assembles a [`BenchSnapshot`] for a service-layer run from its
+/// metrics registry: stages via [`service_stage_stats`], cache hit rate
+/// from the per-shard cache counters, and shard imbalance from the
+/// per-shard scheduler submit counters.
+pub fn service_bench_snapshot(
+    experiment: &str,
+    registry: &MetricsRegistry,
+    qps: f64,
+    notes: impl Into<String>,
+) -> BenchSnapshot {
+    let mut snap = BenchSnapshot::new(experiment);
+    snap.qps = qps;
+    snap.notes = notes.into();
+    snap.stages = service_stage_stats(registry);
+    let hits = registry.counter_total(toppriv_service::metrics::M_CACHE_HITS);
+    let misses = registry.counter_total(toppriv_service::metrics::M_CACHE_MISSES);
+    if hits + misses > 0 {
+        snap.cache_hit_rate = hits as f64 / (hits + misses) as f64;
+    }
+    let per_shard: Vec<u64> = registry
+        .counter_values(toppriv_service::scheduler::M_SHARD_SUBMITS)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
+    snap.shard_imbalance = toppriv_obs::imbalance(&per_shard);
+    snap
+}
+
+/// Writes `snapshot` as `BENCH_<experiment>.json` (honouring
+/// `$TOPPRIV_BENCH_DIR`) and logs the path; emission failure is reported
+/// but never fails the experiment.
+pub fn emit_bench(snapshot: &BenchSnapshot) {
+    match write_bench_snapshot(snapshot) {
+        Ok(path) => println!("[bench] wrote {}", path.display()),
+        Err(e) => eprintln!(
+            "[bench] could not write BENCH_{}.json: {e}",
+            snapshot.experiment
+        ),
+    }
+}

@@ -32,6 +32,13 @@ type ExperimentFn = fn(&ExperimentContext) -> Vec<ResultTable>;
 
 #[test]
 fn every_experiment_runs_at_quick_scale() {
+    // Route BENCH_*.json emission into a scratch dir so the repo tree
+    // stays clean, and so we can assert the bench trail below.
+    let bench_dir =
+        std::env::temp_dir().join(format!("toppriv-bench-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&bench_dir).expect("scratch dir");
+    std::env::set_var("TOPPRIV_BENCH_DIR", &bench_dir);
+
     let ctx = ExperimentContext::build(Scale::quick(), None);
     let runs: Vec<(&str, ExperimentFn)> = vec![
         ("stats", experiments::stats::run),
@@ -63,4 +70,49 @@ fn every_experiment_runs_at_quick_scale() {
         ran += 1;
     }
     assert_eq!(ran, expected);
+
+    // The service-layer experiments must leave machine-readable bench
+    // snapshots with the documented stage breakdown.
+    for exp in ["service", "sharding", "staleness"] {
+        let path = bench_dir.join(format!("BENCH_{exp}.json"));
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{exp}: missing bench snapshot {}: {e}", path.display()));
+        let snap: toppriv_obs::BenchSnapshot =
+            serde_json::from_str(body.trim()).expect("bench snapshot parses");
+        assert_eq!(snap.experiment, exp);
+        assert!(snap.host_cores >= 1, "{exp}: host cores");
+        assert!(snap.qps > 0.0, "{exp}: qps");
+        assert!(!snap.stages.is_empty(), "{exp}: stages");
+        for stage in &snap.stages {
+            assert!(stage.count > 0, "{exp}/{}: empty stage", stage.stage);
+            assert!(
+                stage.p50_us <= stage.p99_us,
+                "{exp}/{}: p50 {} > p99 {}",
+                stage.stage,
+                stage.p50_us,
+                stage.p99_us
+            );
+        }
+    }
+    for exp in ["service", "sharding"] {
+        let body =
+            std::fs::read_to_string(bench_dir.join(format!("BENCH_{exp}.json"))).expect("read");
+        let snap: toppriv_obs::BenchSnapshot = serde_json::from_str(body.trim()).expect("parse");
+        for want in ["queue_wait", "shard_service", "gather", "cache_lookup"] {
+            // cache_lookup only exists when a cache is configured; the
+            // sharding cells run cache-off by design.
+            if exp == "sharding" && want == "cache_lookup" {
+                continue;
+            }
+            assert!(
+                snap.stages.iter().any(|s| s.stage == want),
+                "{exp}: stage '{want}' missing from {:?}",
+                snap.stages.iter().map(|s| &s.stage).collect::<Vec<_>>()
+            );
+        }
+        assert!(snap.shard_imbalance >= 1.0, "{exp}: imbalance");
+    }
+
+    std::env::remove_var("TOPPRIV_BENCH_DIR");
+    let _ = std::fs::remove_dir_all(&bench_dir);
 }

@@ -49,5 +49,8 @@ pub use metrics::{
     PrivacyMetrics,
 };
 pub use oblivious::{oblivious_fetch, CommutativeKey, ObliviousClient, ObliviousServer};
-pub use pacing::{merge_schedules, PacingConfig, PacingScheduler, PacingStrategy, ScheduledQuery};
+pub use pacing::{
+    merge_schedules, PacingConfig, PacingScheduler, PacingStrategy, ScheduledQuery,
+    M_PACING_GAP_US, M_PACING_GENUINE_DELAY_US,
+};
 pub use privacy::{PrivacyCertificate, PrivacyModelError, PrivacyRequirement};

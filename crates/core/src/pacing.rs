@@ -28,7 +28,26 @@ use crate::ghost::CycleResult;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use toppriv_obs::HistogramHandle;
 use tsearch_text::TermId;
+
+/// Histogram name: simulated inter-submission gap within a cycle (µs).
+///
+/// The spread of this distribution is the pacing jitter an on-path
+/// adversary observes; a degenerate (single-bucket) distribution means
+/// machine-regular gaps and a clean timing fingerprint.
+pub const M_PACING_GAP_US: &str = "pacing_gap_us";
+/// Histogram name: simulated delay the genuine query pays (µs).
+pub const M_PACING_GENUINE_DELAY_US: &str = "pacing_genuine_delay_us";
+
+/// Simulated seconds → whole microseconds, saturating at zero.
+fn secs_to_us(secs: f64) -> u64 {
+    if secs <= 0.0 {
+        0
+    } else {
+        (secs * 1e6).round() as u64
+    }
+}
 
 /// How a cycle's queries are spread over time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -94,6 +113,8 @@ pub struct PacingScheduler {
     config: PacingConfig,
     rng: StdRng,
     next_cycle_id: usize,
+    gap_us: HistogramHandle,
+    genuine_delay_us: HistogramHandle,
 }
 
 impl PacingScheduler {
@@ -105,10 +126,15 @@ impl PacingScheduler {
             "jitter must be in [0, 1)"
         );
         let rng = StdRng::seed_from_u64(config.seed);
+        // Handles are prefetched once; schedule() never takes the
+        // registry lock.
+        let registry = toppriv_obs::global();
         PacingScheduler {
             config,
             rng,
             next_cycle_id: 0,
+            gap_us: registry.histogram(M_PACING_GAP_US, &[]),
+            genuine_delay_us: registry.histogram(M_PACING_GENUINE_DELAY_US, &[]),
         }
     }
 
@@ -138,6 +164,14 @@ impl PacingScheduler {
             })
             .collect();
         out.sort_by(|a, b| a.time_secs.partial_cmp(&b.time_secs).expect("finite time"));
+        // Pacing-jitter accounting: what the timing adversary sees
+        // (inter-arrival gaps) and what the user pays (genuine delay).
+        for w in out.windows(2) {
+            self.gap_us
+                .record(secs_to_us(w[1].time_secs - w[0].time_secs));
+        }
+        self.genuine_delay_us
+            .record(secs_to_us(Self::genuine_delay(&out, start_secs)));
         out
     }
 

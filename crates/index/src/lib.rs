@@ -31,5 +31,5 @@ pub use docstore::DocumentStore;
 pub use index::{IndexSizeBreakdown, InvertedIndex};
 pub use postings::{Posting, PostingsBuilder, PostingsList};
 pub use serialize::{decode_index, encode_index, IndexCodecError};
-pub use sharded::{ShardRouter, ShardedIndex};
+pub use sharded::{ShardRouter, ShardedIndex, M_SHARD_POSTINGS, M_SHARD_TERMS};
 pub use stats::{IndexStats, PIR_PAIR_BYTES};

@@ -23,6 +23,11 @@ use crate::postings::PostingsList;
 use serde::{Deserialize, Serialize};
 use tsearch_text::TermId;
 
+/// Gauge name: postings pairs owned by one shard (`shard` label).
+pub const M_SHARD_POSTINGS: &str = "index_shard_postings";
+/// Gauge name: terms with a non-empty list on one shard (`shard` label).
+pub const M_SHARD_TERMS: &str = "index_shard_terms";
+
 /// Maps terms to shards by a stable hash of the term id.
 ///
 /// The routing function is deterministic and build-independent: the same
@@ -137,18 +142,35 @@ impl ShardedIndex {
             .map(|_| vec![PostingsList::default(); num_terms])
             .collect();
         let mut shard_max_tfs: Vec<Vec<u32>> = (0..n).map(|_| vec![0u32; num_terms]).collect();
+        let mut shard_terms = vec![0i64; n];
         for (term, (list, max_tf)) in postings.into_iter().zip(max_tfs).enumerate() {
             let s = router.shard_of(term as TermId);
+            if !list.is_empty() {
+                shard_terms[s] += 1;
+            }
             shard_postings[s][term] = list;
             shard_max_tfs[s][term] = max_tf;
         }
-        let shards = shard_postings
+        let shards: Vec<InvertedIndex> = shard_postings
             .into_iter()
             .zip(shard_max_tfs)
             .map(|(postings, max_tfs)| {
                 InvertedIndex::from_parts(postings, doc_lens.clone(), total_tokens, max_tfs)
             })
             .collect();
+        // Publish the postings balance so operators can see term-hash skew
+        // without walking the index. Build is cold path; the registry lock
+        // here never touches query-time code.
+        let registry = toppriv_obs::global();
+        for (s, shard) in shards.iter().enumerate() {
+            let label = s.to_string();
+            registry
+                .gauge(M_SHARD_POSTINGS, &[("shard", &label)])
+                .set(shard.total_postings() as i64);
+            registry
+                .gauge(M_SHARD_TERMS, &[("shard", &label)])
+                .set(shard_terms[s]);
+        }
         ShardedIndex { router, shards }
     }
 

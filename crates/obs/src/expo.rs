@@ -1,0 +1,284 @@
+//! Exposition: Prometheus text, NDJSON, and `BENCH_*.json` snapshots.
+//!
+//! Two live renderings of a [`MetricsRegistry`]:
+//!
+//! - [`render_prometheus`] — the Prometheus text format (counters and
+//!   gauges as plain samples, histograms summary-style with `_count`,
+//!   `_sum`, and `quantile=` samples);
+//! - [`render_ndjson`] — one serialized [`MetricSnapshot`] per line,
+//!   the same payload `toppriv-serve`'s NDJSON `metrics` command and
+//!   `--metrics-interval` emitter use.
+//!
+//! Plus the benchmark trail: [`BenchSnapshot`] is the machine-readable
+//! record an experiment writes via [`write_bench_snapshot`], landing as
+//! `BENCH_<experiment>.json` in the current directory (or
+//! `$TOPPRIV_BENCH_DIR` when set, which the test suites use to keep the
+//! tree clean).
+
+use crate::hist::Histogram;
+use crate::registry::{Label, MetricSnapshot, MetricValue, MetricsRegistry};
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[Label], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|l| format!("{}=\"{}\"", l.key, escape_label_value(&l.value)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+///
+/// ```
+/// let reg = toppriv_obs::MetricsRegistry::new();
+/// reg.counter("submits_total", &[("shard", "0")]).add(5);
+/// let text = toppriv_obs::render_prometheus(&reg);
+/// assert!(text.contains("submits_total{shard=\"0\"} 5"));
+/// ```
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for snap in registry.snapshot() {
+        match &snap.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    snap.name,
+                    render_labels(&snap.labels, None),
+                    v
+                ));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    snap.name,
+                    render_labels(&snap.labels, None),
+                    v
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    snap.name,
+                    render_labels(&snap.labels, None),
+                    h.count
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    snap.name,
+                    render_labels(&snap.labels, None),
+                    h.sum
+                ));
+                for (q, v) in [
+                    ("0.5", h.p50),
+                    ("0.9", h.p90),
+                    ("0.99", h.p99),
+                    ("0.999", h.p999),
+                ] {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        snap.name,
+                        render_labels(&snap.labels, Some(("quantile", q))),
+                        v
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the registry as NDJSON: one [`MetricSnapshot`] JSON object
+/// per line, in registry (name, labels) order.
+pub fn render_ndjson(registry: &MetricsRegistry) -> Vec<String> {
+    registry
+        .snapshot()
+        .iter()
+        .filter_map(|snap| serde_json::to_string(snap).ok())
+        .collect()
+}
+
+/// Parses one NDJSON line back into a [`MetricSnapshot`].
+pub fn parse_ndjson_line(line: &str) -> Result<MetricSnapshot, String> {
+    serde_json::from_str(line).map_err(|e| format!("{e:?}"))
+}
+
+/// Per-stage latency statistics inside a [`BenchSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stage name (`queue_wait`, `shard_service`, `gather`,
+    /// `cache_lookup`, ...).
+    pub stage: String,
+    /// Samples recorded for this stage.
+    pub count: u64,
+    /// Median latency in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+}
+
+impl StageStats {
+    /// Summarizes a stage from its histogram.
+    pub fn from_histogram(stage: impl Into<String>, h: &Histogram) -> Self {
+        StageStats {
+            stage: stage.into(),
+            count: h.count(),
+            p50_us: h.percentile(0.50),
+            p99_us: h.percentile(0.99),
+            mean_us: h.mean(),
+        }
+    }
+}
+
+/// The machine-readable record of one benchmark run, written as
+/// `BENCH_<experiment>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// Experiment name (`service`, `sharding`, `staleness`, ...).
+    pub experiment: String,
+    /// Host logical core count at run time.
+    pub host_cores: usize,
+    /// Sustained submissions per second over the measured run.
+    pub qps: f64,
+    /// Result-cache hit rate over the run (0 when the cache is off).
+    pub cache_hit_rate: f64,
+    /// Per-shard load imbalance: max over mean of per-shard submit
+    /// counts (1.0 = perfectly balanced; 0 when unsharded/unknown).
+    pub shard_imbalance: f64,
+    /// Per-stage latency breakdown.
+    pub stages: Vec<StageStats>,
+    /// Free-form run description (scale, cell parameters).
+    pub notes: String,
+}
+
+impl BenchSnapshot {
+    /// A snapshot skeleton with host cores pre-filled.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        BenchSnapshot {
+            experiment: experiment.into(),
+            host_cores: host_cores(),
+            qps: 0.0,
+            cache_hit_rate: 0.0,
+            shard_imbalance: 0.0,
+            stages: Vec::new(),
+            notes: String::new(),
+        }
+    }
+}
+
+/// Logical cores available to this process.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Max-over-mean imbalance of per-shard counts (0 for empty input).
+pub fn imbalance(per_shard: &[u64]) -> f64 {
+    if per_shard.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = per_shard.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / per_shard.len() as f64;
+    *per_shard.iter().max().unwrap() as f64 / mean
+}
+
+/// Directory `BENCH_*.json` files land in: `$TOPPRIV_BENCH_DIR` when
+/// set, else the current directory.
+pub fn bench_dir() -> PathBuf {
+    std::env::var_os("TOPPRIV_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Serializes `snapshot` to `BENCH_<experiment>.json` in [`bench_dir`]
+/// and returns the path written.
+pub fn write_bench_snapshot(snapshot: &BenchSnapshot) -> std::io::Result<PathBuf> {
+    let path = bench_dir().join(format!("BENCH_{}.json", snapshot.experiment));
+    let json = serde_json::to_string(snapshot)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_renders_all_metric_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("subs_total", &[("shard", "2")]).add(9);
+        reg.gauge("depth", &[]).set(-1);
+        reg.histogram("lat_us", &[("stage", "gather")]).record(50);
+        let text = render_prometheus(&reg);
+        assert!(text.contains("subs_total{shard=\"2\"} 9"));
+        assert!(text.contains("depth -1"));
+        assert!(text.contains("lat_us_count{stage=\"gather\"} 1"));
+        assert!(text.contains("lat_us_sum{stage=\"gather\"} 50"));
+        assert!(text.contains("lat_us{stage=\"gather\",quantile=\"0.99\"} 50"));
+    }
+
+    #[test]
+    fn ndjson_roundtrips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", &[("shard", "0")]).add(3);
+        reg.histogram("b_us", &[]).record(77);
+        let lines = render_ndjson(&reg);
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let snap = parse_ndjson_line(line).unwrap();
+            assert!(!snap.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn bench_snapshot_writes_and_parses() {
+        let dir = std::env::temp_dir().join(format!("toppriv-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("TOPPRIV_BENCH_DIR", &dir);
+        let h = Histogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let mut snap = BenchSnapshot::new("unit");
+        snap.qps = 123.0;
+        snap.stages.push(StageStats::from_histogram("gather", &h));
+        let path = write_bench_snapshot(&snap).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let back: BenchSnapshot = serde_json::from_str(body.trim()).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.host_cores >= 1);
+        std::env::remove_var("TOPPRIV_BENCH_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[0, 0]), 0.0);
+        assert!((imbalance(&[10, 10, 10, 10]) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&[30, 10]) - 1.5).abs() < 1e-12);
+    }
+}

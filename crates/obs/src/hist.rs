@@ -1,0 +1,374 @@
+//! Log-linear HDR-style histograms.
+//!
+//! [`Histogram`] records `u64` values (latencies in microseconds, sizes,
+//! counts — any non-negative magnitude) into a fixed set of buckets laid
+//! out log-linearly, the scheme HdrHistogram made standard:
+//!
+//! - values below [`SUBBUCKETS`] land in their own exact bucket;
+//! - every power-of-two range above that is split into [`SUBBUCKETS`]
+//!   linear sub-buckets, so the relative bucket width is `1/SUBBUCKETS`
+//!   everywhere.
+//!
+//! That gives three properties the old bounded-reservoir sample lacked:
+//!
+//! - **bounded memory, always**: [`NUM_BUCKETS`] `u64` counters
+//!   (~30 KiB) cover the whole `u64` range, no sampling, no decay;
+//! - **bounded error**: any reported percentile is the midpoint of the
+//!   bucket holding the true rank value, so it deviates from the exact
+//!   sorted-sample percentile by at most one bucket width — a relative
+//!   error of at most `1/SUBBUCKETS` (≈1.6%, ≈0.8% typical), and *zero*
+//!   below 2·[`SUBBUCKETS`] where buckets are exact. The property test
+//!   in `tests/hist_props.rs` holds this bound over random streams;
+//! - **mergeable**: two histograms over the same layout merge by adding
+//!   counts, so per-shard or per-thread histograms roll up losslessly.
+//!
+//! Recording is lock-free: every counter is a relaxed [`AtomicU64`], so
+//! a panicked worker can never poison the latency path (the failure mode
+//! the old `Mutex<Reservoir>` had).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two range (also the exact-bucket
+/// threshold: values `< SUBBUCKETS` are recorded exactly).
+pub const SUBBUCKETS: u64 = 64;
+const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros();
+/// Total bucket count covering the whole `u64` value range.
+pub const NUM_BUCKETS: usize = (SUBBUCKETS as usize) * (64 - SUB_BITS as usize + 1);
+
+/// The documented relative-error bound of any reported percentile.
+pub const RELATIVE_ERROR: f64 = 1.0 / SUBBUCKETS as f64;
+
+/// A lock-free log-linear histogram.
+///
+/// ## Example
+///
+/// ```
+/// use toppriv_obs::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in [10, 20, 30, 40, 50] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.percentile(0.5), 30); // small values are exact
+/// assert_eq!(h.max(), 50);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of `v` (log-linear layout).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUBBUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) - SUBBUCKETS) as usize;
+    (((msb - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+}
+
+/// Representative (midpoint) value of bucket `index`.
+#[inline]
+fn bucket_value(index: usize) -> u64 {
+    if index < SUBBUCKETS as usize {
+        return index as u64;
+    }
+    let shift = (index >> SUB_BITS) as u32 - 1;
+    let sub = (index & (SUBBUCKETS as usize - 1)) as u64;
+    let lo = (SUBBUCKETS + sub) << shift;
+    lo + ((1u64 << shift) >> 1)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free; safe from any thread.
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty). Exact.
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded value. Exact.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-th percentile (`q` in `[0, 1]`, nearest-rank) — the
+    /// representative value of the bucket holding that rank, so within
+    /// [`RELATIVE_ERROR`] of the exact sorted-sample percentile and
+    /// exact for values below `2 × SUBBUCKETS`. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Clamp the midpoint into the observed range so p100
+                // never exceeds the true maximum.
+                return bucket_value(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Adds every count of `other` into `self` (the merge is exact: both
+    /// histograms share one global bucket layout).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter().zip(&other.counts) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c > 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Zeroes every counter (used between experiment cells; concurrent
+    /// recorders may interleave, which only smears counts, never corrupts
+    /// the structure).
+    pub fn clear(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A serializable summary (count, sum, min/max, standard quantiles).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+        }
+    }
+}
+
+/// Serializable point-in-time summary of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Mean recorded value.
+    pub mean: f64,
+    /// Smallest recorded value (exact).
+    pub min: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+    /// Median (within [`RELATIVE_ERROR`]).
+    pub p50: u64,
+    /// 90th percentile (within [`RELATIVE_ERROR`]).
+    pub p90: u64,
+    /// 99th percentile (within [`RELATIVE_ERROR`]).
+    pub p99: u64,
+    /// 99.9th percentile (within [`RELATIVE_ERROR`]).
+    pub p999: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.percentile(0.5), 50);
+        assert_eq!(h.percentile(0.99), 100);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_is_bounded() {
+        for v in [
+            1u64,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            4096,
+            123_456,
+            7_654_321,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let rep = bucket_value(bucket_index(v));
+            let err = rep.abs_diff(v) as f64;
+            assert!(
+                err <= (v as f64) * RELATIVE_ERROR + 1.0,
+                "value {v}: representative {rep} off by {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_at_boundaries() {
+        let mut prev = 0usize;
+        for exp in 0..63u32 {
+            for v in [
+                (1u64 << exp).saturating_sub(1),
+                1u64 << exp,
+                (1u64 << exp) + 1,
+            ] {
+                let i = bucket_index(v);
+                assert!(i >= prev || v < SUBBUCKETS, "non-monotone at {v}");
+                assert!(i < NUM_BUCKETS);
+                prev = i.max(prev);
+            }
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v + 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), 0);
+        assert!(a.max() >= 1099);
+        assert!(a.percentile(0.25) < 100);
+        assert!(a.percentile(0.75) >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v * 17);
+        }
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        h.record(42);
+        assert_eq!(h.percentile(0.5), 42);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let h = Histogram::new();
+        for v in [5u64, 500, 50_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + (i % 97));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+    }
+}

@@ -1,0 +1,210 @@
+//! Lightweight trace spans and the ring-buffer event journal.
+//!
+//! A [`Tracer`] issues [`Span`] guards: each carries a process-unique id
+//! and its parent's id, and on drop records a [`SpanEvent`] (name, id,
+//! parent, start offset, duration) into a fixed-size ring journal. The
+//! journal is lock-free-ish: a single atomic head reserves slots, and
+//! each slot has its own tiny mutex, so concurrent recorders from many
+//! threads never contend on a global lock and a panicked recorder
+//! poisons at most one slot (which the reader recovers from).
+//!
+//! ```
+//! let tracer = toppriv_obs::Tracer::new(64);
+//! {
+//!     let cycle = tracer.span("plan_cycle");
+//!     let _child = cycle.child("formulate");
+//! } // both record on drop, child first
+//! let events = tracer.events();
+//! assert_eq!(events.len(), 2);
+//! assert_eq!(events[0].name, "formulate");
+//! assert_eq!(events[1].name, "plan_cycle");
+//! assert_eq!(events[0].parent, events[1].id);
+//! ```
+
+use crate::recover_lock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A completed span, as stored in the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Journal sequence number (recording order).
+    pub seq: u64,
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Parent span id, or [`ROOT`] for a root span.
+    pub parent: u64,
+    /// Static span name (see the taxonomy in ARCHITECTURE.md).
+    pub name: &'static str,
+    /// Start offset from the tracer's epoch, in microseconds.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// The parent id of a root span.
+pub const ROOT: u64 = 0;
+
+/// Issues spans and journals their completion events.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    head: AtomicUsize,
+    slots: Vec<Mutex<Option<SpanEvent>>>,
+}
+
+impl Tracer {
+    /// A tracer whose journal keeps the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Tracer {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+            head: AtomicUsize::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Starts a root span. The event is journaled when the guard drops.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        self.start(name, ROOT)
+    }
+
+    fn start(&self, name: &'static str, parent: u64) -> Span<'_> {
+        Span {
+            tracer: self,
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    fn record(&self, id: u64, parent: u64, name: &'static str, start: Instant) {
+        let now = Instant::now();
+        let start_us = start.duration_since(self.epoch).as_micros() as u64;
+        let dur_us = now.duration_since(start).as_micros() as u64;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let slot = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        *recover_lock(&self.slots[slot]) = Some(SpanEvent {
+            seq,
+            id,
+            parent,
+            name,
+            start_us,
+            dur_us,
+        });
+    }
+
+    /// Every journaled event, oldest first (by sequence number). At most
+    /// `capacity` events are retained; older ones are overwritten.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let mut out: Vec<SpanEvent> = self
+            .slots
+            .iter()
+            .filter_map(|s| recover_lock(s).clone())
+            .collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Total spans recorded since creation (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Clears the journal (span ids keep increasing).
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            *recover_lock(slot) = None;
+        }
+    }
+}
+
+/// A live span. Records its [`SpanEvent`] into the tracer's journal when
+/// dropped; children created via [`Span::child`] link back by id.
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span<'_> {
+    /// This span's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The parent span id ([`ROOT`] if none).
+    pub fn parent(&self) -> u64 {
+        self.parent
+    }
+
+    /// Starts a child span of this one.
+    pub fn child(&self, name: &'static str) -> Span<'_> {
+        self.tracer.start(name, self.id)
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.tracer
+            .record(self.id, self.parent, self.name, self.start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_parents_link() {
+        let t = Tracer::new(16);
+        let a = t.span("a");
+        let b = a.child("b");
+        let c = b.child("c");
+        assert_ne!(a.id(), b.id());
+        assert_eq!(b.parent(), a.id());
+        assert_eq!(c.parent(), b.id());
+        drop(c);
+        drop(b);
+        drop(a);
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        // Children drop (and so record) before their parents.
+        assert_eq!(events[0].name, "c");
+        assert_eq!(events[2].name, "a");
+        assert_eq!(events[2].parent, ROOT);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let t = Tracer::new(4);
+        for _ in 0..10 {
+            let _s = t.span("x");
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(events.last().unwrap().seq, 9);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn clear_empties_journal() {
+        let t = Tracer::new(8);
+        {
+            let _s = t.span("x");
+        }
+        assert_eq!(t.events().len(), 1);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: histogram percentiles track exact sorted-sample
+//! percentiles within the documented relative error.
+
+use proptest::prelude::*;
+use toppriv_obs::{Histogram, RELATIVE_ERROR};
+
+/// Exact nearest-rank percentile over a sorted copy of `values`.
+fn exact_percentile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let rank = ((n as f64 * q).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// The histogram reports the representative of the bucket holding the
+/// exact value, so it must sit within one bucket width of it.
+fn assert_within_bound(approx: u64, exact: u64, q: f64) {
+    let bound = (exact as f64 * RELATIVE_ERROR).max(1.0);
+    let err = approx.abs_diff(exact) as f64;
+    assert!(
+        err <= bound,
+        "q={q}: histogram {approx} vs exact {exact} (err {err} > bound {bound})"
+    );
+}
+
+proptest! {
+    #[test]
+    fn percentiles_match_exact_small_values(
+        values in proptest::collection::vec(0u64..256, 1..400)
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            assert_within_bound(h.percentile(q), exact_percentile(&values, q), q);
+        }
+    }
+
+    #[test]
+    fn percentiles_match_exact_wide_range(
+        values in proptest::collection::vec(0u64..10_000_000, 1..400)
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.05, 0.50, 0.95, 0.99] {
+            assert_within_bound(h.percentile(q), exact_percentile(&values, q), q);
+        }
+    }
+
+    #[test]
+    fn percentiles_match_exact_heavy_tail(
+        small in proptest::collection::vec(1u64..100, 1..200),
+        large in proptest::collection::vec(1_000_000u64..1_000_000_000, 1..20)
+    ) {
+        let mut values = small.clone();
+        values.extend(&large);
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.50, 0.90, 0.99, 1.0] {
+            assert_within_bound(h.percentile(q), exact_percentile(&values, q), q);
+        }
+    }
+
+    #[test]
+    fn count_sum_min_max_are_exact(
+        values in proptest::collection::vec(0u64..1_000_000, 1..300)
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_recording_union(
+        a in proptest::collection::vec(0u64..1_000_000, 1..150),
+        b in proptest::collection::vec(0u64..1_000_000, 1..150)
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hu = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.sum(), hu.sum());
+        for q in [0.25, 0.50, 0.75, 0.99] {
+            prop_assert_eq!(ha.percentile(q), hu.percentile(q));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Span parent/child ordering must survive concurrent recording.
+//!
+//! Eight-plus threads each build a three-deep span tree in a loop; the
+//! journal must come out with unique ids, correct parent links (every
+//! non-root event's parent id belongs to the same thread's enclosing
+//! span), and child-before-parent completion order per tree.
+
+use std::collections::HashMap;
+use toppriv_obs::{Tracer, ROOT};
+
+const THREADS: usize = 8;
+const TREES_PER_THREAD: usize = 50;
+
+#[test]
+fn parent_child_ordering_survives_concurrent_recording() {
+    // Capacity holds every event: THREADS * TREES * 3 spans per tree.
+    let tracer = Tracer::new(THREADS * TREES_PER_THREAD * 3);
+
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..TREES_PER_THREAD {
+                    let root = tracer.span("root");
+                    let mid = root.child("mid");
+                    let leaf = mid.child("leaf");
+                    drop(leaf);
+                    drop(mid);
+                    drop(root);
+                }
+            });
+        }
+    });
+
+    let events = tracer.events();
+    assert_eq!(events.len(), THREADS * TREES_PER_THREAD * 3);
+
+    // Ids are unique across all threads.
+    let mut by_id = HashMap::new();
+    for e in &events {
+        assert!(
+            by_id.insert(e.id, e.clone()).is_none(),
+            "duplicate id {}",
+            e.id
+        );
+    }
+
+    // Every non-root event links to a real parent with the right name,
+    // and (since children drop first) the child's journal sequence
+    // precedes its parent's.
+    let expected_parent_name: HashMap<&str, &str> = [("leaf", "mid"), ("mid", "root")].into();
+    for e in &events {
+        match e.name {
+            "root" => assert_eq!(e.parent, ROOT),
+            name => {
+                let parent = by_id
+                    .get(&e.parent)
+                    .unwrap_or_else(|| panic!("{name} span {} has no parent {}", e.id, e.parent));
+                assert_eq!(parent.name, expected_parent_name[name]);
+                assert!(
+                    e.seq < parent.seq,
+                    "{name} (seq {}) must journal before its parent (seq {})",
+                    e.seq,
+                    parent.seq
+                );
+                // Parent spans open before their children.
+                assert!(parent.id < e.id);
+                assert!(parent.start_us <= e.start_us);
+            }
+        }
+    }
+}
+
+#[test]
+fn ring_overwrite_under_concurrency_keeps_latest() {
+    // Journal far smaller than the event volume: only the newest events
+    // survive, in sequence order, with no torn slots.
+    let tracer = Tracer::new(64);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..500 {
+                    let _sp = tracer.span("hot");
+                }
+            });
+        }
+    });
+    assert_eq!(tracer.recorded(), 8 * 500);
+    let events = tracer.events();
+    assert!(!events.is_empty() && events.len() <= 64);
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+}

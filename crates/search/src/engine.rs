@@ -10,10 +10,15 @@ use crate::query::Query;
 use crate::score::ScoringModel;
 use crate::topk::{SearchHit, TopK};
 use std::sync::Mutex;
+use std::time::Instant;
+use toppriv_obs::HistogramHandle;
 use tsearch_index::{DocumentStore, InvertedIndex};
 use tsearch_text::{Analyzer, TermId, Vocabulary};
 
 pub use crate::log::LoggedQuery;
+
+/// Metric name: single-engine accumulation latency per query (µs).
+pub const M_EVAL_US: &str = "engine_eval_us";
 
 /// The search engine: index + document store + scorer + query log.
 pub struct SearchEngine {
@@ -25,6 +30,12 @@ pub struct SearchEngine {
     /// Precomputed per-document vector norms for cosine scoring.
     doc_norms: Vec<f64>,
     log: Mutex<QueryLog>,
+    /// Accumulation-phase latency (global registry handle).
+    eval_us: HistogramHandle,
+    /// Rank-phase latency, under the same [`crate::sharded::M_GATHER_US`]
+    /// name the sharded gather uses — the "gather" stage exists on every
+    /// tier.
+    gather_us: HistogramHandle,
 }
 
 impl SearchEngine {
@@ -37,6 +48,7 @@ impl SearchEngine {
         model: ScoringModel,
     ) -> Self {
         let doc_norms = compute_doc_norms(&index, model);
+        let registry = toppriv_obs::global();
         SearchEngine {
             index,
             store,
@@ -45,6 +57,8 @@ impl SearchEngine {
             model,
             doc_norms,
             log: Mutex::new(QueryLog::new()),
+            eval_us: registry.histogram(M_EVAL_US, &[]),
+            gather_us: registry.histogram(crate::sharded::M_GATHER_US, &[]),
         }
     }
 
@@ -85,6 +99,7 @@ impl SearchEngine {
     /// Scores a query without logging it — used by evaluation code that
     /// must not contaminate the adversary-visible trace.
     pub fn evaluate(&self, query: &Query, k: usize) -> Vec<SearchHit> {
+        let t0 = Instant::now();
         let mut accumulators: std::collections::HashMap<u32, f64> =
             std::collections::HashMap::new();
         let avg_len = self.index.avg_doc_len();
@@ -98,6 +113,8 @@ impl SearchEngine {
                 &mut accumulators,
             );
         }
+        self.eval_us.record(t0.elapsed().as_micros() as u64);
+        let t1 = Instant::now();
         let mut topk = TopK::new(k);
         for (doc_id, mut score) in accumulators {
             if self.model.needs_cosine_norm() {
@@ -108,7 +125,9 @@ impl SearchEngine {
             }
             topk.push(SearchHit { doc_id, score });
         }
-        topk.into_sorted()
+        let hits = topk.into_sorted();
+        self.gather_us.record(t1.elapsed().as_micros() as u64);
+        hits
     }
 
     /// Top-k evaluation with the MaxScore (quit/continue) optimization.

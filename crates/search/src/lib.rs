@@ -37,10 +37,10 @@ pub mod sharded;
 pub mod topk;
 
 pub use boolean::{evaluate_boolean, gallop_intersect, BooleanQuery};
-pub use engine::SearchEngine;
+pub use engine::{SearchEngine, M_EVAL_US};
 pub use eval::{average_precision, precision_at_k, recall_at_k, result_lists_identical};
 pub use log::{LoggedQuery, QueryLog};
 pub use query::Query;
 pub use score::ScoringModel;
-pub use sharded::ShardedEngine;
+pub use sharded::{ShardedEngine, M_GATHER_US, M_SHARD_EVAL_US};
 pub use topk::{SearchHit, TopK};

@@ -36,8 +36,18 @@ use crate::topk::{SearchHit, TopK};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+use toppriv_obs::HistogramHandle;
 use tsearch_index::{DocumentStore, ShardRouter, ShardedIndex};
 use tsearch_text::{Analyzer, TermId, Vocabulary};
+
+/// Metric name: per-shard scatter latency — one shard's accumulation
+/// for one query (µs), labeled `shard=`.
+pub const M_SHARD_EVAL_US: &str = "engine_shard_eval_us";
+/// Metric name: gather latency — merging partials and ranking top-k
+/// (µs). Also recorded by the single engine's rank phase, so the stage
+/// exists on unsharded tiers too.
+pub const M_GATHER_US: &str = "engine_gather_us";
 
 /// A search engine whose postings are term-sharded across N independent
 /// slices, each with its own query log.
@@ -53,6 +63,11 @@ pub struct ShardedEngine {
     next_ordinal: AtomicU64,
     /// One independently locked log per shard.
     logs: Vec<Mutex<QueryLog>>,
+    /// Per-shard scatter-latency histograms (global registry handles,
+    /// prefetched so the query path never touches the registry lock).
+    shard_eval_us: Vec<HistogramHandle>,
+    /// Gather-latency histogram.
+    gather_us: HistogramHandle,
 }
 
 impl ShardedEngine {
@@ -68,6 +83,11 @@ impl ShardedEngine {
         let logs = (0..index.num_shards())
             .map(|_| Mutex::new(QueryLog::new()))
             .collect();
+        let registry = toppriv_obs::global();
+        let shard_eval_us = (0..index.num_shards())
+            .map(|s| registry.histogram(M_SHARD_EVAL_US, &[("shard", &s.to_string())]))
+            .collect();
+        let gather_us = registry.histogram(M_GATHER_US, &[]);
         ShardedEngine {
             index,
             store,
@@ -77,6 +97,8 @@ impl ShardedEngine {
             doc_norms,
             next_ordinal: AtomicU64::new(0),
             logs,
+            shard_eval_us,
+            gather_us,
         }
     }
 
@@ -133,16 +155,23 @@ impl ShardedEngine {
         let shards = self.index.shard_set(query.terms().map(|(t, _)| t));
         let mut accumulators: HashMap<u32, f64> = HashMap::new();
         for &s in &shards {
+            let t0 = Instant::now();
             self.accumulate_shard(s, query, &mut accumulators);
+            self.shard_eval_us[s].record(t0.elapsed().as_micros() as u64);
         }
-        self.rank(accumulators, k)
+        let t0 = Instant::now();
+        let hits = self.rank(accumulators, k);
+        self.gather_us.record(t0.elapsed().as_micros() as u64);
+        hits
     }
 
     /// Scatter step: the partial (unnormalized) score contributions of
     /// shard `shard_id`'s terms, as its worker pool would compute them.
     pub fn shard_partials(&self, shard_id: usize, query: &Query) -> HashMap<u32, f64> {
+        let t0 = Instant::now();
         let mut partials = HashMap::new();
         self.accumulate_shard(shard_id, query, &mut partials);
+        self.shard_eval_us[shard_id].record(t0.elapsed().as_micros() as u64);
         partials
     }
 
@@ -154,13 +183,16 @@ impl ShardedEngine {
         partials: impl IntoIterator<Item = HashMap<u32, f64>>,
         k: usize,
     ) -> Vec<SearchHit> {
+        let t0 = Instant::now();
         let mut accumulators: HashMap<u32, f64> = HashMap::new();
         for partial in partials {
             for (doc_id, score) in partial {
                 *accumulators.entry(doc_id).or_insert(0.0) += score;
             }
         }
-        self.rank(accumulators, k)
+        let hits = self.rank(accumulators, k);
+        self.gather_us.record(t0.elapsed().as_micros() as u64);
+        hits
     }
 
     /// Accumulates shard `shard_id`'s contribution for `query` into

@@ -35,9 +35,46 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use toppriv_obs::{Counter, HistogramHandle, MetricsRegistry};
 use tsearch_search::SearchHit;
 use tsearch_text::TermId;
+
+/// Metric name: per-cache-shard lookup hits.
+pub const M_CACHE_SHARD_HITS: &str = "cache_hits_total";
+/// Metric name: per-cache-shard lookup misses.
+pub const M_CACHE_SHARD_MISSES: &str = "cache_misses_total";
+/// Metric name: per-cache-shard LRU evictions.
+pub const M_CACHE_EVICTIONS: &str = "cache_evictions_total";
+/// Metric name: cache lookup latency histogram (µs).
+pub const M_CACHE_LOOKUP_US: &str = "cache_lookup_us";
+
+/// Registry handles the cache publishes into when bound via
+/// [`ResultCache::with_registry`]: per-shard hit/miss/eviction counters
+/// plus one lookup-latency histogram.
+struct CacheObs {
+    hits: Vec<Counter>,
+    misses: Vec<Counter>,
+    evictions: Vec<Counter>,
+    lookup_us: HistogramHandle,
+}
+
+impl CacheObs {
+    fn new(registry: &MetricsRegistry, shards: usize) -> Self {
+        let per_shard = |name: &str| -> Vec<Counter> {
+            (0..shards)
+                .map(|s| registry.counter(name, &[("shard", &s.to_string())]))
+                .collect()
+        };
+        CacheObs {
+            hits: per_shard(M_CACHE_SHARD_HITS),
+            misses: per_shard(M_CACHE_SHARD_MISSES),
+            evictions: per_shard(M_CACHE_EVICTIONS),
+            lookup_us: registry.histogram(M_CACHE_LOOKUP_US, &[]),
+        }
+    }
+}
 
 /// Normalized cache key: sorted tokens + requested depth.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -126,16 +163,19 @@ impl Shard {
         Some(self.slots[slot].hits.clone())
     }
 
-    fn insert(&mut self, key: CacheKey, hits: Vec<SearchHit>) {
+    /// Inserts (or refreshes) an entry; returns whether an existing
+    /// entry had to be evicted to make room.
+    fn insert(&mut self, key: CacheKey, hits: Vec<SearchHit>) -> bool {
         if self.capacity == 0 {
-            return;
+            return false;
         }
         if let Some(&slot) = self.index.get(&key) {
             self.slots[slot].hits = hits;
             self.unlink(slot);
             self.link_front(slot);
-            return;
+            return false;
         }
+        let mut evicted = false;
         if self.index.len() >= self.capacity {
             // Evict the least recently used entry of this shard.
             let victim = self.tail;
@@ -143,6 +183,7 @@ impl Shard {
             let old_key = self.slots[victim].key.clone();
             self.index.remove(&old_key);
             self.free.push(victim);
+            evicted = true;
         }
         let slot = match self.free.pop() {
             Some(s) => {
@@ -166,6 +207,7 @@ impl Shard {
         };
         self.index.insert(key, slot);
         self.link_front(slot);
+        evicted
     }
 
     fn len(&self) -> usize {
@@ -195,6 +237,8 @@ pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    capacity: usize,
+    obs: Option<CacheObs>,
 }
 
 /// Default shard count (capacity permitting).
@@ -217,35 +261,63 @@ impl ResultCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            capacity,
+            obs: None,
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
-        &self.shards[key.shard_of(self.shards.len())]
+    /// Binds the cache to a metrics registry: per-shard
+    /// [`M_CACHE_SHARD_HITS`] / [`M_CACHE_SHARD_MISSES`] /
+    /// [`M_CACHE_EVICTIONS`] counters and the [`M_CACHE_LOOKUP_US`]
+    /// latency histogram publish there on every lookup.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.obs = Some(CacheObs::new(&registry, self.shards.len()));
+        self
+    }
+
+    /// The configured total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn shard(&self, key: &CacheKey) -> (usize, &Mutex<Shard>) {
+        let s = key.shard_of(self.shards.len());
+        (s, &self.shards[s])
     }
 
     /// Looks up a normalized query, refreshing its recency.
     pub fn get(&self, tokens: &[TermId], k: usize) -> Option<Vec<SearchHit>> {
+        let t0 = Instant::now();
         let key = CacheKey::new(tokens, k);
-        let found = self
-            .shard(&key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(&key);
+        let (s, shard) = self.shard(&key);
+        let found = shard.lock().expect("cache shard poisoned").get(&key);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
+        if let Some(obs) = &self.obs {
+            obs.lookup_us.record(t0.elapsed().as_micros() as u64);
+            match &found {
+                Some(_) => obs.hits[s].inc(),
+                None => obs.misses[s].inc(),
+            }
+        }
         found
     }
 
     /// Inserts (or refreshes) a result list.
     pub fn insert(&self, tokens: &[TermId], k: usize, hits: Vec<SearchHit>) {
         let key = CacheKey::new(tokens, k);
-        self.shard(&key)
+        let (s, shard) = self.shard(&key);
+        let evicted = shard
             .lock()
             .expect("cache shard poisoned")
             .insert(key, hits);
+        if evicted {
+            if let Some(obs) = &self.obs {
+                obs.evictions[s].inc();
+            }
+        }
     }
 
     /// Cache-through read: returns `(hits, was_cache_hit)`, computing and
@@ -413,6 +485,23 @@ mod tests {
         });
         assert!(cache.hits() > 0);
         assert!(cache.len() <= 64);
+    }
+
+    #[test]
+    fn registry_binding_publishes_per_shard_counts() {
+        let registry = Arc::new(MetricsRegistry::new());
+        // Single shard so hit/miss/eviction attribution is deterministic.
+        let cache = ResultCache::with_shards(2, 1).with_registry(registry.clone());
+        cache.insert(&[1], 10, vec![hit(1)]);
+        cache.insert(&[2], 10, vec![hit(2)]);
+        cache.insert(&[3], 10, vec![hit(3)]); // evicts [1]
+        assert!(cache.get(&[2], 10).is_some());
+        assert!(cache.get(&[1], 10).is_none());
+        assert_eq!(registry.counter_total(M_CACHE_SHARD_HITS), 1);
+        assert_eq!(registry.counter_total(M_CACHE_SHARD_MISSES), 1);
+        assert_eq!(registry.counter_total(M_CACHE_EVICTIONS), 1);
+        let lookups = registry.merged_histogram(M_CACHE_LOOKUP_US).unwrap();
+        assert_eq!(lookups.count(), 2);
     }
 
     #[test]

@@ -28,10 +28,14 @@
 //!
 //! [`ServiceMetrics`] tracks cache hit rate, global and per-shard queue
 //! depth, p50/p99 submit latency, and per-session privacy metrics
-//! (exposure, mask level, satisfied rate, trace exposure). The
-//! `toppriv-serve` binary exposes everything over newline-delimited JSON
-//! (stdin or TCP) and ships a synthetic multi-tenant demo (`--demo`,
-//! sharded with `--shards N`).
+//! (exposure, mask level, satisfied rate, trace exposure). Since PR 6
+//! all of it lives in a `toppriv_obs::MetricsRegistry` — lock-free
+//! counters/gauges plus log-linear HDR histograms — and the request
+//! lifecycle is traced (`plan_cycle`/`search` spans, scheduler `drain`
+//! with per-shard children). The `toppriv-serve` binary exposes
+//! everything over newline-delimited JSON (stdin or TCP; `MetricsNdjson`
+//! and `MetricsProm` dump the registry) and ships a synthetic
+//! multi-tenant demo (`--demo`, sharded with `--shards N`).
 //!
 //! ## Example
 //!
@@ -64,3 +68,7 @@ pub use scheduler::{CycleScheduler, PlannedQuery, SubmitOutcome};
 pub use server::{handle, serve_lines, serve_tcp};
 pub use session::{SearchOutcome, ServiceError, SessionConfig, SessionManager};
 pub use tier::SearchTier;
+
+// Re-export the observability substrate so service consumers can reach
+// the registry/exposition types without a separate dependency.
+pub use toppriv_obs as obs;

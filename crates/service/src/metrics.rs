@@ -1,130 +1,162 @@
 //! Service-wide observability.
 //!
-//! [`ServiceMetrics`] is the shared registry every subsystem reports
+//! [`ServiceMetrics`] is the shared front door every subsystem reports
 //! into: the cache (hit/miss), the cycle scheduler (queue depth, submit
 //! latency), and the session manager (per-session privacy counters).
-//! Snapshots are cheap and serializable, so the `metrics` op of the
-//! NDJSON protocol and the demo's final report both read from here.
+//! Since PR 6 the storage behind it is a [`toppriv_obs::MetricsRegistry`]
+//! — named counters/gauges/histograms over lock-free atomics — so the
+//! hot paths never take a lock that a panicked worker could poison, and
+//! the same registry feeds the NDJSON/Prometheus exposition in
+//! `toppriv-serve` and the `BENCH_*.json` writers in `toppriv-bench`.
+//!
+//! Submit latency lives in a log-linear HDR-style histogram
+//! ([`toppriv_obs::Histogram`]): bounded memory like the old
+//! Algorithm-R reservoir, but deterministic, mergeable, and within
+//! [`toppriv_obs::RELATIVE_ERROR`] on every percentile instead of
+//! sampling error.
+//!
+//! Each `ServiceMetrics::new()` gets a private registry so managers in
+//! tests and experiments stay isolated; `toppriv-serve` constructs one
+//! over [`toppriv_obs::global()`] so engine-layer metrics (scatter /
+//! gather, pacing) and service metrics expose through one endpoint.
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use toppriv_obs::{Counter, Gauge, HistogramHandle, MetricsRegistry};
 
-/// Shared counters and the submit-latency reservoir.
-#[derive(Debug, Default)]
+/// Metric name: total cycle members resolved.
+pub const M_SUBMITTED: &str = "service_submits_total";
+/// Metric name: resolutions served from the result cache.
+pub const M_CACHE_HITS: &str = "service_cache_hits_total";
+/// Metric name: resolutions that reached the engine.
+pub const M_CACHE_MISSES: &str = "service_cache_misses_total";
+/// Metric name: genuine queries served.
+pub const M_GENUINE: &str = "service_genuine_total";
+/// Metric name: ghost queries processed.
+pub const M_GHOSTS: &str = "service_ghosts_total";
+/// Metric name: scheduler queue depth (global gauge; with a `shard`
+/// label, the per-shard queue of the current drain).
+pub const M_QUEUE_DEPTH: &str = "scheduler_queue_depth";
+/// Metric name: high-water mark of the global queue depth.
+pub const M_QUEUE_DEPTH_MAX: &str = "scheduler_queue_depth_max";
+/// Metric name: submit resolution latency histogram (µs).
+pub const M_SUBMIT_US: &str = "service_submit_us";
+
+/// Shared counters and the submit-latency histogram, backed by a
+/// metrics registry.
+#[derive(Debug)]
 pub struct ServiceMetrics {
-    /// Queries submitted to the engine (cache misses included).
-    submitted: AtomicU64,
-    /// Cycle-member lookups served from the result cache.
-    cache_hits: AtomicU64,
-    /// Cycle-member lookups that reached the engine.
-    cache_misses: AtomicU64,
-    /// Genuine queries served.
-    genuine_served: AtomicU64,
-    /// Ghost queries processed.
-    ghosts_processed: AtomicU64,
-    /// Current scheduler queue depth.
-    queue_depth: AtomicUsize,
-    /// High-water mark of the queue depth.
-    max_queue_depth: AtomicUsize,
-    /// Per-shard queue depths, set by the scheduler when it partitions a
-    /// drain (written once per drain, not per submission — the per-shard
-    /// hot path stays lock-free).
-    shard_queue_depths: Mutex<Vec<usize>>,
-    /// Submit latencies in microseconds (engine or cache resolution
-    /// time), bounded reservoir sample.
-    latencies_us: Mutex<Reservoir>,
+    registry: Arc<MetricsRegistry>,
+    submitted: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    genuine_served: Counter,
+    ghosts_processed: Counter,
+    queue_depth: Gauge,
+    max_queue_depth: Gauge,
+    submit_us: HistogramHandle,
+    /// High-water count of per-shard depth gauges handed out, so
+    /// snapshots know how many `shard=` gauges to read back.
+    shards_seen: AtomicUsize,
 }
 
-/// Bounded uniform sample of a stream (Vitter's Algorithm R with a
-/// deterministic SplitMix64 in place of a thread RNG): memory stays
-/// [`Reservoir::CAP`] forever, so a long-running server never grows,
-/// and percentiles stay representative of the whole stream.
-#[derive(Debug, Default)]
-struct Reservoir {
-    samples: Vec<u64>,
-    seen: u64,
-}
-
-impl Reservoir {
-    /// Samples kept (8 KiB of u64s).
-    const CAP: usize = 8192;
-
-    fn record(&mut self, value: u64) {
-        self.seen += 1;
-        if self.samples.len() < Self::CAP {
-            self.samples.push(value);
-            return;
-        }
-        // Keep with probability CAP/seen, replacing a uniform victim.
-        let mut z = self.seen.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ value;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        let slot = z % self.seen;
-        if (slot as usize) < Self::CAP {
-            self.samples[slot as usize] = value;
-        }
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl ServiceMetrics {
-    /// A fresh registry.
+    /// A fresh, private registry (what tests and experiments want: no
+    /// cross-talk between managers).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(Arc::new(MetricsRegistry::new()))
     }
 
-    /// Records one resolved cycle member.
+    /// Metrics over an existing registry — pass
+    /// [`toppriv_obs::global()`]'s clone to unify service metrics with
+    /// the engine-layer instrumentation for exposition.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
+        ServiceMetrics {
+            submitted: registry.counter(M_SUBMITTED, &[]),
+            cache_hits: registry.counter(M_CACHE_HITS, &[]),
+            cache_misses: registry.counter(M_CACHE_MISSES, &[]),
+            genuine_served: registry.counter(M_GENUINE, &[]),
+            ghosts_processed: registry.counter(M_GHOSTS, &[]),
+            queue_depth: registry.gauge(M_QUEUE_DEPTH, &[]),
+            max_queue_depth: registry.gauge(M_QUEUE_DEPTH_MAX, &[]),
+            submit_us: registry.histogram(M_SUBMIT_US, &[]),
+            shards_seen: AtomicUsize::new(0),
+            registry,
+        }
+    }
+
+    /// The backing registry (for exposition and stage histograms).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Records one resolved cycle member. Entirely lock-free.
     pub fn record_submit(&self, latency_us: u64, cache_hit: bool, is_genuine: bool) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.inc();
         if cache_hit {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache_hits.inc();
         } else {
-            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.cache_misses.inc();
         }
         if is_genuine {
-            self.genuine_served.fetch_add(1, Ordering::Relaxed);
+            self.genuine_served.inc();
         } else {
-            self.ghosts_processed.fetch_add(1, Ordering::Relaxed);
+            self.ghosts_processed.inc();
         }
-        self.latencies_us
-            .lock()
-            .expect("latency reservoir poisoned")
-            .record(latency_us);
+        self.submit_us.record(latency_us);
     }
 
     /// Sets the instantaneous queue depth (and bumps the high-water mark).
     pub fn set_queue_depth(&self, depth: usize) {
-        self.queue_depth.store(depth, Ordering::Relaxed);
-        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.queue_depth.set(depth as i64);
+        self.max_queue_depth.fetch_max(depth as i64);
     }
 
     /// Current queue depth.
     pub fn queue_depth(&self) -> usize {
-        self.queue_depth.load(Ordering::Relaxed)
+        self.queue_depth.get().max(0) as usize
     }
 
-    /// Publishes the per-shard queue depths of the current drain.
-    pub fn set_shard_queue_depths(&self, depths: Vec<usize>) {
-        *self
-            .shard_queue_depths
-            .lock()
-            .expect("shard depths poisoned") = depths;
+    /// Hands out the per-shard queue-depth gauges for shards
+    /// `0..num_shards`. The scheduler fetches these once per drain and
+    /// then publishes depths with plain atomic stores — no allocation,
+    /// no mutex on the drain path (the old API replaced a whole
+    /// `Mutex<Vec<usize>>` per tick).
+    pub fn shard_depth_gauges(&self, num_shards: usize) -> Vec<Gauge> {
+        self.shards_seen.fetch_max(num_shards, Ordering::Relaxed);
+        (0..num_shards)
+            .map(|s| {
+                self.registry
+                    .gauge(M_QUEUE_DEPTH, &[("shard", &s.to_string())])
+            })
+            .collect()
     }
 
     /// Per-shard queue depths as last published by the scheduler (empty
     /// before any sharded drain ran).
     pub fn shard_queue_depths(&self) -> Vec<usize> {
-        self.shard_queue_depths
-            .lock()
-            .expect("shard depths poisoned")
-            .clone()
+        let n = self.shards_seen.load(Ordering::Relaxed);
+        (0..n)
+            .map(|s| {
+                self.registry
+                    .gauge(M_QUEUE_DEPTH, &[("shard", &s.to_string())])
+                    .get()
+                    .max(0) as usize
+            })
+            .collect()
     }
 
     /// Cache hit rate over all recorded submits.
     pub fn cache_hit_rate(&self) -> f64 {
-        let h = self.cache_hits.load(Ordering::Relaxed) as f64;
-        let m = self.cache_misses.load(Ordering::Relaxed) as f64;
+        let h = self.cache_hits.get() as f64;
+        let m = self.cache_misses.get() as f64;
         if h + m == 0.0 {
             0.0
         } else {
@@ -133,38 +165,22 @@ impl ServiceMetrics {
     }
 
     /// Snapshot of every global counter plus latency percentiles
-    /// (computed over the bounded reservoir sample).
+    /// (computed over the submit-latency histogram).
     pub fn snapshot(&self) -> GlobalMetrics {
-        let mut lat = self
-            .latencies_us
-            .lock()
-            .expect("latency reservoir poisoned")
-            .samples
-            .clone();
-        lat.sort_unstable();
         GlobalMetrics {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
             cache_hit_rate: self.cache_hit_rate(),
-            genuine_served: self.genuine_served.load(Ordering::Relaxed),
-            ghosts_processed: self.ghosts_processed.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            genuine_served: self.genuine_served.get(),
+            ghosts_processed: self.ghosts_processed.get(),
+            queue_depth: self.queue_depth(),
+            max_queue_depth: self.max_queue_depth.get().max(0) as usize,
             shard_queue_depths: self.shard_queue_depths(),
-            p50_submit_us: percentile(&lat, 0.50),
-            p99_submit_us: percentile(&lat, 0.99),
+            p50_submit_us: self.submit_us.percentile(0.50),
+            p99_submit_us: self.submit_us.percentile(0.99),
         }
     }
-}
-
-/// `p`-th percentile of an ascending-sorted sample (nearest-rank).
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
 }
 
 /// Serializable snapshot of the global counters.
@@ -244,6 +260,8 @@ mod tests {
         assert!((snap.cache_hit_rate - 0.3).abs() < 1e-12);
         assert_eq!(snap.genuine_served, 1);
         assert_eq!(snap.ghosts_processed, 9);
+        // Values below 2×SUBBUCKETS sit in exact histogram buckets, so
+        // these percentiles are exact, same as the old sorted sample.
         assert_eq!(snap.p50_submit_us, 50);
         assert_eq!(snap.p99_submit_us, 100);
     }
@@ -260,18 +278,24 @@ mod tests {
     }
 
     #[test]
-    fn latency_reservoir_is_bounded() {
+    fn latency_memory_is_bounded_and_tail_exact_enough() {
+        // The histogram covers the whole stream in fixed memory; unlike
+        // the old reservoir there is no sampling, so the p99 of a known
+        // stream is within the documented relative error.
         let m = ServiceMetrics::new();
-        for i in 0..(Reservoir::CAP as u64 * 4) {
+        let n = 32_768u64;
+        for i in 0..n {
             m.record_submit(i, false, false);
         }
-        let held = m.latencies_us.lock().unwrap().samples.len();
-        assert_eq!(held, Reservoir::CAP, "reservoir never exceeds its cap");
         let snap = m.snapshot();
-        assert_eq!(snap.submitted, Reservoir::CAP as u64 * 4);
-        // The sample spans the stream, not just its head: the reservoir
-        // must have admitted values from the later three quarters.
-        assert!(snap.p99_submit_us > Reservoir::CAP as u64);
+        assert_eq!(snap.submitted, n);
+        let exact_p99 = (n as f64 * 0.99).ceil() as u64 - 1;
+        let err = snap.p99_submit_us.abs_diff(exact_p99) as f64;
+        assert!(
+            err <= exact_p99 as f64 * toppriv_obs::RELATIVE_ERROR + 1.0,
+            "p99 {} vs exact {exact_p99}",
+            snap.p99_submit_us
+        );
     }
 
     #[test]
@@ -280,5 +304,29 @@ mod tests {
         assert_eq!(snap.p50_submit_us, 0);
         assert_eq!(snap.p99_submit_us, 0);
         assert_eq!(snap.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn shard_gauges_publish_depths() {
+        let m = ServiceMetrics::new();
+        assert!(m.shard_queue_depths().is_empty());
+        let gauges = m.shard_depth_gauges(3);
+        gauges[0].set(4);
+        gauges[2].set(9);
+        assert_eq!(m.shard_queue_depths(), vec![4, 0, 9]);
+        for g in &gauges {
+            g.set(0);
+        }
+        assert_eq!(m.snapshot().shard_queue_depths, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn registry_exposes_service_metrics() {
+        let m = ServiceMetrics::new();
+        m.record_submit(42, true, true);
+        assert_eq!(m.registry().counter_total(M_SUBMITTED), 1);
+        let text = toppriv_obs::render_prometheus(m.registry());
+        assert!(text.contains("service_submits_total 1"));
+        assert!(text.contains("service_submit_us_count 1"));
     }
 }

@@ -7,8 +7,16 @@
 //! {"op":{"Open":{"session":"alice","eps1":0.05,"eps2":0.01}}}
 //! {"op":{"Search":{"session":"alice","query":"apache helicopter","k":10}}}
 //! {"op":"Metrics"}
+//! {"op":"MetricsNdjson"}
+//! {"op":"MetricsProm"}
 //! {"op":{"Close":{"session":"alice"}}}
 //! ```
+//!
+//! `Metrics` returns the structured [`MetricsSnapshot`] (unchanged since
+//! PR 1, so existing clients keep working); `MetricsNdjson` and
+//! `MetricsProm` render the manager's full metrics *registry* — every
+//! named counter/gauge/histogram, per-shard labels included — as NDJSON
+//! lines and Prometheus text respectively.
 
 use crate::metrics::{MetricsSnapshot, SessionMetrics};
 use serde::{Deserialize, Serialize};
@@ -45,6 +53,11 @@ pub enum Op {
     },
     /// Reads the full metrics snapshot.
     Metrics,
+    /// Dumps the metrics registry as NDJSON lines (one serialized
+    /// metric per line).
+    MetricsNdjson,
+    /// Dumps the metrics registry in the Prometheus text format.
+    MetricsProm,
     /// Closes a session, returning its final metrics.
     Close {
         /// Session id.
@@ -95,6 +108,17 @@ pub enum Response {
     },
     /// Metrics snapshot.
     Metrics(MetricsSnapshot),
+    /// Registry dump, one JSON-encoded metric per element (each element
+    /// parses as a `toppriv_obs::MetricSnapshot`).
+    MetricsNdjson {
+        /// The NDJSON lines.
+        lines: Vec<String>,
+    },
+    /// Registry dump in Prometheus text form.
+    MetricsProm {
+        /// The exposition text.
+        text: String,
+    },
     /// Session closed; final per-session metrics.
     Closed(SessionMetrics),
     /// Any failure.

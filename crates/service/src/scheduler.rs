@@ -18,7 +18,11 @@
 //! submissions: simulated time orders the trace the engine sees, while
 //! wall-clock throughput is bounded only by the worker pool. Global and
 //! per-shard queue depths and per-submit latency are reported to
-//! [`ServiceMetrics`].
+//! [`ServiceMetrics`]; each drain additionally records per-shard **queue
+//! wait** (drain start → claim) and **service time** (resolution) into
+//! [`M_QUEUE_WAIT_US`] / [`M_SERVICE_US`] histograms, counts per-shard
+//! submissions in [`M_SHARD_SUBMITS`], and journals a `drain` span with
+//! one `drain_shard` child per worker into the global tracer.
 
 use crate::cache::ResultCache;
 use crate::metrics::ServiceMetrics;
@@ -26,8 +30,17 @@ use crate::session::SessionManager;
 use crate::tier::SearchTier;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use toppriv_core::ScheduledQuery;
+use toppriv_obs::recover_lock;
 use tsearch_search::SearchHit;
+
+/// Metric name: per-shard queue wait (claim time − drain start, µs).
+pub const M_QUEUE_WAIT_US: &str = "scheduler_queue_wait_us";
+/// Metric name: per-shard service time (resolution latency, µs).
+pub const M_SERVICE_US: &str = "scheduler_service_us";
+/// Metric name: per-shard drained submission counter.
+pub const M_SHARD_SUBMITS: &str = "scheduler_submits_total";
 
 /// One scheduled submission, tagged with its tenant and shard set.
 #[derive(Debug, Clone)]
@@ -129,14 +142,30 @@ impl CycleScheduler {
         let total = queue.len();
         self.metrics.set_queue_depth(total);
         let num_shards = self.tier.num_shards();
+        let drain_span = toppriv_obs::tracer().span("drain");
         // Partition by primary shard; each per-shard queue stays in the
         // merged (time) order.
         let mut shard_queues: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
         for (i, plan) in queue.iter().enumerate() {
             shard_queues[plan.primary_shard().min(num_shards - 1)].push(i);
         }
-        self.metrics
-            .set_shard_queue_depths(shard_queues.iter().map(|q| q.len()).collect());
+        // Per-shard handles, fetched once up front: depth gauges, wait /
+        // service histograms, and submit counters. Workers then publish
+        // with plain atomic ops — nothing on the drain hot path locks.
+        let registry = self.metrics.registry();
+        let depth_gauges = self.metrics.shard_depth_gauges(num_shards);
+        let wait_hists: Vec<_> = (0..num_shards)
+            .map(|s| registry.histogram(M_QUEUE_WAIT_US, &[("shard", &s.to_string())]))
+            .collect();
+        let service_hists: Vec<_> = (0..num_shards)
+            .map(|s| registry.histogram(M_SERVICE_US, &[("shard", &s.to_string())]))
+            .collect();
+        let submit_counters: Vec<_> = (0..num_shards)
+            .map(|s| registry.counter(M_SHARD_SUBMITS, &[("shard", &s.to_string())]))
+            .collect();
+        for (s, gauge) in depth_gauges.iter().enumerate() {
+            gauge.set(shard_queues[s].len() as i64);
+        }
         let active: Vec<usize> = (0..num_shards)
             .filter(|&s| !shard_queues[s].is_empty())
             .collect();
@@ -152,6 +181,7 @@ impl CycleScheduler {
             .map(|s| Mutex::new(Vec::with_capacity(shard_queues[s].len())))
             .collect();
         let queue = &queue;
+        let drain_start = Instant::now();
         std::thread::scope(|scope| {
             for (rank, &s) in active.iter().enumerate() {
                 let per_shard = (base + usize::from(rank < extra)).max(1);
@@ -160,51 +190,63 @@ impl CycleScheduler {
                     let cursor = &cursors[s];
                     let collector = &collectors[s];
                     let remaining = &remaining;
-                    scope.spawn(move || loop {
-                        let at = cursor.fetch_add(1, Ordering::Relaxed);
-                        if at >= shard_queue.len() {
-                            break;
+                    let depth_gauge = &depth_gauges[s];
+                    let wait_hist = &wait_hists[s];
+                    let service_hist = &service_hists[s];
+                    let submit_counter = &submit_counters[s];
+                    let drain_span = &drain_span;
+                    scope.spawn(move || {
+                        let _shard_span = drain_span.child("drain_shard");
+                        loop {
+                            let at = cursor.fetch_add(1, Ordering::Relaxed);
+                            if at >= shard_queue.len() {
+                                break;
+                            }
+                            wait_hist.record(drain_start.elapsed().as_micros() as u64);
+                            let i = shard_queue[at];
+                            let plan = &queue[i];
+                            let t0 = Instant::now();
+                            let (hits, cache_hit) = SessionManager::resolve(
+                                &self.tier,
+                                self.cache.as_deref(),
+                                &self.metrics,
+                                &plan.scheduled.tokens,
+                                plan.k,
+                                plan.scheduled.is_genuine,
+                            );
+                            service_hist.record(t0.elapsed().as_micros() as u64);
+                            submit_counter.inc();
+                            depth_gauge.add(-1);
+                            let left = remaining.fetch_sub(1, Ordering::Relaxed) - 1;
+                            self.metrics.set_queue_depth(left);
+                            let outcome = SubmitOutcome {
+                                session: plan.session.clone(),
+                                cycle_id: plan.scheduled.cycle_id,
+                                time_secs: plan.scheduled.time_secs,
+                                is_genuine: plan.scheduled.is_genuine,
+                                cache_hit,
+                                // Ghost results are discarded inside the
+                                // trusted boundary; only genuine hits leave
+                                // the scheduler.
+                                hits: if plan.scheduled.is_genuine {
+                                    hits
+                                } else {
+                                    Vec::new()
+                                },
+                            };
+                            recover_lock(collector).push((i, outcome));
                         }
-                        let i = shard_queue[at];
-                        let plan = &queue[i];
-                        let (hits, cache_hit) = SessionManager::resolve(
-                            &self.tier,
-                            self.cache.as_deref(),
-                            &self.metrics,
-                            &plan.scheduled.tokens,
-                            plan.k,
-                            plan.scheduled.is_genuine,
-                        );
-                        let left = remaining.fetch_sub(1, Ordering::Relaxed) - 1;
-                        self.metrics.set_queue_depth(left);
-                        let outcome = SubmitOutcome {
-                            session: plan.session.clone(),
-                            cycle_id: plan.scheduled.cycle_id,
-                            time_secs: plan.scheduled.time_secs,
-                            is_genuine: plan.scheduled.is_genuine,
-                            cache_hit,
-                            // Ghost results are discarded inside the
-                            // trusted boundary; only genuine hits leave
-                            // the scheduler.
-                            hits: if plan.scheduled.is_genuine {
-                                hits
-                            } else {
-                                Vec::new()
-                            },
-                        };
-                        collector
-                            .lock()
-                            .expect("outcome collector poisoned")
-                            .push((i, outcome));
                     });
                 }
             }
         });
         self.metrics.set_queue_depth(0);
-        self.metrics.set_shard_queue_depths(vec![0; num_shards]);
+        for gauge in &depth_gauges {
+            gauge.set(0);
+        }
         let mut outcomes: Vec<(usize, SubmitOutcome)> = collectors
             .into_iter()
-            .flat_map(|c| c.into_inner().expect("outcome collector poisoned"))
+            .flat_map(|c| recover_lock(&c).drain(..).collect::<Vec<_>>())
             .collect();
         outcomes.sort_by_key(|&(i, _)| i);
         outcomes.into_iter().map(|(_, o)| o).collect()

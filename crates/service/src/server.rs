@@ -60,6 +60,12 @@ pub fn handle(manager: &SessionManager, request: Request) -> Response {
             }
         }
         Op::Metrics => Response::Metrics(manager.metrics()),
+        Op::MetricsNdjson => Response::MetricsNdjson {
+            lines: toppriv_obs::render_ndjson(manager.metrics_registry().registry()),
+        },
+        Op::MetricsProm => Response::MetricsProm {
+            text: toppriv_obs::render_prometheus(manager.metrics_registry().registry()),
+        },
         Op::Close { session } => match manager.close_session(&session) {
             Ok(metrics) => Response::Closed(metrics),
             Err(e) => error(e),

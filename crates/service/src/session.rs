@@ -319,9 +319,27 @@ impl SessionManager {
         }
     }
 
-    /// Attaches a sharded LRU result cache of `capacity` entries.
+    /// Attaches a sharded LRU result cache of `capacity` entries. The
+    /// cache publishes per-shard hit/miss/eviction counters and lookup
+    /// latency into this manager's metrics registry.
     pub fn with_cache(mut self, capacity: usize) -> Self {
-        self.cache = Some(Arc::new(ResultCache::new(capacity)));
+        self.cache = Some(Arc::new(
+            ResultCache::new(capacity).with_registry(self.metrics.registry().clone()),
+        ));
+        self
+    }
+
+    /// Rebinds this manager's metrics onto `registry` — pass a clone of
+    /// [`toppriv_obs::global()`] to expose service counters alongside
+    /// the engine-layer instrumentation through one endpoint. An
+    /// already-attached cache is re-bound to the same registry.
+    pub fn with_metrics_registry(mut self, registry: Arc<toppriv_obs::MetricsRegistry>) -> Self {
+        self.metrics = Arc::new(ServiceMetrics::with_registry(registry.clone()));
+        if let Some(cache) = &self.cache {
+            self.cache = Some(Arc::new(
+                ResultCache::new(cache.capacity()).with_registry(registry),
+            ));
+        }
         self
     }
 
@@ -468,11 +486,16 @@ impl SessionManager {
                 "query analyzed to zero tokens".into(),
             ));
         }
+        let span = toppriv_obs::tracer().span("search");
         let mut session = session.lock().expect("session poisoned");
         let k = if k == 0 { session.config.top_k } else { k };
-        let report = session.formulate(tokens);
+        let report = {
+            let _formulate = span.child("formulate");
+            session.formulate(tokens)
+        };
         let mut genuine_hits = Vec::new();
         let mut cache_hits = 0usize;
+        let resolve_span = span.child("resolve");
         for query in &report.cycle {
             let (hits, was_hit) = Self::resolve(
                 &self.tier,
@@ -490,6 +513,7 @@ impl SessionManager {
             }
             // Ghost results are dropped on the floor (Figure 1, step 4).
         }
+        drop(resolve_span);
         Ok(SearchOutcome {
             hits: genuine_hits,
             report,
@@ -514,9 +538,13 @@ impl SessionManager {
                 "query analyzed to zero tokens".into(),
             ));
         }
+        let span = toppriv_obs::tracer().span("plan_cycle");
         let mut session = session.lock().expect("session poisoned");
         let k = if k == 0 { session.config.top_k } else { k };
-        let report = session.formulate(tokens);
+        let report = {
+            let _formulate = span.child("formulate");
+            session.formulate(tokens)
+        };
         let start = session.clock_secs;
         session.clock_secs += session.config.think_time_secs;
         let schedule = session.pacer.schedule(&report, start);

@@ -34,6 +34,7 @@ struct Args {
     docs: usize,
     topics: usize,
     lda_iterations: usize,
+    metrics_interval: Option<u64>,
 }
 
 impl Default for Args {
@@ -50,6 +51,7 @@ impl Default for Args {
             docs: 800,
             topics: 24,
             lda_iterations: 40,
+            metrics_interval: None,
         }
     }
 }
@@ -81,6 +83,10 @@ fn parse_args() -> Result<Args, String> {
             "--lda-iterations" => {
                 args.lda_iterations = parse_usize(&argv, &mut i, "--lda-iterations")?
             }
+            "--metrics-interval" => {
+                args.metrics_interval =
+                    Some(parse_usize(&argv, &mut i, "--metrics-interval")? as u64)
+            }
             "--no-cache" => args.no_cache = true,
             "--demo" => args.demo = true,
             "--stdin" => args.demo = false,
@@ -102,7 +108,10 @@ fn parse_args() -> Result<Args, String> {
                      --shards N         term-shard the search tier across N shards (default 1)\n\
                      --docs N           synthetic corpus size (default 800)\n\
                      --topics N         LDA topic count (default 24)\n\
-                     --lda-iterations N Gibbs iterations (default 40)"
+                     --lda-iterations N Gibbs iterations (default 40)\n\
+                     --metrics-interval SECS\n\
+                     \u{20}                  emit the metrics registry as NDJSON every SECS\n\
+                     \u{20}                  seconds (demo: stdout + final dump; server: stderr)"
                 );
                 std::process::exit(0);
             }
@@ -140,11 +149,53 @@ fn build_stack(args: &Args) -> (SyntheticCorpus, SearchTier, Arc<LdaModel>) {
 }
 
 fn build_manager(args: &Args, tier: SearchTier, model: Arc<LdaModel>) -> SessionManager {
-    let manager = SessionManager::with_tier(tier, model).with_defaults(SessionConfig::default());
+    // Bind the service metrics to the process-global registry so the
+    // engine-layer histograms (scatter/gather, pacing) and the service
+    // counters surface through one exposition endpoint.
+    let manager = SessionManager::with_tier(tier, model)
+        .with_defaults(SessionConfig::default())
+        .with_metrics_registry(toppriv::obs::global().clone());
     if args.no_cache {
         manager
     } else {
         manager.with_cache(args.cache_capacity)
+    }
+}
+
+/// Spawns the periodic NDJSON metrics emitter: every `interval_secs` the
+/// whole registry is rendered one [`toppriv::obs::MetricSnapshot`] JSON
+/// object per line. Demo mode writes to stdout (the CI smoke parses it);
+/// server modes write to stderr so the protocol stream stays clean.
+fn spawn_metrics_emitter(
+    interval_secs: u64,
+    to_stdout: bool,
+) -> (
+    Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::spawn(move || {
+        let interval = std::time::Duration::from_secs(interval_secs.max(1));
+        loop {
+            std::thread::sleep(interval);
+            if stop_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                break;
+            }
+            emit_metrics_ndjson(to_stdout);
+        }
+    });
+    (stop, handle)
+}
+
+/// Renders the global registry as NDJSON to stdout or stderr.
+fn emit_metrics_ndjson(to_stdout: bool) {
+    for line in toppriv::obs::render_ndjson(toppriv::obs::global()) {
+        if to_stdout {
+            println!("{line}");
+        } else {
+            eprintln!("{line}");
+        }
     }
 }
 
@@ -178,6 +229,10 @@ fn run_demo(args: &Args) {
         },
     );
 
+    let emitter = args
+        .metrics_interval
+        .map(|secs| spawn_metrics_emitter(secs, true));
+
     // Plan every tenant's paced cycles, merge, and drain on the pool.
     let t0 = std::time::Instant::now();
     let mut plans = Vec::new();
@@ -194,6 +249,14 @@ fn run_demo(args: &Args) {
     let scheduler = CycleScheduler::for_manager(&manager, args.workers);
     let outcomes = scheduler.run(plans);
     let wall = t0.elapsed().as_secs_f64();
+
+    if let Some((stop, handle)) = emitter {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        // Final dump so even sub-interval demo runs leave one complete
+        // registry snapshot on stdout.
+        emit_metrics_ndjson(true);
+        let _ = handle.join();
+    }
 
     let genuine = outcomes.iter().filter(|o| o.is_genuine).count();
     let snapshot = manager.metrics();
@@ -273,6 +336,11 @@ fn main() {
     // limit.
     tier.set_query_log_capacity(100_000);
     let manager = Arc::new(build_manager(&args, tier, model));
+    // Server modes keep stdout for the NDJSON protocol; the periodic
+    // registry dump goes to stderr.
+    let _emitter = args
+        .metrics_interval
+        .map(|secs| spawn_metrics_emitter(secs, false));
     match &args.tcp {
         Some(addr) => {
             if let Err(e) = toppriv::service::serve_tcp(manager, addr.as_str()) {

@@ -12,11 +12,15 @@
 //! - models and engines: [`lda`], [`search`];
 //! - the paper's client module: [`core`] (with [`baselines`] and
 //!   [`adversary`] for the evaluation);
-//! - the multi-tenant service layer: [`service`].
+//! - the multi-tenant service layer: [`service`];
+//! - cross-cutting observability (registry, histograms, spans): [`obs`];
+//! - the reproduction harness: [`bench`](mod@bench).
 
 pub use toppriv_adversary as adversary;
 pub use toppriv_baselines as baselines;
+pub use toppriv_bench as bench;
 pub use toppriv_core as core;
+pub use toppriv_obs as obs;
 pub use toppriv_service as service;
 pub use tsearch_corpus as corpus;
 pub use tsearch_index as index;
