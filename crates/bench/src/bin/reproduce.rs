@@ -5,12 +5,12 @@
 //! reproduce [EXPERIMENT ...]
 //!           [--exp all|fig2|fig3|fig4|fig5|fig6|tables|stats|ablations|adversary|
 //!                  classifier|mc|session|reduced|pacing|quality|load|service|sharding|
-//!                  staleness|appendix]
+//!                  staleness|scenarios|appendix]
 //!           [--scale quick|standard] [--out results] [--no-cache] [--quiet]
 //! ```
 //!
 //! Bare positional names select experiments (`reproduce -- service
-//! sharding`); the `service`, `sharding`, and `staleness` experiments
+//! sharding`); the `service`, `sharding`, `staleness`, and `scenarios` experiments
 //! additionally write machine-readable `BENCH_<name>.json` snapshots
 //! (per-stage p50/p99 from the toppriv-obs histograms) to the current
 //! directory or `$TOPPRIV_BENCH_DIR`.
@@ -48,6 +48,7 @@ const ALL_EXPS: &[&str] = &[
     "service",
     "sharding",
     "staleness",
+    "scenarios",
     "appendix",
 ];
 
@@ -167,6 +168,7 @@ fn main() {
             "service" => experiments::service::run(&ctx),
             "sharding" => experiments::sharding::run(&ctx),
             "staleness" => experiments::staleness::run(&ctx),
+            "scenarios" => experiments::scenarios::run(&ctx),
             "appendix" => experiments::appendix::run(&ctx),
             _ => unreachable!("validated in parse_args"),
         };

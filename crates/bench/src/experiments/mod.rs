@@ -18,6 +18,7 @@ pub mod mc;
 pub mod pacing;
 pub mod quality;
 pub mod reduced;
+pub mod scenarios;
 pub mod service;
 pub mod session;
 pub mod sharding;

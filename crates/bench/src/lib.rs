@@ -16,6 +16,7 @@ pub mod context;
 pub mod experiments;
 pub mod obsbench;
 pub mod scale;
+pub mod scenarios;
 pub mod table;
 
 pub use context::ExperimentContext;

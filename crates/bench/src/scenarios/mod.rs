@@ -1,0 +1,190 @@
+//! `toppriv-scenarios`: named end-to-end fleet scenarios.
+//!
+//! The experiments under [`crate::experiments`] measure one mechanism
+//! each; a scenario exercises the **whole fleet** — a live
+//! [`SessionManager`] / [`toppriv_service::CycleScheduler`] / sharded
+//! search tier — through an operational event, and is simultaneously a
+//! test and a benchmark:
+//!
+//! - as a test, it asserts the privacy and correctness invariants that
+//!   must hold *across* the event (exposure ≤ mask level through a
+//!   churn storm, accounting continuity through a model hot-swap,
+//!   bit-identical restored accounting after a crash);
+//! - as a benchmark, it records per-stage p50/p99 and sustained qps
+//!   into one `BENCH_scenario_<name>.json` snapshot per scenario via
+//!   `toppriv-obs`, each carrying a structured
+//!   [`toppriv_obs::InvariantBlock`] verdict.
+//!
+//! The matrix ([`SCENARIOS`]): `churn`, `hotswap`, `evolution`,
+//! `flashcrowd`, `recovery`. `cargo run --bin reproduce -- scenarios`
+//! runs all five; the driver exits non-zero if any invariant fails, so
+//! CI's nightly `scenarios` job is a fleet regression gate, not just a
+//! perf recorder.
+
+pub mod churn;
+pub mod evolution;
+pub mod flashcrowd;
+pub mod hotswap;
+pub mod recovery;
+
+use crate::context::ExperimentContext;
+use crate::obsbench;
+use std::sync::Arc;
+use toppriv_obs::BenchSnapshot;
+use toppriv_service::{SearchTier, SessionManager};
+use tsearch_search::ShardedEngine;
+use tsearch_text::Analyzer;
+
+/// The scenario matrix, in run order.
+pub const SCENARIOS: [&str; 5] = ["churn", "hotswap", "evolution", "flashcrowd", "recovery"];
+
+/// Fixed fleet secret: every scenario plans the identical ghost
+/// workload run to run, so snapshots are comparable across commits.
+pub const FLEET_SEED: u64 = 0x5CE7A210;
+
+/// Shards the scenario tiers run on.
+pub const SHARDS: usize = 4;
+
+/// Total scheduler workers per drain.
+pub const WORKERS: usize = 4;
+
+/// Results fetched per query.
+pub const TOP_K: usize = 10;
+
+/// The outcome of one scenario: its bench snapshot (already written as
+/// `BENCH_scenario_<name>.json`) with the invariant verdicts inside.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The emitted snapshot; `snapshot.experiment` is
+    /// `scenario_<name>` and `snapshot.invariants.pass` the verdict.
+    pub snapshot: BenchSnapshot,
+}
+
+impl ScenarioReport {
+    /// The bare scenario name (snapshot experiment minus the
+    /// `scenario_` prefix).
+    pub fn name(&self) -> &str {
+        self.snapshot
+            .experiment
+            .strip_prefix("scenario_")
+            .unwrap_or(&self.snapshot.experiment)
+    }
+
+    /// Whether every invariant held.
+    pub fn pass(&self) -> bool {
+        self.snapshot.invariants.pass
+    }
+}
+
+/// Builds a term-sharded engine over the context's corpus (the
+/// context's own engine stays untouched — its query log belongs to
+/// other experiments).
+pub(crate) fn sharded_tier(ctx: &ExperimentContext, shards: usize) -> SearchTier {
+    let docs = ctx.corpus.token_docs();
+    let texts: Vec<String> = ctx.corpus.docs.iter().map(|d| d.text.clone()).collect();
+    SearchTier::Sharded(Arc::new(ShardedEngine::build(
+        &docs,
+        &texts,
+        Analyzer::new(),
+        ctx.corpus.vocab.clone(),
+        ctx.engine.model(),
+        shards,
+    )))
+}
+
+/// A fresh fleet manager on `tier` with the scenario fleet seed and a
+/// result cache (decoys are content-deterministic, so cross-tenant
+/// cache identity is part of what scenarios exercise).
+pub(crate) fn fleet_manager(ctx: &ExperimentContext, tier: SearchTier) -> Arc<SessionManager> {
+    Arc::new(
+        SessionManager::with_tier(tier, ctx.default_model().clone())
+            .with_cache(4096)
+            .with_fleet_seed(FLEET_SEED),
+    )
+}
+
+/// Per-cycle masking violation: how far the intention's boost sticks
+/// out above **both** the decoy topics and the ε2 negligibility
+/// threshold, `min(exposure − mask_level, exposure − ε2)`. The fleet
+/// invariant is `violation ≤ 0` (within float tolerance) for every
+/// cycle: the intention is either out-boosted by a decoy topic or
+/// negligibly boosted — it never stands out. Strict
+/// `exposure ≤ mask_level` alone is *not* guaranteed: a satisfied
+/// cycle can have every topic's boost below ε2, with the intention's
+/// tiny boost above the decoys'.
+pub(crate) fn masking_violation(metrics: &toppriv_core::PrivacyMetrics, eps2: f64) -> f64 {
+    (metrics.exposure - metrics.mask_level).min(metrics.exposure - eps2)
+}
+
+/// Opens `n` tenants named `tenant-0..n` on the manager.
+pub(crate) fn open_tenants(manager: &SessionManager, n: usize) {
+    for s in 0..n {
+        manager
+            .open_session(&format!("tenant-{s}"))
+            .expect("tenant id is fresh");
+    }
+}
+
+/// Finalizes one scenario: stamps qps and stage stats from the
+/// manager's registry into the snapshot, emits
+/// `BENCH_scenario_<name>.json`, and prints the verdict line.
+pub(crate) fn finish(
+    name: &str,
+    manager: &SessionManager,
+    qps: f64,
+    notes: String,
+    invariants: toppriv_obs::InvariantBlock,
+) -> ScenarioReport {
+    finish_with(name, manager, qps, notes, invariants, Vec::new())
+}
+
+/// [`finish`] with extra per-scenario stage rows (e.g. the flash-crowd
+/// per-shard service breakdown) appended to the snapshot.
+pub(crate) fn finish_with(
+    name: &str,
+    manager: &SessionManager,
+    qps: f64,
+    notes: String,
+    invariants: toppriv_obs::InvariantBlock,
+    extra_stages: Vec<toppriv_obs::StageStats>,
+) -> ScenarioReport {
+    let mut snap = obsbench::service_bench_snapshot(
+        &format!("scenario_{name}"),
+        manager.metrics_registry().registry(),
+        qps,
+        notes,
+    );
+    snap.stages.extend(extra_stages);
+    snap.invariants = invariants;
+    obsbench::emit_bench(&snap);
+    let verdict = if snap.invariants.pass { "PASS" } else { "FAIL" };
+    println!(
+        "  scenario {name}: {verdict} ({} invariant check(s), {:.0} qps)",
+        snap.invariants.checks.len(),
+        snap.qps
+    );
+    for c in snap.invariants.checks.iter().filter(|c| !c.pass) {
+        println!("    FAILED {}: {}", c.name, c.detail);
+    }
+    ScenarioReport { snapshot: snap }
+}
+
+/// Runs the full scenario matrix in [`SCENARIOS`] order.
+pub fn run_all(ctx: &ExperimentContext) -> Vec<ScenarioReport> {
+    SCENARIOS
+        .iter()
+        .map(|&name| run_one(ctx, name).expect("matrix names are exhaustive"))
+        .collect()
+}
+
+/// Runs one scenario by name (`None` for an unknown name).
+pub fn run_one(ctx: &ExperimentContext, name: &str) -> Option<ScenarioReport> {
+    match name {
+        "churn" => Some(churn::run(ctx)),
+        "hotswap" => Some(hotswap::run(ctx)),
+        "evolution" => Some(evolution::run(ctx)),
+        "flashcrowd" => Some(flashcrowd::run(ctx)),
+        "recovery" => Some(recovery::run(ctx)),
+        _ => None,
+    }
+}

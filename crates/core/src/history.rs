@@ -47,6 +47,26 @@ impl SessionTracker {
         Self::default()
     }
 
+    /// Rebuilds a tracker from previously spilled parts (see
+    /// [`SessionTracker::posteriors`] and [`SessionTracker::genuine`]).
+    /// Genuine indices outside `posteriors` are rejected as corrupt.
+    pub fn from_parts(posteriors: Vec<Vec<f64>>, genuine: Vec<usize>) -> Option<Self> {
+        if genuine.iter().any(|&g| g >= posteriors.len()) {
+            return None;
+        }
+        Some(Self {
+            posteriors,
+            genuine,
+        })
+    }
+
+    /// Ground-truth genuine indices into [`SessionTracker::posteriors`]
+    /// (evaluation and spill/restore only — a real adversary never sees
+    /// these).
+    pub fn genuine(&self) -> &[usize] {
+        &self.genuine
+    }
+
     /// Records one protected cycle (in its shuffled submission order).
     pub fn record_cycle(&mut self, belief: &BeliefEngine, result: &CycleResult) {
         for (i, q) in result.cycle.iter().enumerate() {

@@ -143,6 +143,18 @@ impl PacingScheduler {
         &self.config
     }
 
+    /// The id the next scheduled cycle will receive.
+    pub fn next_cycle_id(&self) -> usize {
+        self.next_cycle_id
+    }
+
+    /// Resumes cycle-id numbering from a spilled scheduler. The pacing
+    /// RNG restarts from `config.seed`; only the id counter carries
+    /// over, so restored sessions keep globally unique cycle ids.
+    pub fn resume_from(&mut self, next_cycle_id: usize) {
+        self.next_cycle_id = next_cycle_id;
+    }
+
     /// Schedules one cycle starting at `start_secs`. Returns submissions
     /// sorted by time. The relative order of ghost queries never carries
     /// information (they are already shuffled by the generator); what the

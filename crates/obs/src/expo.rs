@@ -146,6 +146,49 @@ impl StageStats {
     }
 }
 
+/// One named invariant a scenario asserted during its run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvariantCheck {
+    /// Short invariant name (`exposure_le_mask`, `accounting_bit_identical`, ...).
+    pub name: String,
+    /// Human-readable evidence: what was compared and what was observed.
+    pub detail: String,
+    /// Whether the invariant held.
+    pub pass: bool,
+}
+
+/// The invariant verdicts of one scenario run: `pass` is the
+/// conjunction of every [`InvariantCheck`] (vacuously `true` for plain
+/// benchmark runs that assert nothing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvariantBlock {
+    /// `true` iff every check passed.
+    pub pass: bool,
+    /// The individual checks, in assertion order.
+    pub checks: Vec<InvariantCheck>,
+}
+
+impl Default for InvariantBlock {
+    fn default() -> Self {
+        InvariantBlock {
+            pass: true,
+            checks: Vec::new(),
+        }
+    }
+}
+
+impl InvariantBlock {
+    /// Records one check outcome and folds it into the block verdict.
+    pub fn check(&mut self, name: impl Into<String>, detail: impl Into<String>, pass: bool) {
+        self.pass &= pass;
+        self.checks.push(InvariantCheck {
+            name: name.into(),
+            detail: detail.into(),
+            pass,
+        });
+    }
+}
+
 /// The machine-readable record of one benchmark run, written as
 /// `BENCH_<experiment>.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -163,6 +206,9 @@ pub struct BenchSnapshot {
     pub shard_imbalance: f64,
     /// Per-stage latency breakdown.
     pub stages: Vec<StageStats>,
+    /// Scenario invariant verdicts (vacuously passing for plain
+    /// benchmark runs).
+    pub invariants: InvariantBlock,
     /// Free-form run description (scale, cell parameters).
     pub notes: String,
 }
@@ -177,6 +223,7 @@ impl BenchSnapshot {
             cache_hit_rate: 0.0,
             shard_imbalance: 0.0,
             stages: Vec::new(),
+            invariants: InvariantBlock::default(),
             notes: String::new(),
         }
     }
@@ -265,11 +312,16 @@ mod tests {
         let mut snap = BenchSnapshot::new("unit");
         snap.qps = 123.0;
         snap.stages.push(StageStats::from_histogram("gather", &h));
+        snap.invariants.check("sane", "3 samples recorded", true);
+        snap.invariants
+            .check("balanced", "imbalance 2.0 > 1.5", false);
         let path = write_bench_snapshot(&snap).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         let back: BenchSnapshot = serde_json::from_str(body.trim()).unwrap();
         assert_eq!(back, snap);
         assert!(back.host_cores >= 1);
+        assert!(!back.invariants.pass);
+        assert_eq!(back.invariants.checks.len(), 2);
         std::env::remove_var("TOPPRIV_BENCH_DIR");
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -39,7 +39,7 @@ mod span;
 
 pub use expo::{
     bench_dir, host_cores, imbalance, parse_ndjson_line, render_ndjson, render_prometheus,
-    write_bench_snapshot, BenchSnapshot, StageStats,
+    write_bench_snapshot, BenchSnapshot, InvariantBlock, InvariantCheck, StageStats,
 };
 pub use hist::{Histogram, HistogramSnapshot, NUM_BUCKETS, RELATIVE_ERROR, SUBBUCKETS};
 pub use registry::{

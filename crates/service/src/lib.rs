@@ -55,6 +55,7 @@
 
 pub mod cache;
 pub mod metrics;
+pub mod persist;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
@@ -63,8 +64,12 @@ pub mod tier;
 
 pub use cache::{CacheKey, ResultCache};
 pub use metrics::{GlobalMetrics, MetricsSnapshot, ServiceMetrics, SessionMetrics};
+pub use persist::{
+    seal_query_log, seal_session_state, unseal_query_log, unseal_session_state, PersistError,
+    SessionState,
+};
 pub use protocol::{Op, Request, Response};
-pub use scheduler::{CycleScheduler, PlannedQuery, SubmitOutcome};
+pub use scheduler::{CycleScheduler, DrainError, PlannedQuery, ShardFailure, SubmitOutcome};
 pub use server::{handle, serve_lines, serve_tcp};
 pub use session::{SearchOutcome, ServiceError, SessionConfig, SessionManager};
 pub use tier::SearchTier;

@@ -82,12 +82,65 @@ pub struct SubmitOutcome {
     pub hits: Vec<SearchHit>,
 }
 
+/// One worker failure surfaced by [`CycleScheduler::try_drain`].
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// Shard whose worker panicked.
+    pub shard: usize,
+    /// Session owning the submission that triggered the panic.
+    pub session: String,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+/// A drain that lost submissions to worker panics. The submissions that
+/// did complete are preserved in `completed` (sorted like a successful
+/// drain), so callers can still account for the partial trace.
+#[derive(Debug)]
+pub struct DrainError {
+    /// Per-submission worker failures, in claim order per shard.
+    pub failures: Vec<ShardFailure>,
+    /// Outcomes of the submissions that completed.
+    pub completed: Vec<SubmitOutcome>,
+    /// Submissions the drain was asked to resolve.
+    pub expected: usize,
+}
+
+impl std::fmt::Display for DrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "drain lost {} of {} submissions to worker panics",
+            self.failures.len(),
+            self.expected
+        )?;
+        if let Some(first) = self.failures.first() {
+            write!(
+                f,
+                " (first: shard {} session '{}': {})",
+                first.shard, first.session, first.message
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DrainError {}
+
+/// Fault-injection predicate: a submission it returns `true` for makes
+/// its worker panic (test/chaos harness hook, see
+/// [`CycleScheduler::with_worker_fault`]).
+pub type WorkerFault = Arc<dyn Fn(&PlannedQuery) -> bool + Send + Sync>;
+
 /// Merges per-session plans and drains them on per-shard worker queues.
 pub struct CycleScheduler {
     tier: SearchTier,
     cache: Option<Arc<ResultCache>>,
     metrics: Arc<ServiceMetrics>,
     workers: usize,
+    /// Chaos hook: submissions this predicate selects panic their
+    /// worker mid-resolve, exercising the failure-surfacing path.
+    worker_fault: Option<WorkerFault>,
 }
 
 impl CycleScheduler {
@@ -105,14 +158,25 @@ impl CycleScheduler {
             cache,
             metrics,
             workers: workers.max(1),
+            worker_fault: None,
         }
+    }
+
+    /// Installs a fault-injection predicate: any submission it selects
+    /// makes its worker panic mid-resolve. This is the chaos-testing
+    /// hook the scenario harness and the drain-failure tests use to
+    /// prove panics surface as [`DrainError`]s instead of silently
+    /// dropping a shard's outcomes.
+    pub fn with_worker_fault(mut self, fault: WorkerFault) -> Self {
+        self.worker_fault = Some(fault);
+        self
     }
 
     /// A scheduler sharing a [`SessionManager`]'s search tier, cache, and
     /// metrics registry.
     pub fn for_manager(manager: &SessionManager, workers: usize) -> Self {
         Self::new(
-            manager.tier().clone(),
+            manager.tier(),
             manager.cache().cloned(),
             manager.metrics_registry().clone(),
             workers,
@@ -138,7 +202,27 @@ impl CycleScheduler {
     /// workers claim from their own cursor and resolve through the shared
     /// cache/tier, so shards drain independently. Returns outcomes sorted
     /// by simulated time (ties broken by merged-queue position).
+    ///
+    /// A worker panic aborts the whole drain **loudly**: this wrapper
+    /// panics with the shard/session of the first failure. Scenario
+    /// harnesses that need to keep running use
+    /// [`CycleScheduler::try_drain`], which returns the failure as a
+    /// structured [`DrainError`] instead. (Before this existed, a panic
+    /// in a shard's worker silently dropped that shard's collected
+    /// outcomes while `std::thread::scope` re-raised on join — the
+    /// partial trace was lost and the failure site was anonymous.)
     pub fn drain(&self, queue: Vec<PlannedQuery>) -> Vec<SubmitOutcome> {
+        match self.try_drain(queue) {
+            Ok(outcomes) => outcomes,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`CycleScheduler::drain`] with structured failure reporting:
+    /// worker panics are caught per submission, the rest of the queue
+    /// keeps draining, and the error carries every failure (shard,
+    /// session, panic message) plus the outcomes that did complete.
+    pub fn try_drain(&self, queue: Vec<PlannedQuery>) -> Result<Vec<SubmitOutcome>, DrainError> {
         let total = queue.len();
         self.metrics.set_queue_depth(total);
         let num_shards = self.tier.num_shards();
@@ -180,6 +264,7 @@ impl CycleScheduler {
         let collectors: Vec<Mutex<Vec<(usize, SubmitOutcome)>>> = (0..num_shards)
             .map(|s| Mutex::new(Vec::with_capacity(shard_queues[s].len())))
             .collect();
+        let failures: Mutex<Vec<ShardFailure>> = Mutex::new(Vec::new());
         let queue = &queue;
         let drain_start = Instant::now();
         std::thread::scope(|scope| {
@@ -189,6 +274,7 @@ impl CycleScheduler {
                     let shard_queue = &shard_queues[s];
                     let cursor = &cursors[s];
                     let collector = &collectors[s];
+                    let failures = &failures;
                     let remaining = &remaining;
                     let depth_gauge = &depth_gauges[s];
                     let wait_hist = &wait_hists[s];
@@ -206,19 +292,52 @@ impl CycleScheduler {
                             let i = shard_queue[at];
                             let plan = &queue[i];
                             let t0 = Instant::now();
-                            let (hits, cache_hit) = SessionManager::resolve(
-                                &self.tier,
-                                self.cache.as_deref(),
-                                &self.metrics,
-                                &plan.scheduled.tokens,
-                                plan.k,
-                                plan.scheduled.is_genuine,
-                            );
-                            service_hist.record(t0.elapsed().as_micros() as u64);
-                            submit_counter.inc();
+                            // Resolution runs under catch_unwind so one
+                            // poisoned submission cannot anonymously take
+                            // the whole shard's collected outcomes with
+                            // it: the panic is recorded per submission
+                            // and the worker moves on to the next claim.
+                            let resolved =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if let Some(fault) = &self.worker_fault {
+                                        assert!(
+                                            !fault(plan),
+                                            "injected worker fault (session '{}')",
+                                            plan.session
+                                        );
+                                    }
+                                    SessionManager::resolve(
+                                        &self.tier,
+                                        self.cache.as_deref(),
+                                        &self.metrics,
+                                        &plan.scheduled.tokens,
+                                        plan.k,
+                                        plan.scheduled.is_genuine,
+                                    )
+                                }));
+                            // Depth accounting covers failed submissions
+                            // too — they left the queue either way.
                             depth_gauge.add(-1);
                             let left = remaining.fetch_sub(1, Ordering::Relaxed) - 1;
                             self.metrics.set_queue_depth(left);
+                            let (hits, cache_hit) = match resolved {
+                                Ok(r) => r,
+                                Err(payload) => {
+                                    let message = payload
+                                        .downcast_ref::<&str>()
+                                        .map(|s| s.to_string())
+                                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "non-string panic payload".into());
+                                    recover_lock(failures).push(ShardFailure {
+                                        shard: s,
+                                        session: plan.session.clone(),
+                                        message,
+                                    });
+                                    continue;
+                                }
+                            };
+                            service_hist.record(t0.elapsed().as_micros() as u64);
+                            submit_counter.inc();
                             let outcome = SubmitOutcome {
                                 session: plan.session.clone(),
                                 cycle_id: plan.scheduled.cycle_id,
@@ -249,12 +368,27 @@ impl CycleScheduler {
             .flat_map(|c| recover_lock(&c).drain(..).collect::<Vec<_>>())
             .collect();
         outcomes.sort_by_key(|&(i, _)| i);
-        outcomes.into_iter().map(|(_, o)| o).collect()
+        let completed: Vec<SubmitOutcome> = outcomes.into_iter().map(|(_, o)| o).collect();
+        let failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+        if failures.is_empty() && completed.len() == total {
+            Ok(completed)
+        } else {
+            Err(DrainError {
+                failures,
+                completed,
+                expected: total,
+            })
+        }
     }
 
     /// Convenience: merge then drain.
     pub fn run(&self, plans: Vec<Vec<PlannedQuery>>) -> Vec<SubmitOutcome> {
         self.drain(Self::merge(plans))
+    }
+
+    /// Convenience: merge then [`CycleScheduler::try_drain`].
+    pub fn try_run(&self, plans: Vec<Vec<PlannedQuery>>) -> Result<Vec<SubmitOutcome>, DrainError> {
+        self.try_drain(Self::merge(plans))
     }
 }
 

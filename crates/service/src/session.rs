@@ -30,12 +30,29 @@
 //! session's [`GhostConfig`]. All sessions of the fleet share it, so
 //! cross-tenant decoys stay cache-identical; the engine does not know
 //! it, so the paper's secret-seed assumption is restored.
+//!
+//! ## Zero-downtime swaps
+//!
+//! The shared model and the search tier both live behind `RwLock`s, so
+//! a fleet operator can retrain and [`SessionManager::swap_model`] (or
+//! rebuild the index and [`SessionManager::swap_tier`]) without closing
+//! a single session. Model swaps are **epoch-style**: the manager bumps
+//! a monotone epoch counter; each session lazily rebinds its
+//! [`GhostGenerator`] to the current model on its next search, keeping
+//! its exposure accounting intact when the topic space is unchanged
+//! (same `K`) and restarting trace accounting when it is not (topic ids
+//! change meaning across a `K` change, so the old running sums would be
+//! meaningless). Ghost decoys stay deterministic across a swap to an
+//! identical model because generation is content-seeded — the fleet
+//! seed survives the rebind, so cross-tenant cache identity is
+//! preserved.
 
 use crate::cache::ResultCache;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics, SessionMetrics};
 use crate::scheduler::PlannedQuery;
 use crate::tier::SearchTier;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use toppriv_core::{
@@ -117,6 +134,9 @@ pub struct SearchOutcome {
 /// inside `client`.
 struct Session {
     generator: GhostGenerator,
+    /// The manager model epoch this session's generator was built
+    /// against; lazily rebound when the manager's epoch moves on.
+    model_epoch: u64,
     /// Full per-query posterior history. Only populated when
     /// `history_aware` — it is what `generate_with_history` certifies
     /// against; in the default per-cycle mode the running sum below is
@@ -145,7 +165,13 @@ struct Session {
 }
 
 impl Session {
-    fn new(model: Arc<LdaModel>, config: SessionConfig, seed: u64, fleet_seed: u64) -> Self {
+    fn new(
+        model: Arc<LdaModel>,
+        config: SessionConfig,
+        seed: u64,
+        fleet_seed: u64,
+        model_epoch: u64,
+    ) -> Self {
         // Ghost content stays content-seeded (deterministic per query,
         // which is what makes cross-tenant decoys cacheable) but mixes in
         // the fleet-wide *secret* seed — shared by every session of this
@@ -163,6 +189,7 @@ impl Session {
         let generator = GhostGenerator::new(BeliefEngine::new(model), config.requirement, ghost);
         Session {
             generator,
+            model_epoch,
             tracker: SessionTracker::new(),
             pacer: PacingScheduler::new(pacing),
             config,
@@ -178,6 +205,30 @@ impl Session {
             sum_mask: 0.0,
             satisfied: 0,
         }
+    }
+
+    /// Rebinds this session's generator to the manager's current model
+    /// (epoch-style swap). The fleet-mixed ghost seed is recomputed from
+    /// the session's own base config, so decoy determinism and cache
+    /// identity survive a swap to an identical model. When the topic
+    /// count changes, trace accounting restarts — topic ids no longer
+    /// mean the same thing, so the old posterior sums are dropped rather
+    /// than silently mixed across incompatible topic spaces.
+    fn rebind_model(&mut self, model: Arc<LdaModel>, epoch: u64, fleet_seed: u64) {
+        let old_topics = self.generator.belief().num_topics();
+        let ghost = GhostConfig {
+            seed: self.config.ghost.seed ^ fleet_seed,
+            ..self.config.ghost.clone()
+        };
+        self.generator =
+            GhostGenerator::new(BeliefEngine::new(model), self.config.requirement, ghost);
+        if self.generator.belief().num_topics() != old_topics {
+            self.tracker = SessionTracker::new();
+            self.intention_union.clear();
+            self.posterior_sum.clear();
+            self.posterior_count = 0;
+        }
+        self.model_epoch = epoch;
     }
 
     /// Formulates (and records) one cycle for `tokens`.
@@ -283,8 +334,11 @@ impl Session {
 /// assert!(outcome.report.metrics.exposure <= outcome.report.metrics.mask_level);
 /// ```
 pub struct SessionManager {
-    tier: SearchTier,
-    model: Arc<LdaModel>,
+    tier: RwLock<SearchTier>,
+    model: RwLock<Arc<LdaModel>>,
+    /// Monotone model-swap counter; sessions compare against it to
+    /// lazily rebind their generators after [`SessionManager::swap_model`].
+    model_epoch: AtomicU64,
     cache: Option<Arc<ResultCache>>,
     metrics: Arc<ServiceMetrics>,
     defaults: SessionConfig,
@@ -309,8 +363,9 @@ impl SessionManager {
     /// A manager over an explicit search tier.
     pub fn with_tier(tier: SearchTier, model: Arc<LdaModel>) -> Self {
         SessionManager {
-            tier,
-            model,
+            tier: RwLock::new(tier),
+            model: RwLock::new(model),
+            model_epoch: AtomicU64::new(0),
             cache: None,
             metrics: Arc::new(ServiceMetrics::new()),
             defaults: SessionConfig::default(),
@@ -358,14 +413,47 @@ impl SessionManager {
         self
     }
 
-    /// The search tier (single engine or shards).
-    pub fn tier(&self) -> &SearchTier {
-        &self.tier
+    /// The search tier (single engine or shards) at this instant. The
+    /// returned handle is a cheap clone (`Arc`s inside); it keeps
+    /// serving even if the manager swaps tiers afterwards.
+    pub fn tier(&self) -> SearchTier {
+        self.tier.read().expect("tier lock poisoned").clone()
     }
 
-    /// The shared model.
-    pub fn model(&self) -> &Arc<LdaModel> {
-        &self.model
+    /// The shared model at this instant (a cheap `Arc` clone).
+    pub fn model(&self) -> Arc<LdaModel> {
+        self.model.read().expect("model lock poisoned").clone()
+    }
+
+    /// The current model epoch: 0 at construction, bumped by every
+    /// [`SessionManager::swap_model`].
+    pub fn model_epoch(&self) -> u64 {
+        self.model_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Swaps the shared model without closing sessions (zero-downtime
+    /// retrain deploy). Returns the new epoch. Each open session rebinds
+    /// its generator to the new model lazily on its next search or plan;
+    /// in-flight resolutions against the old model finish unharmed
+    /// (their `Arc` keeps it alive). Exposure accounting carries across
+    /// the swap when the topic count is unchanged and restarts when it
+    /// is not (see [`Self::swap_tier`] for the index-side counterpart).
+    pub fn swap_model(&self, model: Arc<LdaModel>) -> u64 {
+        let mut slot = self.model.write().expect("model lock poisoned");
+        *slot = model;
+        // Bump while still holding the slot so (model, epoch) move
+        // together: a session can never observe the new epoch paired
+        // with the old model.
+        self.model_epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Swaps the search tier without closing sessions (zero-downtime
+    /// index rebuild, e.g. after corpus evolution). Sessions keep their
+    /// privacy accounting; schedulers constructed before the swap keep
+    /// draining against the tier they were built with, so build a fresh
+    /// [`crate::CycleScheduler::for_manager`] after swapping.
+    pub fn swap_tier(&self, tier: SearchTier) {
+        *self.tier.write().expect("tier lock poisoned") = tier;
     }
 
     /// The result cache, if one is attached.
@@ -393,10 +481,11 @@ impl SessionManager {
             return Err(ServiceError::DuplicateSession(id.to_string()));
         }
         let session = Session::new(
-            self.model.clone(),
+            self.model(),
             config,
             session_seed(id),
             self.fleet_seed,
+            self.model_epoch(),
         );
         sessions.insert(id.to_string(), Arc::new(Mutex::new(session)));
         Ok(())
@@ -441,6 +530,15 @@ impl SessionManager {
             .ok_or_else(|| ServiceError::UnknownSession(id.to_string()))
     }
 
+    /// Epoch check on the search hot path: if the manager's model moved
+    /// on since this session last generated, rebind its generator now.
+    fn refresh_session(&self, session: &mut Session) {
+        let epoch = self.model_epoch();
+        if session.model_epoch != epoch {
+            session.rebind_model(self.model(), epoch, self.fleet_seed);
+        }
+    }
+
     /// Resolves one cycle member through the cache (when attached) or the
     /// search tier, recording submit metrics. Returns `(hits, cache_hit)`.
     pub(crate) fn resolve(
@@ -466,7 +564,8 @@ impl SessionManager {
     ///
     /// `k == 0` is a sentinel meaning "the session's configured `top_k`".
     pub fn search(&self, id: &str, text: &str, k: usize) -> Result<SearchOutcome, ServiceError> {
-        let tokens = self.tier.analyzer().analyze_frozen(text, self.tier.vocab());
+        let tier = self.tier();
+        let tokens = tier.analyzer().analyze_frozen(text, tier.vocab());
         self.search_tokens(id, &tokens, k)
     }
 
@@ -487,7 +586,9 @@ impl SessionManager {
             ));
         }
         let span = toppriv_obs::tracer().span("search");
+        let tier = self.tier();
         let mut session = session.lock().expect("session poisoned");
+        self.refresh_session(&mut session);
         let k = if k == 0 { session.config.top_k } else { k };
         let report = {
             let _formulate = span.child("formulate");
@@ -498,7 +599,7 @@ impl SessionManager {
         let resolve_span = span.child("resolve");
         for query in &report.cycle {
             let (hits, was_hit) = Self::resolve(
-                &self.tier,
+                &tier,
                 self.cache.as_deref(),
                 &self.metrics,
                 &query.tokens,
@@ -532,6 +633,21 @@ impl SessionManager {
         tokens: &[TermId],
         k: usize,
     ) -> Result<Vec<PlannedQuery>, ServiceError> {
+        self.plan_cycle_with_report(id, tokens, k)
+            .map(|(_, plan)| plan)
+    }
+
+    /// [`SessionManager::plan_cycle`] that also returns the cycle's
+    /// ground-truth [`CycleResult`] — what scenario harnesses and
+    /// adversary evaluations need to audit the trace the engine later
+    /// observes (which planned submission was genuine, what the
+    /// certified intention was) without re-deriving it.
+    pub fn plan_cycle_with_report(
+        &self,
+        id: &str,
+        tokens: &[TermId],
+        k: usize,
+    ) -> Result<(CycleResult, Vec<PlannedQuery>), ServiceError> {
         let session = self.session(id)?;
         if tokens.is_empty() {
             return Err(ServiceError::BadRequest(
@@ -539,7 +655,9 @@ impl SessionManager {
             ));
         }
         let span = toppriv_obs::tracer().span("plan_cycle");
+        let tier = self.tier();
         let mut session = session.lock().expect("session poisoned");
+        self.refresh_session(&mut session);
         let k = if k == 0 { session.config.top_k } else { k };
         let report = {
             let _formulate = span.child("formulate");
@@ -548,10 +666,10 @@ impl SessionManager {
         let start = session.clock_secs;
         session.clock_secs += session.config.think_time_secs;
         let schedule = session.pacer.schedule(&report, start);
-        Ok(schedule
+        let plan = schedule
             .into_iter()
             .map(|scheduled| {
-                let shards = self.tier.shard_set(&scheduled.tokens);
+                let shards = tier.shard_set(&scheduled.tokens);
                 PlannedQuery {
                     session: id.to_string(),
                     scheduled,
@@ -559,7 +677,83 @@ impl SessionManager {
                     shards,
                 }
             })
-            .collect())
+            .collect();
+        Ok((report, plan))
+    }
+
+    /// Spills one session's complete state (see
+    /// [`crate::persist::SessionState`]) for crash recovery. The session
+    /// stays open; the caller typically seals the state into a
+    /// CRC-checked container via [`crate::persist::seal_session_state`].
+    pub fn export_session(&self, id: &str) -> Result<crate::persist::SessionState, ServiceError> {
+        let session = self.session(id)?;
+        let s = session.lock().expect("session poisoned");
+        Ok(crate::persist::SessionState {
+            id: id.to_string(),
+            config: s.config.clone(),
+            model_epoch: s.model_epoch,
+            posteriors: s.tracker.posteriors().to_vec(),
+            genuine: s.tracker.genuine().to_vec(),
+            clock_secs: s.clock_secs,
+            intention_union: s.intention_union.iter().copied().collect(),
+            posterior_sum: s.posterior_sum.clone(),
+            posterior_count: s.posterior_count,
+            next_cycle_id: s.pacer.next_cycle_id() as u64,
+            cycles: s.cycles,
+            queries_emitted: s.queries_emitted,
+            sum_cycle_len: s.sum_cycle_len,
+            sum_exposure: s.sum_exposure,
+            worst_exposure: s.worst_exposure,
+            sum_mask: s.sum_mask,
+            satisfied: s.satisfied,
+        })
+    }
+
+    /// Restores a spilled session into this manager. The generator is
+    /// rebuilt from the spilled config against the manager's **current**
+    /// model and fleet seed; restored accounting is bit-identical to the
+    /// spill (all sums and counters carry over raw), and stays
+    /// bit-identical *going forward* only when the restoring manager
+    /// holds the same fleet seed and an identical model — the crash
+    /// recovery contract. Fails on a duplicate id or a state whose
+    /// tracker parts are inconsistent.
+    pub fn restore_session(
+        &self,
+        state: &crate::persist::SessionState,
+    ) -> Result<(), ServiceError> {
+        if state.id.is_empty() {
+            return Err(ServiceError::BadRequest("empty session id".into()));
+        }
+        let tracker = SessionTracker::from_parts(state.posteriors.clone(), state.genuine.clone())
+            .ok_or_else(|| {
+            ServiceError::BadRequest("corrupt session state: genuine index beyond history".into())
+        })?;
+        let mut sessions = self.sessions.write().expect("session table poisoned");
+        if sessions.contains_key(&state.id) {
+            return Err(ServiceError::DuplicateSession(state.id.clone()));
+        }
+        let mut session = Session::new(
+            self.model(),
+            state.config.clone(),
+            session_seed(&state.id),
+            self.fleet_seed,
+            self.model_epoch(),
+        );
+        session.tracker = tracker;
+        session.pacer.resume_from(state.next_cycle_id as usize);
+        session.clock_secs = state.clock_secs;
+        session.intention_union = state.intention_union.iter().copied().collect();
+        session.posterior_sum = state.posterior_sum.clone();
+        session.posterior_count = state.posterior_count;
+        session.cycles = state.cycles;
+        session.queries_emitted = state.queries_emitted;
+        session.sum_cycle_len = state.sum_cycle_len;
+        session.sum_exposure = state.sum_exposure;
+        session.worst_exposure = state.worst_exposure;
+        session.sum_mask = state.sum_mask;
+        session.satisfied = state.satisfied;
+        sessions.insert(state.id.clone(), Arc::new(Mutex::new(session)));
+        Ok(())
     }
 
     /// Metrics for one session.

@@ -275,7 +275,8 @@ fn sharded_tier_returns_identical_results_and_drains_per_shard() {
     let snapshot = sharded.metrics();
     assert_eq!(snapshot.global.shard_queue_depths, vec![0; 4]);
     // Each touched shard logged only its slice of the trace.
-    let engine = sharded.tier().as_sharded().unwrap();
+    let tier = sharded.tier();
+    let engine = tier.as_sharded().unwrap();
     let logs = engine.shard_logs();
     assert!(logs.iter().filter(|l| !l.is_empty()).count() > 1);
     for (s, entries) in logs.iter().enumerate() {

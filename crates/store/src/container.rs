@@ -38,6 +38,11 @@ pub mod kind {
     pub const VOCAB_MAP: u32 = 4;
     /// Benchmark/result cache entries.
     pub const RESULT_CACHE: u32 = 5;
+    /// A spilled per-session service state (posteriors, exposure
+    /// accounting, pacing position) for crash recovery.
+    pub const SESSION_STATE: u32 = 6;
+    /// A spilled per-shard query log for post-crash replay.
+    pub const QUERY_LOG: u32 = 7;
 }
 
 /// Container decoding failure.

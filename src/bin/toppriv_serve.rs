@@ -281,7 +281,8 @@ fn run_demo(args: &Args) {
         snapshot.global.p99_submit_us,
         snapshot.global.max_queue_depth,
     );
-    if let Some(engine) = manager.tier().as_sharded() {
+    let tier = manager.tier();
+    if let Some(engine) = tier.as_sharded() {
         let log_sizes: Vec<usize> = engine.shard_logs().iter().map(|l| l.len()).collect();
         println!(
             "    {} shards drained independently; per-shard adversary log entries: {:?}",
