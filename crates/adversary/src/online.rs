@@ -1,0 +1,246 @@
+//! Online adversary-view estimator: live posterior-drift gauges.
+//!
+//! The offline harness ([`crate::logview`], the classifier and Section
+//! IV-D attacks) evaluates what a colluding engine-side adversary learns
+//! *after the fact*. [`OnlineLogEstimator`] closes the loop with live
+//! serving: it cheaply samples the merged shard query logs on a cadence
+//! (an audit tick, a drain boundary), computes the adversary's
+//! boost-over-prior view of the most recent window, and publishes it as
+//! gauges next to the service's own privacy gauges — so a fleet operator
+//! watches the *attack model's* view drift in the same dashboard that
+//! shows the tenants' exposure headroom:
+//!
+//! - `adversary_top_boost`: the largest topic boost the adversary infers
+//!   from the current window (micro-units). Under the TopPriv guarantee
+//!   this is decoy mass, and the interesting signal is *drift*;
+//! - `adversary_posterior_drift`: L∞ distance between consecutive
+//!   sampled boost vectors (micro-units) — a persistently rising value
+//!   means the adversary's view is stabilizing on something;
+//! - `adversary_window_len`: queries in the sampled window.
+//!
+//! Each sample is O(window × topics): one posterior inference per
+//! window query, no allocation proportional to the full log.
+
+use std::sync::{Arc, Mutex};
+use toppriv_core::BeliefEngine;
+use toppriv_obs::MetricsRegistry;
+use tsearch_lda::LdaModel;
+use tsearch_search::LoggedQuery;
+
+use crate::logview::merge_shard_logs;
+
+/// Metric name: the adversary's largest inferred topic boost over the
+/// sampled window (micro-units).
+pub const M_ADV_TOP_BOOST: &str = "adversary_top_boost";
+/// Metric name: L∞ drift between consecutive sampled boost vectors
+/// (micro-units).
+pub const M_ADV_DRIFT: &str = "adversary_posterior_drift";
+/// Metric name: queries in the sampled window.
+pub const M_ADV_WINDOW: &str = "adversary_window_len";
+
+/// Fixed-point scale for the adversary gauges (`value × 1e6`).
+pub const ADV_GAUGE_MICRO: f64 = 1e6;
+
+/// Estimator tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineEstimatorConfig {
+    /// Tail-window width in queries (the adversary's working set per
+    /// sample).
+    pub window: usize,
+}
+
+impl Default for OnlineEstimatorConfig {
+    fn default() -> Self {
+        OnlineEstimatorConfig { window: 64 }
+    }
+}
+
+/// One published sample of the adversary's live view.
+#[derive(Debug, Clone)]
+pub struct DriftSample {
+    /// Queries in the sampled window.
+    pub window_len: usize,
+    /// Topic with the largest inferred boost (0 when the window is
+    /// empty).
+    pub top_topic: usize,
+    /// That topic's boost over the prior.
+    pub top_boost: f64,
+    /// L∞ distance to the previous sample's boost vector (0.0 on the
+    /// first sample).
+    pub drift: f64,
+}
+
+/// The live estimator: a [`BeliefEngine`] over the adversary's model
+/// plus the previous sample, for drift.
+pub struct OnlineLogEstimator {
+    belief: BeliefEngine,
+    config: OnlineEstimatorConfig,
+    prev_boosts: Mutex<Option<Vec<f64>>>,
+}
+
+impl OnlineLogEstimator {
+    /// An estimator using `model` as the adversary's topic model (in the
+    /// threat model the engine-side adversary holds the same public
+    /// model the service does).
+    pub fn new(model: Arc<LdaModel>, config: OnlineEstimatorConfig) -> Self {
+        OnlineLogEstimator {
+            belief: BeliefEngine::new(model),
+            config,
+            prev_boosts: Mutex::new(None),
+        }
+    }
+
+    /// Samples the colluding-adversary view of `shard_logs`: merges the
+    /// per-shard logs (ordinal union, exactly what colluding shards
+    /// reconstruct), infers the boost vector of the most recent
+    /// `window` queries, publishes the gauges into `registry`, and
+    /// returns the sample.
+    pub fn sample(
+        &self,
+        shard_logs: &[Vec<LoggedQuery>],
+        registry: &MetricsRegistry,
+    ) -> DriftSample {
+        let merged = merge_shard_logs(shard_logs);
+        let start = merged.len().saturating_sub(self.config.window);
+        let window = &merged[start..];
+        let posteriors: Vec<Vec<f64>> = window
+            .iter()
+            .map(|q| self.belief.posterior(&q.tokens))
+            .collect();
+        let boosts = if posteriors.is_empty() {
+            vec![0.0; self.belief.num_topics()]
+        } else {
+            self.belief.cycle_boost(&posteriors)
+        };
+        let (top_topic, top_boost) =
+            boosts
+                .iter()
+                .copied()
+                .enumerate()
+                .fold((0usize, f64::NEG_INFINITY), |best, (t, b)| {
+                    if b > best.1 {
+                        (t, b)
+                    } else {
+                        best
+                    }
+                });
+        let top_boost = if top_boost.is_finite() {
+            top_boost
+        } else {
+            0.0
+        };
+        let drift = {
+            let mut prev = self
+                .prev_boosts
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let d = match prev.as_ref() {
+                Some(old) if old.len() == boosts.len() => boosts
+                    .iter()
+                    .zip(old)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max),
+                _ => 0.0,
+            };
+            *prev = Some(boosts);
+            d
+        };
+        registry
+            .gauge(M_ADV_TOP_BOOST, &[])
+            .set((top_boost * ADV_GAUGE_MICRO).round() as i64);
+        registry
+            .gauge(M_ADV_DRIFT, &[])
+            .set((drift * ADV_GAUGE_MICRO).round() as i64);
+        registry.gauge(M_ADV_WINDOW, &[]).set(window.len() as i64);
+        DriftSample {
+            window_len: window.len(),
+            top_topic,
+            top_boost,
+            drift,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsearch_lda::{LdaConfig, LdaTrainer};
+    use tsearch_text::TermId;
+
+    fn model() -> Arc<LdaModel> {
+        let mut docs = Vec::new();
+        for d in 0..120u32 {
+            let base = (d % 4) * 8;
+            docs.push((0..40).map(|i| base + (i % 8)).collect::<Vec<TermId>>());
+        }
+        let refs: Vec<&[TermId]> = docs.iter().map(|d| d.as_slice()).collect();
+        Arc::new(LdaTrainer::train(
+            &refs,
+            48,
+            LdaConfig {
+                iterations: 40,
+                ..LdaConfig::with_topics(4)
+            },
+        ))
+    }
+
+    fn logged(ordinal: u64, tokens: Vec<u32>) -> LoggedQuery {
+        LoggedQuery {
+            ordinal,
+            text: String::new(),
+            tokens,
+        }
+    }
+
+    #[test]
+    fn empty_logs_sample_cleanly() {
+        let est = OnlineLogEstimator::new(model(), OnlineEstimatorConfig::default());
+        let reg = MetricsRegistry::new();
+        let s = est.sample(&[Vec::new(), Vec::new()], &reg);
+        assert_eq!(s.window_len, 0);
+        assert_eq!(s.drift, 0.0);
+        assert_eq!(reg.gauge(M_ADV_WINDOW, &[]).get(), 0);
+    }
+
+    #[test]
+    fn drift_tracks_changing_windows() {
+        let est = OnlineLogEstimator::new(model(), OnlineEstimatorConfig { window: 4 });
+        let reg = MetricsRegistry::new();
+        let logs_a = vec![vec![logged(0, vec![0, 1]), logged(1, vec![2, 3])]];
+        let first = est.sample(&logs_a, &reg);
+        assert_eq!(first.drift, 0.0, "first sample has no reference");
+        assert_eq!(first.window_len, 2);
+        // A shifted workload moves the inferred boost vector.
+        let logs_b = vec![vec![
+            logged(0, vec![0, 1]),
+            logged(1, vec![2, 3]),
+            logged(2, vec![40, 41, 42]),
+            logged(3, vec![40, 41, 42]),
+            logged(4, vec![40, 41, 42]),
+            logged(5, vec![40, 41, 42]),
+        ]];
+        let second = est.sample(&logs_b, &reg);
+        assert_eq!(second.window_len, 4, "window caps the adversary view");
+        assert!(second.drift >= 0.0);
+        assert_eq!(
+            reg.gauge(M_ADV_TOP_BOOST, &[]).get(),
+            (second.top_boost * 1e6).round() as i64,
+            "top-boost gauge publishes the sample in micro-units"
+        );
+        // An identical window drifts by exactly zero.
+        let third = est.sample(&logs_b, &reg);
+        assert_eq!(third.drift, 0.0);
+        assert_eq!(reg.gauge(M_ADV_DRIFT, &[]).get(), 0);
+    }
+
+    #[test]
+    fn colluding_shards_merge_before_sampling() {
+        let est = OnlineLogEstimator::new(model(), OnlineEstimatorConfig { window: 8 });
+        let reg = MetricsRegistry::new();
+        // The same ordinal split across shards is one reconstructed query.
+        let shard0 = vec![logged(0, vec![0]), logged(2, vec![4])];
+        let shard1 = vec![logged(1, vec![2]), logged(2, vec![5])];
+        let s = est.sample(&[shard0, shard1], &reg);
+        assert_eq!(s.window_len, 3);
+    }
+}

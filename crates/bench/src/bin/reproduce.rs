@@ -5,18 +5,26 @@
 //! reproduce [EXPERIMENT ...]
 //!           [--exp all|fig2|fig3|fig4|fig5|fig6|tables|stats|ablations|adversary|
 //!                  classifier|mc|session|reduced|pacing|quality|load|service|sharding|
-//!                  staleness|scenarios|appendix]
+//!                  staleness|scenarios|audit|appendix]
+//!           [diff [--baseline-dir D] [--bench-dir D] [--threshold PCT]]
 //!           [--scale quick|standard] [--out results] [--no-cache] [--quiet]
 //! ```
 //!
 //! Bare positional names select experiments (`reproduce -- service
-//! sharding`); the `service`, `sharding`, `staleness`, and `scenarios` experiments
-//! additionally write machine-readable `BENCH_<name>.json` snapshots
-//! (per-stage p50/p99 from the toppriv-obs histograms) to the current
-//! directory or `$TOPPRIV_BENCH_DIR`.
+//! sharding`); the `service`, `sharding`, `staleness`, `scenarios`, and
+//! `audit` experiments additionally write machine-readable
+//! `BENCH_<name>.json` snapshots (per-stage p50/p99 from the
+//! toppriv-obs histograms) to the current directory or
+//! `$TOPPRIV_BENCH_DIR`.
+//!
+//! `reproduce -- diff [--baseline-dir D] [--bench-dir D] [--threshold PCT]`
+//! compares fresh `BENCH_*.json` snapshots against the recorded
+//! baselines (default `results/baselines/`) and exits non-zero when any
+//! stage p99 or run qps regressed beyond the threshold.
 
 use std::path::PathBuf;
 use std::time::Instant;
+use toppriv_bench::diff::{diff_dirs, DiffConfig};
 use toppriv_bench::experiments;
 use toppriv_bench::{ExperimentContext, ResultTable, Scale};
 
@@ -49,8 +57,63 @@ const ALL_EXPS: &[&str] = &[
     "sharding",
     "staleness",
     "scenarios",
+    "audit",
     "appendix",
 ];
+
+/// Handles `reproduce -- diff ...` without building a context: parses
+/// the diff flags, runs the comparison, prints the report, and exits —
+/// non-zero iff regressions were flagged (missing snapshots and parse
+/// errors are reported but do not fail the diff).
+fn run_diff(argv: &[String]) -> ! {
+    let mut baseline_dir = PathBuf::from("results/baselines");
+    let mut bench_dir = toppriv_obs::bench_dir();
+    let mut cfg = DiffConfig::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline-dir" => {
+                i += 1;
+                baseline_dir = PathBuf::from(argv.get(i).unwrap_or_else(|| {
+                    eprintln!("error: --baseline-dir needs a value");
+                    std::process::exit(2);
+                }));
+            }
+            "--bench-dir" => {
+                i += 1;
+                bench_dir = PathBuf::from(argv.get(i).unwrap_or_else(|| {
+                    eprintln!("error: --bench-dir needs a value");
+                    std::process::exit(2);
+                }));
+            }
+            "--threshold" => {
+                i += 1;
+                cfg.threshold_pct = argv
+                    .get(i)
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --threshold needs a percentage");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("error: unknown diff argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    println!(
+        "[diff] baselines {} vs fresh {} (threshold {:.0}%, min p99 {} us)",
+        baseline_dir.display(),
+        bench_dir.display(),
+        cfg.threshold_pct,
+        cfg.min_p99_us
+    );
+    let report = diff_dirs(&baseline_dir, &bench_dir, &cfg);
+    print!("{}", report.render());
+    std::process::exit(if report.regressions() > 0 { 1 } else { 0 });
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut exps = vec!["all".to_string()];
@@ -123,6 +186,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() {
+    // `diff` is a subcommand, not an experiment: it needs no context.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("diff") {
+        run_diff(&argv[1..]);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -169,6 +237,7 @@ fn main() {
             "sharding" => experiments::sharding::run(&ctx),
             "staleness" => experiments::staleness::run(&ctx),
             "scenarios" => experiments::scenarios::run(&ctx),
+            "audit" => experiments::audit::run(&ctx),
             "appendix" => experiments::appendix::run(&ctx),
             _ => unreachable!("validated in parse_args"),
         };

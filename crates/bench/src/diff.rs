@@ -1,0 +1,300 @@
+//! Bench-diff tooling: compare `BENCH_*.json` runs against recorded
+//! baselines.
+//!
+//! The repo checks reference snapshots into `results/baselines/`; after
+//! a bench run, `reproduce -- diff` loads every baseline, finds the
+//! matching fresh snapshot (same `BENCH_<experiment>.json` name in the
+//! bench directory), and flags per-stage p99 regressions and qps drops
+//! beyond a configurable threshold. The driver exits non-zero when any
+//! regression is flagged, so CI can run the diff as a perf tripwire —
+//! typically `continue-on-error`, since shared runners are noisy.
+//!
+//! The comparison is intentionally structural, not statistical: one
+//! snapshot per side, a percentage threshold, and a minimum-baseline
+//! floor (`min_p99_us`) so sub-resolution stages (a 3 µs cache probe
+//! doubling to 6 µs) don't page anyone.
+
+use std::path::Path;
+use toppriv_obs::BenchSnapshot;
+
+/// Diff thresholds.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Flag a stage whose p99 grew by more than this percentage, and a
+    /// run whose qps dropped by more than this percentage.
+    pub threshold_pct: f64,
+    /// Ignore stages whose **baseline** p99 is below this many
+    /// microseconds — relative noise on sub-resolution stages.
+    pub min_p99_us: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            threshold_pct: 20.0,
+            min_p99_us: 10,
+        }
+    }
+}
+
+/// One stage's baseline-vs-current p99 comparison.
+#[derive(Debug, Clone)]
+pub struct StageDelta {
+    /// Stage name.
+    pub stage: String,
+    /// Baseline p99 (µs).
+    pub base_p99_us: u64,
+    /// Current p99 (µs).
+    pub cur_p99_us: u64,
+    /// Percentage change (positive = slower).
+    pub delta_pct: f64,
+    /// Whether this stage regressed beyond the threshold.
+    pub regressed: bool,
+}
+
+/// Baseline-vs-current comparison of one experiment's snapshots.
+#[derive(Debug, Clone)]
+pub struct ExperimentDiff {
+    /// Experiment name (`service`, `scenario_churn`, ...).
+    pub experiment: String,
+    /// Baseline qps.
+    pub base_qps: f64,
+    /// Current qps.
+    pub cur_qps: f64,
+    /// Percentage qps change (negative = slower).
+    pub qps_delta_pct: f64,
+    /// Whether qps dropped beyond the threshold.
+    pub qps_regressed: bool,
+    /// Per-stage p99 comparisons (stages present on both sides).
+    pub stages: Vec<StageDelta>,
+}
+
+impl ExperimentDiff {
+    /// Regressed stage count plus the qps verdict.
+    pub fn regressions(&self) -> usize {
+        self.stages.iter().filter(|s| s.regressed).count() + usize::from(self.qps_regressed)
+    }
+}
+
+/// The full diff over a baseline directory.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Per-experiment comparisons, in baseline filename order.
+    pub experiments: Vec<ExperimentDiff>,
+    /// Baselines with no matching current snapshot (informational — the
+    /// run may simply not have included that experiment).
+    pub missing_current: Vec<String>,
+    /// Files on either side that failed to parse.
+    pub errors: Vec<String>,
+}
+
+impl DiffReport {
+    /// Total flagged regressions across every compared experiment.
+    pub fn regressions(&self) -> usize {
+        self.experiments.iter().map(|e| e.regressions()).sum()
+    }
+
+    /// Human-readable rendering, one line per comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for exp in &self.experiments {
+            let qps_mark = if exp.qps_regressed { " REGRESSED" } else { "" };
+            out.push_str(&format!(
+                "{}: qps {:.1} -> {:.1} ({:+.1}%){qps_mark}\n",
+                exp.experiment, exp.base_qps, exp.cur_qps, exp.qps_delta_pct
+            ));
+            for s in &exp.stages {
+                let mark = if s.regressed { " REGRESSED" } else { "" };
+                out.push_str(&format!(
+                    "  {}: p99 {} us -> {} us ({:+.1}%){mark}\n",
+                    s.stage, s.base_p99_us, s.cur_p99_us, s.delta_pct
+                ));
+            }
+        }
+        for m in &self.missing_current {
+            out.push_str(&format!("{m}: no current snapshot (skipped)\n"));
+        }
+        for e in &self.errors {
+            out.push_str(&format!("error: {e}\n"));
+        }
+        out.push_str(&format!(
+            "{} experiment(s) compared, {} regression(s) flagged\n",
+            self.experiments.len(),
+            self.regressions()
+        ));
+        out
+    }
+}
+
+/// Compares one baseline snapshot against its current counterpart.
+pub fn diff_snapshot(
+    base: &BenchSnapshot,
+    cur: &BenchSnapshot,
+    cfg: &DiffConfig,
+) -> ExperimentDiff {
+    let qps_delta_pct = if base.qps > 0.0 {
+        (cur.qps - base.qps) / base.qps * 100.0
+    } else {
+        0.0
+    };
+    let mut stages = Vec::new();
+    for bs in &base.stages {
+        let Some(cs) = cur.stages.iter().find(|s| s.stage == bs.stage) else {
+            continue;
+        };
+        if bs.p99_us < cfg.min_p99_us {
+            continue;
+        }
+        let delta_pct = (cs.p99_us as f64 - bs.p99_us as f64) / bs.p99_us as f64 * 100.0;
+        stages.push(StageDelta {
+            stage: bs.stage.clone(),
+            base_p99_us: bs.p99_us,
+            cur_p99_us: cs.p99_us,
+            delta_pct,
+            regressed: delta_pct > cfg.threshold_pct,
+        });
+    }
+    ExperimentDiff {
+        experiment: base.experiment.clone(),
+        base_qps: base.qps,
+        cur_qps: cur.qps,
+        qps_delta_pct,
+        qps_regressed: base.qps > 0.0 && qps_delta_pct < -cfg.threshold_pct,
+        stages,
+    }
+}
+
+fn load_snapshot(path: &Path) -> Result<BenchSnapshot, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(body.trim()).map_err(|e| format!("{}: {e:?}", path.display()))
+}
+
+/// Diffs every `BENCH_*.json` under `baseline_dir` against the file of
+/// the same name under `current_dir`.
+pub fn diff_dirs(baseline_dir: &Path, current_dir: &Path, cfg: &DiffConfig) -> DiffReport {
+    let mut report = DiffReport::default();
+    let entries = match std::fs::read_dir(baseline_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            report
+                .errors
+                .push(format!("{}: {e}", baseline_dir.display()));
+            return report;
+        }
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    for name in names {
+        let base = match load_snapshot(&baseline_dir.join(&name)) {
+            Ok(s) => s,
+            Err(e) => {
+                report.errors.push(e);
+                continue;
+            }
+        };
+        let cur_path = current_dir.join(&name);
+        if !cur_path.exists() {
+            report.missing_current.push(base.experiment.clone());
+            continue;
+        }
+        match load_snapshot(&cur_path) {
+            Ok(cur) => report.experiments.push(diff_snapshot(&base, &cur, cfg)),
+            Err(e) => report.errors.push(e),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toppriv_obs::StageStats;
+
+    fn snap(experiment: &str, qps: f64, stages: &[(&str, u64)]) -> BenchSnapshot {
+        let mut s = BenchSnapshot::new(experiment);
+        s.qps = qps;
+        s.stages = stages
+            .iter()
+            .map(|&(name, p99)| StageStats {
+                stage: name.into(),
+                count: 100,
+                p50_us: p99 / 2,
+                p99_us: p99,
+                mean_us: p99 as f64 / 2.0,
+            })
+            .collect();
+        s
+    }
+
+    #[test]
+    fn flags_p99_regressions_over_threshold() {
+        let base = snap("service", 1000.0, &[("submit", 100), ("gather", 200)]);
+        let cur = snap("service", 990.0, &[("submit", 150), ("gather", 210)]);
+        let d = diff_snapshot(&base, &cur, &DiffConfig::default());
+        assert_eq!(d.regressions(), 1);
+        let submit = d.stages.iter().find(|s| s.stage == "submit").unwrap();
+        assert!(submit.regressed);
+        assert!((submit.delta_pct - 50.0).abs() < 1e-9);
+        assert!(
+            !d.stages
+                .iter()
+                .find(|s| s.stage == "gather")
+                .unwrap()
+                .regressed
+        );
+        assert!(!d.qps_regressed, "1% qps dip is within threshold");
+    }
+
+    #[test]
+    fn flags_qps_drops_and_skips_tiny_stages() {
+        let base = snap("audit", 1000.0, &[("cache_lookup", 3)]);
+        let cur = snap("audit", 700.0, &[("cache_lookup", 9)]);
+        let d = diff_snapshot(&base, &cur, &DiffConfig::default());
+        assert!(d.qps_regressed, "30% qps drop must be flagged");
+        assert!(
+            d.stages.is_empty(),
+            "stages under min_p99_us are excluded from comparison"
+        );
+        assert_eq!(d.regressions(), 1);
+    }
+
+    #[test]
+    fn improvement_and_new_stages_are_clean() {
+        let base = snap("service", 1000.0, &[("submit", 100)]);
+        let cur = snap("service", 1400.0, &[("submit", 60), ("new_stage", 999)]);
+        let d = diff_snapshot(&base, &cur, &DiffConfig::default());
+        assert_eq!(d.regressions(), 0);
+        assert_eq!(d.stages.len(), 1, "stages only on one side are skipped");
+    }
+
+    #[test]
+    fn dir_diff_matches_by_filename_and_reports_missing() {
+        let dir = std::env::temp_dir().join(format!("toppriv-diff-test-{}", std::process::id()));
+        let base_dir = dir.join("base");
+        let cur_dir = dir.join("cur");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&cur_dir).unwrap();
+        let write = |d: &Path, s: &BenchSnapshot| {
+            std::fs::write(
+                d.join(format!("BENCH_{}.json", s.experiment)),
+                serde_json::to_string(s).unwrap(),
+            )
+            .unwrap();
+        };
+        write(&base_dir, &snap("service", 1000.0, &[("submit", 100)]));
+        write(&base_dir, &snap("sharding", 800.0, &[("gather", 50)]));
+        write(&cur_dir, &snap("service", 400.0, &[("submit", 100)]));
+        std::fs::write(base_dir.join("BENCH_broken.json"), "not json").unwrap();
+        let report = diff_dirs(&base_dir, &cur_dir, &DiffConfig::default());
+        assert_eq!(report.experiments.len(), 1);
+        assert_eq!(report.missing_current, vec!["sharding".to_string()]);
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.regressions(), 1, "service qps dropped 60%");
+        assert!(report.render().contains("REGRESSED"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

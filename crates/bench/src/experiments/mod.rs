@@ -7,6 +7,7 @@
 pub mod ablations;
 pub mod adversary;
 pub mod appendix;
+pub mod audit;
 pub mod classifier;
 pub mod fig2;
 pub mod fig3;

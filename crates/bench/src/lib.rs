@@ -13,6 +13,7 @@
 //! `benches/`.
 
 pub mod context;
+pub mod diff;
 pub mod experiments;
 pub mod obsbench;
 pub mod scale;
@@ -20,6 +21,7 @@ pub mod scenarios;
 pub mod table;
 
 pub use context::ExperimentContext;
+pub use diff::{diff_dirs, diff_snapshot, DiffConfig, DiffReport};
 pub use obsbench::{emit_bench, service_bench_snapshot, service_stage_stats};
 pub use scale::Scale;
 pub use table::ResultTable;

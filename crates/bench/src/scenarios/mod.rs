@@ -92,14 +92,18 @@ pub(crate) fn sharded_tier(ctx: &ExperimentContext, shards: usize) -> SearchTier
     )))
 }
 
-/// A fresh fleet manager on `tier` with the scenario fleet seed and a
+/// A fresh fleet manager on `tier` with the scenario fleet seed, a
 /// result cache (decoys are content-deterministic, so cross-tenant
-/// cache identity is part of what scenarios exercise).
+/// cache identity is part of what scenarios exercise), and the privacy
+/// audit plane attached — every scenario run is continuously audited,
+/// and [`finish_with`] folds the auditor's verdict into the scenario's
+/// invariant block.
 pub(crate) fn fleet_manager(ctx: &ExperimentContext, tier: SearchTier) -> Arc<SessionManager> {
     Arc::new(
         SessionManager::with_tier(tier, ctx.default_model().clone())
             .with_cache(4096)
-            .with_fleet_seed(FLEET_SEED),
+            .with_fleet_seed(FLEET_SEED)
+            .with_auditor(toppriv_service::AuditConfig::default()),
     )
 }
 
@@ -155,6 +159,20 @@ pub(crate) fn finish_with(
         notes,
     );
     snap.stages.extend(extra_stages);
+    let mut invariants = invariants;
+    if let Some(auditor) = manager.auditor() {
+        let health = auditor.health();
+        invariants.check(
+            "audit_plane_healthy",
+            format!(
+                "auditor saw {} cycle(s), {} breach(es), verdict {}",
+                health.cycles_audited,
+                health.breaches,
+                health.verdict()
+            ),
+            health.healthy,
+        );
+    }
     snap.invariants = invariants;
     obsbench::emit_bench(&snap);
     let verdict = if snap.invariants.pass { "PASS" } else { "FAIL" };

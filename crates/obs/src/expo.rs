@@ -236,17 +236,18 @@ pub fn host_cores() -> usize {
         .unwrap_or(1)
 }
 
-/// Max-over-mean imbalance of per-shard counts (0 for empty input).
+/// Max-over-mean imbalance of per-shard counts. Structurally total: 0.0
+/// for empty or all-zero input (no observed load means no imbalance, and
+/// in particular no panic and no division by a zero mean).
 pub fn imbalance(per_shard: &[u64]) -> f64 {
-    if per_shard.is_empty() {
+    let max = per_shard.iter().copied().max().unwrap_or(0);
+    if max == 0 {
         return 0.0;
     }
-    let total: u64 = per_shard.iter().sum();
-    if total == 0 {
-        return 0.0;
-    }
-    let mean = total as f64 / per_shard.len() as f64;
-    *per_shard.iter().max().unwrap() as f64 / mean
+    // f64 accumulation: huge counter sums must not overflow either.
+    let total: f64 = per_shard.iter().map(|&c| c as f64).sum();
+    let mean = total / per_shard.len() as f64;
+    max as f64 / mean
 }
 
 /// Directory `BENCH_*.json` files land in: `$TOPPRIV_BENCH_DIR` when
@@ -329,8 +330,14 @@ mod tests {
     #[test]
     fn imbalance_is_max_over_mean() {
         assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[0]), 0.0);
         assert_eq!(imbalance(&[0, 0]), 0.0);
         assert!((imbalance(&[10, 10, 10, 10]) - 1.0).abs() < 1e-12);
         assert!((imbalance(&[30, 10]) - 1.5).abs() < 1e-12);
+        // Degenerate shapes must stay total: one loaded shard among
+        // idle ones is max-over-mean = n, and a single shard is 1.0.
+        assert!((imbalance(&[0, 0, 0, 12]) - 4.0).abs() < 1e-12);
+        assert!((imbalance(&[7]) - 1.0).abs() < 1e-12);
+        assert!(imbalance(&[u64::MAX, u64::MAX]).is_finite());
     }
 }

@@ -57,6 +57,10 @@ pub const RELATIVE_ERROR: f64 = 1.0 / SUBBUCKETS as f64;
 #[derive(Debug)]
 pub struct Histogram {
     counts: Vec<AtomicU64>,
+    // Trace exemplars: per bucket, the span id of the most recent value
+    // recorded into it via `record_with_exemplar` (0 = none). Lets a
+    // p99 outlier link straight to the span that produced it.
+    exemplars: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
@@ -98,6 +102,7 @@ impl Histogram {
     pub fn new() -> Self {
         Histogram {
             counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
@@ -112,6 +117,53 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records one value tagged with the [`crate::Span`] id that
+    /// produced it. The value's bucket keeps the most recent such id as
+    /// its trace exemplar, so a percentile readout can link back to the
+    /// span behind an outlier (`span_id` 0 is ignored — the bucket keeps
+    /// its previous exemplar). Same cost class as [`Histogram::record`]:
+    /// one extra relaxed store, still lock-free.
+    pub fn record_with_exemplar(&self, value: u64, span_id: u64) {
+        let index = bucket_index(value);
+        if span_id != 0 {
+            self.exemplars[index].store(span_id, Ordering::Relaxed);
+        }
+        self.counts[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The trace exemplar nearest the `q`-th percentile: the span id
+    /// sampled into the bucket holding that rank, falling back to the
+    /// nearest lower occupied bucket with an exemplar. `None` when the
+    /// histogram is empty or no value near that rank was recorded via
+    /// [`Histogram::record_with_exemplar`].
+    pub fn exemplar(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        let mut rank_bucket = self.counts.len() - 1;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                rank_bucket = i;
+                break;
+            }
+        }
+        for i in (0..=rank_bucket).rev() {
+            let id = self.exemplars[i].load(Ordering::Relaxed);
+            if id != 0 {
+                return Some(id);
+            }
+        }
+        None
     }
 
     /// Values recorded so far.
@@ -180,6 +232,12 @@ impl Histogram {
                 mine.fetch_add(c, Ordering::Relaxed);
             }
         }
+        for (mine, theirs) in self.exemplars.iter().zip(&other.exemplars) {
+            let id = theirs.load(Ordering::Relaxed);
+            if id != 0 {
+                mine.store(id, Ordering::Relaxed);
+            }
+        }
         self.count
             .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
         self.sum
@@ -196,6 +254,9 @@ impl Histogram {
     pub fn clear(&self) {
         for c in &self.counts {
             c.store(0, Ordering::Relaxed);
+        }
+        for e in &self.exemplars {
+            e.store(0, Ordering::Relaxed);
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
@@ -342,6 +403,43 @@ mod tests {
         assert_eq!(h.percentile(0.99), 0);
         h.record(42);
         assert_eq!(h.percentile(0.5), 42);
+    }
+
+    #[test]
+    fn exemplars_link_percentiles_to_spans() {
+        let h = Histogram::new();
+        assert_eq!(h.exemplar(0.99), None, "empty histogram has no exemplar");
+        for v in 1..=100u64 {
+            h.record_with_exemplar(v * 10, 1000 + v);
+        }
+        // p99 rank lands at value 990 → the span that recorded it.
+        assert_eq!(h.exemplar(0.99), Some(1000 + 99));
+        assert_eq!(h.exemplar(0.01), Some(1000 + 1));
+        // Plain record never overwrites an exemplar; span id 0 is ignored.
+        h.record(990);
+        h.record_with_exemplar(990, 0);
+        assert_eq!(h.exemplar(0.99), Some(1000 + 99));
+        h.clear();
+        assert_eq!(h.exemplar(0.99), None, "clear drops exemplars");
+    }
+
+    #[test]
+    fn exemplar_falls_back_to_lower_occupied_bucket() {
+        let h = Histogram::new();
+        h.record_with_exemplar(10, 7);
+        for _ in 0..50 {
+            h.record(100_000); // tail recorded without exemplars
+        }
+        assert_eq!(h.exemplar(0.99), Some(7));
+    }
+
+    #[test]
+    fn merge_carries_exemplars() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        b.record_with_exemplar(5000, 42);
+        a.merge(&b);
+        assert_eq!(a.exemplar(1.0), Some(42));
     }
 
     #[test]

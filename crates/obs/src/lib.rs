@@ -12,6 +12,8 @@
 //!   handles are `Arc`s over atomics so hot paths never lock;
 //! - [`Tracer`] / [`Span`] — request-lifecycle spans with ids and
 //!   parent links, journaled into a fixed ring buffer;
+//! - [`AuditLog`] / [`HealthReport`] — the bounded audit-event journal
+//!   and aggregated verdict behind the service-layer privacy auditor;
 //! - exposition — [`render_prometheus`], [`render_ndjson`], and the
 //!   [`BenchSnapshot`] writer behind the repo's `BENCH_*.json` files.
 //!
@@ -32,11 +34,13 @@
 
 #![warn(missing_docs)]
 
+mod audit;
 mod expo;
 mod hist;
 mod registry;
 mod span;
 
+pub use audit::{AuditEvent, AuditLog, AuditSeverity, HealthReport};
 pub use expo::{
     bench_dir, host_cores, imbalance, parse_ndjson_line, render_ndjson, render_prometheus,
     write_bench_snapshot, BenchSnapshot, InvariantBlock, InvariantCheck, StageStats,

@@ -1,0 +1,635 @@
+//! The online privacy auditor: continuous per-tenant (ε1, ε2) monitoring.
+//!
+//! PR 7 proved the paper's Definition-4 fleet invariant —
+//! `min(exposure − mask_level, exposure − ε2) ≤ 0` — inside the offline
+//! scenario harness. [`PrivacyAuditor`] turns that into a permanent
+//! runtime check that runs alongside serving, the privacy-system
+//! analogue of continuous SLO monitoring:
+//!
+//! - **register** — [`crate::SessionManager::plan_cycle_with_report`] (and the
+//!   synchronous search path) registers every formulated cycle's
+//!   privacy facts (exposure, mask level, ε2, trace exposure) while the
+//!   session lock is held, and updates the per-tenant gauges
+//!   (`tenant_worst_exposure`, `tenant_trace_exposure`,
+//!   `tenant_budget_headroom = ε2 − trace_exposure`) plus the budget
+//!   **burn-rate** estimate (`tenant_burn_cycles`: cycles until ε2
+//!   exhaustion at the current trace-exposure slope);
+//! - **audit** — the [`crate::CycleScheduler`] drain workers call
+//!   [`PrivacyAuditor::on_outcome`] for every drained submission; the
+//!   registered fact's fleet invariant is evaluated on each call, and a
+//!   breach (or a near-breach, when headroom drops under the configured
+//!   threshold) is journaled as an [`AuditEvent`] **exactly once** per
+//!   cycle, no matter how many workers race on its submissions;
+//! - **spill** — once per drain the journal is optionally spilled to a
+//!   CRC-sealed `tsearch-store` container (the PR-7 persist codec, kind
+//!   [`tsearch_store::kind::AUDIT_JOURNAL`]) so audits survive restarts;
+//! - **read out** — [`PrivacyAuditor::health`] aggregates the verdict a
+//!   `Health` protocol op, a `toppriv-serve --audit-interval` tick, or a
+//!   scenario's closing invariant consumes; [`PrivacyAuditor::tail`]
+//!   serves `AuditTail`.
+//!
+//! The injection hook [`PrivacyAuditor::rig_cycle`] overwrites a
+//! registered cycle's facts with a rigged mask schedule — the
+//! chaos-testing counterpart of
+//! [`crate::CycleScheduler::with_worker_fault`] — so tests and the
+//! `audit` bench experiment can prove an ε2 breach is surfaced within
+//! one drain without building a deliberately broken ghost generator.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use toppriv_core::PrivacyMetrics;
+use toppriv_obs::{
+    recover_lock, AuditEvent, AuditLog, AuditSeverity, HealthReport, MetricsRegistry,
+};
+
+/// Metric name: per-tenant worst single-cycle exposure (micro-units).
+pub const M_TENANT_WORST_EXPOSURE: &str = "tenant_worst_exposure";
+/// Metric name: per-tenant Equation-2 trace exposure (micro-units).
+pub const M_TENANT_TRACE_EXPOSURE: &str = "tenant_trace_exposure";
+/// Metric name: per-tenant budget headroom `ε2 − trace_exposure`
+/// (micro-units; negative means the session budget is exhausted).
+pub const M_TENANT_HEADROOM: &str = "tenant_budget_headroom";
+/// Metric name: per-tenant cycles until ε2 exhaustion at the current
+/// trace-exposure slope (−1 when the tenant is not burning budget).
+pub const M_TENANT_BURN_CYCLES: &str = "tenant_burn_cycles";
+/// Metric name: audit events journaled, labelled by `severity`.
+pub const M_AUDIT_EVENTS: &str = "audit_events_total";
+/// Metric name: cycles whose fleet invariant has been evaluated.
+pub const M_AUDIT_CYCLES: &str = "audit_cycles_total";
+/// Metric name: journal spills sealed to disk.
+pub const M_AUDIT_SPILLS: &str = "audit_spills_total";
+
+/// Fixed-point scale for float-valued gauges: the registry's [`toppriv_obs::Gauge`]
+/// is an `i64`, so exposures and headrooms are published in micro-units
+/// (`value × 1e6`, rounded).
+pub const GAUGE_MICRO: f64 = 1e6;
+
+/// Publishes `v` in micro-units, the fixed-point encoding every
+/// `tenant_*` gauge uses.
+pub fn to_micro(v: f64) -> i64 {
+    (v * GAUGE_MICRO).round() as i64
+}
+
+/// Auditor tuning.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Events the ring journal retains.
+    pub journal_capacity: usize,
+    /// Near-breach threshold as a fraction of ε2: a `low_headroom`
+    /// warning is journaled when `0 ≤ headroom < fraction × ε2`.
+    pub near_breach_fraction: f64,
+    /// Float tolerance on the fleet-invariant evaluation (matches the
+    /// scenario harness).
+    pub tolerance: f64,
+    /// Spill the journal after this many audited cycles (0 disables
+    /// periodic spills; explicit [`PrivacyAuditor::spill_now`] always
+    /// works).
+    pub spill_every_cycles: u64,
+    /// Where periodic spills land (sealed container bytes). `None`
+    /// disables periodic spills even when `spill_every_cycles > 0`.
+    pub spill_path: Option<PathBuf>,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            journal_capacity: 1024,
+            near_breach_fraction: 0.25,
+            tolerance: 1e-9,
+            spill_every_cycles: 256,
+            spill_path: None,
+        }
+    }
+}
+
+/// Per-tenant accounting the auditor maintains across cycles.
+#[derive(Debug)]
+struct TenantAudit {
+    eps2: f64,
+    cycles: u64,
+    worst_exposure: f64,
+    trace_exposure: f64,
+    /// EMA of the per-cycle trace-exposure delta (the burn slope).
+    burn_slope: f64,
+    breaches: u64,
+    gauge_worst: toppriv_obs::Gauge,
+    gauge_trace: toppriv_obs::Gauge,
+    gauge_headroom: toppriv_obs::Gauge,
+    gauge_burn: toppriv_obs::Gauge,
+}
+
+impl TenantAudit {
+    fn headroom(&self) -> f64 {
+        self.eps2 - self.trace_exposure
+    }
+
+    /// Cycles until ε2 exhaustion at the current slope (−1 when not
+    /// burning or already exhausted with no slope).
+    fn burn_cycles(&self) -> i64 {
+        if self.burn_slope <= 1e-12 {
+            return -1;
+        }
+        let h = self.headroom();
+        if h <= 0.0 {
+            return 0;
+        }
+        (h / self.burn_slope).ceil().min(i64::MAX as f64) as i64
+    }
+}
+
+/// Privacy facts of one formulated-but-not-yet-audited cycle.
+#[derive(Debug, Clone)]
+struct CycleFact {
+    exposure: f64,
+    mask_level: f64,
+    eps2: f64,
+    trace_exposure: f64,
+    /// Set by the first drain worker that evaluates the fact, so the
+    /// breach / near-breach event is emitted exactly once per cycle.
+    audited: bool,
+}
+
+/// Burn-slope EMA smoothing factor.
+const BURN_EMA_ALPHA: f64 = 0.3;
+
+/// The continuous privacy auditor (see the module docs for the
+/// register → audit → spill → read-out lifecycle).
+pub struct PrivacyAuditor {
+    registry: Arc<MetricsRegistry>,
+    config: AuditConfig,
+    log: AuditLog,
+    /// session → accumulated accounting.
+    tenants: Mutex<HashMap<String, TenantAudit>>,
+    /// session → cycle id → registered facts awaiting audit. The outer
+    /// key is the session so the drain hot path looks up by `&str`
+    /// without allocating a composite key.
+    pending: Mutex<HashMap<String, HashMap<usize, CycleFact>>>,
+    cycles_audited: AtomicU64,
+    cycles_at_last_spill: AtomicU64,
+}
+
+impl PrivacyAuditor {
+    /// An auditor publishing into `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>, config: AuditConfig) -> Self {
+        let log = AuditLog::new(config.journal_capacity);
+        PrivacyAuditor {
+            registry,
+            config,
+            log,
+            tenants: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            cycles_audited: AtomicU64::new(0),
+            cycles_at_last_spill: AtomicU64::new(0),
+        }
+    }
+
+    /// The auditor's configuration.
+    pub fn config(&self) -> &AuditConfig {
+        &self.config
+    }
+
+    /// The ring journal (for `AuditTail` and the spill codec).
+    pub fn log(&self) -> &AuditLog {
+        &self.log
+    }
+
+    /// The most recent `limit` journal events, oldest first.
+    pub fn tail(&self, limit: usize) -> Vec<AuditEvent> {
+        self.log.tail(limit)
+    }
+
+    /// Cycles whose fleet invariant has been evaluated.
+    pub fn cycles_audited(&self) -> u64 {
+        self.cycles_audited.load(Ordering::Relaxed)
+    }
+
+    /// Registers one formulated cycle's privacy facts and refreshes the
+    /// tenant's gauges. Called by the session manager at plan/search
+    /// time (while it still holds the ground truth); the facts wait in
+    /// the pending set until a drain worker audits them.
+    pub fn register_cycle(
+        &self,
+        session: &str,
+        cycle_id: usize,
+        metrics: &PrivacyMetrics,
+        eps2: f64,
+        trace_exposure: f64,
+        worst_exposure: f64,
+    ) {
+        {
+            let mut pending = recover_lock(&self.pending);
+            pending.entry(session.to_string()).or_default().insert(
+                cycle_id,
+                CycleFact {
+                    exposure: metrics.exposure,
+                    mask_level: metrics.mask_level,
+                    eps2,
+                    trace_exposure,
+                    audited: false,
+                },
+            );
+        }
+        let mut tenants = recover_lock(&self.tenants);
+        let tenant = tenants.entry(session.to_string()).or_insert_with(|| {
+            let labels = [("tenant", session)];
+            TenantAudit {
+                eps2,
+                cycles: 0,
+                worst_exposure: 0.0,
+                trace_exposure: 0.0,
+                burn_slope: 0.0,
+                breaches: 0,
+                gauge_worst: self.registry.gauge(M_TENANT_WORST_EXPOSURE, &labels),
+                gauge_trace: self.registry.gauge(M_TENANT_TRACE_EXPOSURE, &labels),
+                gauge_headroom: self.registry.gauge(M_TENANT_HEADROOM, &labels),
+                gauge_burn: self.registry.gauge(M_TENANT_BURN_CYCLES, &labels),
+            }
+        });
+        tenant.eps2 = eps2;
+        tenant.cycles += 1;
+        let delta = (trace_exposure - tenant.trace_exposure).max(0.0);
+        tenant.burn_slope = if tenant.cycles == 1 {
+            delta
+        } else {
+            BURN_EMA_ALPHA * delta + (1.0 - BURN_EMA_ALPHA) * tenant.burn_slope
+        };
+        tenant.trace_exposure = trace_exposure;
+        tenant.worst_exposure = worst_exposure.max(tenant.worst_exposure);
+        tenant.gauge_worst.set(to_micro(tenant.worst_exposure));
+        tenant.gauge_trace.set(to_micro(tenant.trace_exposure));
+        tenant.gauge_headroom.set(to_micro(tenant.headroom()));
+        tenant.gauge_burn.set(tenant.burn_cycles());
+    }
+
+    /// Registers **and immediately audits** one cycle — the synchronous
+    /// search path resolves its cycle inline, so there is no later drain
+    /// to call [`PrivacyAuditor::on_outcome`]; the fact is pruned right
+    /// away.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_cycle(
+        &self,
+        session: &str,
+        cycle_id: usize,
+        metrics: &PrivacyMetrics,
+        eps2: f64,
+        trace_exposure: f64,
+        worst_exposure: f64,
+    ) {
+        self.register_cycle(
+            session,
+            cycle_id,
+            metrics,
+            eps2,
+            trace_exposure,
+            worst_exposure,
+        );
+        self.on_outcome(session, cycle_id);
+        let mut pending = recover_lock(&self.pending);
+        if let Some(by_cycle) = pending.get_mut(session) {
+            by_cycle.remove(&cycle_id);
+            if by_cycle.is_empty() {
+                pending.remove(session);
+            }
+        }
+    }
+
+    /// Chaos hook: overwrites (or inserts) a registered cycle's facts
+    /// with a rigged mask schedule, so the next drain must surface an
+    /// ε2 breach. Counterpart of
+    /// [`crate::CycleScheduler::with_worker_fault`].
+    pub fn rig_cycle(&self, session: &str, cycle_id: usize, exposure: f64, mask_level: f64) {
+        let eps2 = recover_lock(&self.tenants)
+            .get(session)
+            .map(|t| t.eps2)
+            .unwrap_or_else(|| toppriv_core::PrivacyRequirement::paper_default().eps2);
+        recover_lock(&self.pending)
+            .entry(session.to_string())
+            .or_default()
+            .insert(
+                cycle_id,
+                CycleFact {
+                    exposure,
+                    mask_level,
+                    eps2,
+                    trace_exposure: exposure,
+                    audited: false,
+                },
+            );
+    }
+
+    /// Audits one drained submission: evaluates the registered cycle
+    /// fact's fleet invariant `min(exposure − mask_level, exposure − ε2)
+    /// ≤ 0` and, on the **first** evaluation of that cycle, journals a
+    /// breach or near-breach event and bumps the per-tenant accounting.
+    /// A submission with no registered fact (already pruned, or planned
+    /// before the auditor was attached) is a cheap no-op.
+    pub fn on_outcome(&self, session: &str, cycle_id: usize) {
+        let first = {
+            let mut pending = recover_lock(&self.pending);
+            let Some(fact) = pending.get_mut(session).and_then(|m| m.get_mut(&cycle_id)) else {
+                return;
+            };
+            // The invariant is evaluated on every drained submission;
+            // only the first evaluator proceeds to emit.
+            let violation = (fact.exposure - fact.mask_level).min(fact.exposure - fact.eps2);
+            debug_assert!(violation.is_finite());
+            if fact.audited {
+                None
+            } else {
+                fact.audited = true;
+                Some(fact.clone())
+            }
+        };
+        let Some(fact) = first else { return };
+        self.cycles_audited.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter(M_AUDIT_CYCLES, &[]).inc();
+        let violation = (fact.exposure - fact.mask_level).min(fact.exposure - fact.eps2);
+        if violation > self.config.tolerance {
+            if let Some(t) = recover_lock(&self.tenants).get_mut(session) {
+                t.breaches += 1;
+            }
+            self.emit(
+                AuditSeverity::Breach,
+                "eps2_breach",
+                session,
+                cycle_id as u64,
+                format!(
+                    "fleet invariant violated by {violation:.3e}: exposure {:.4} above both \
+                     mask level {:.4} and ε2 {:.4}",
+                    fact.exposure, fact.mask_level, fact.eps2
+                ),
+            );
+            return;
+        }
+        let headroom = fact.eps2 - fact.trace_exposure;
+        if headroom < self.config.near_breach_fraction * fact.eps2 {
+            self.emit(
+                AuditSeverity::Warning,
+                "low_headroom",
+                session,
+                cycle_id as u64,
+                format!(
+                    "budget headroom {headroom:.3e} below {:.0}% of ε2 {:.4} \
+                     (trace exposure {:.4})",
+                    self.config.near_breach_fraction * 100.0,
+                    fact.eps2,
+                    fact.trace_exposure
+                ),
+            );
+        }
+    }
+
+    /// Drain epilogue: prunes audited facts (called once per drain by
+    /// the scheduler, so the pending set stays bounded by in-flight
+    /// cycles) and performs a periodic journal spill when due.
+    pub fn finish_drain(&self) {
+        {
+            let mut pending = recover_lock(&self.pending);
+            for by_cycle in pending.values_mut() {
+                by_cycle.retain(|_, fact| !fact.audited);
+            }
+            pending.retain(|_, by_cycle| !by_cycle.is_empty());
+        }
+        let audited = self.cycles_audited();
+        if self.config.spill_every_cycles == 0 || self.config.spill_path.is_none() {
+            return;
+        }
+        let last = self.cycles_at_last_spill.load(Ordering::Relaxed);
+        if audited.saturating_sub(last) >= self.config.spill_every_cycles
+            && self
+                .cycles_at_last_spill
+                .compare_exchange(last, audited, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            if let Err(e) = self.spill_now() {
+                self.emit(
+                    AuditSeverity::Warning,
+                    "spill_failed",
+                    "",
+                    0,
+                    format!("journal spill failed: {e}"),
+                );
+            }
+        }
+    }
+
+    /// Seals the current journal into a CRC-checked container (kind
+    /// [`tsearch_store::kind::AUDIT_JOURNAL`]).
+    pub fn seal_journal(&self) -> Vec<u8> {
+        crate::persist::seal_audit_journal(&self.log.events())
+    }
+
+    /// Spills the sealed journal to the configured path (errors when no
+    /// path is configured) and journals the spill itself.
+    pub fn spill_now(&self) -> std::io::Result<PathBuf> {
+        let path = self.config.spill_path.clone().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no spill path configured")
+        })?;
+        let sealed = self.seal_journal();
+        std::fs::write(&path, &sealed)?;
+        self.registry.counter(M_AUDIT_SPILLS, &[]).inc();
+        self.emit(
+            AuditSeverity::Info,
+            "journal_spill",
+            "",
+            0,
+            format!(
+                "{} event(s) sealed to {} ({} bytes)",
+                self.log.events().len(),
+                path.display(),
+                sealed.len()
+            ),
+        );
+        Ok(path)
+    }
+
+    /// Drops a departing tenant from the live accounting (its journal
+    /// events remain) and zeroes its gauges.
+    pub fn forget_session(&self, session: &str) {
+        recover_lock(&self.pending).remove(session);
+        if let Some(t) = recover_lock(&self.tenants).remove(session) {
+            t.gauge_worst.set(0);
+            t.gauge_trace.set(0);
+            t.gauge_headroom.set(0);
+            t.gauge_burn.set(-1);
+        }
+    }
+
+    /// The aggregated audit-plane verdict.
+    pub fn health(&self) -> HealthReport {
+        let tenants = recover_lock(&self.tenants);
+        let mut worst_headroom = f64::MAX;
+        let mut burn_min = i64::MAX;
+        for t in tenants.values() {
+            worst_headroom = worst_headroom.min(t.headroom());
+            let b = t.burn_cycles();
+            if b >= 0 {
+                burn_min = burn_min.min(b);
+            }
+        }
+        let breaches = self.log.breaches();
+        HealthReport {
+            healthy: breaches == 0,
+            tenants: tenants.len(),
+            cycles_audited: self.cycles_audited(),
+            breaches,
+            warnings: self.log.warnings(),
+            worst_headroom: if tenants.is_empty() {
+                0.0
+            } else {
+                worst_headroom
+            },
+            burn_cycles_min: if burn_min == i64::MAX { -1 } else { burn_min },
+            detail: format!(
+                "{} tenant(s), {} cycle(s) audited, {} breach(es), {} warning(s)",
+                tenants.len(),
+                self.cycles_audited(),
+                breaches,
+                self.log.warnings()
+            ),
+        }
+    }
+
+    fn emit(&self, severity: AuditSeverity, code: &str, tenant: &str, cycle: u64, detail: String) {
+        let label = match severity {
+            AuditSeverity::Info => "info",
+            AuditSeverity::Warning => "warning",
+            AuditSeverity::Breach => "breach",
+        };
+        self.registry
+            .counter(M_AUDIT_EVENTS, &[("severity", label)])
+            .inc();
+        self.log.push(severity, code, tenant, cycle, detail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(exposure: f64, mask_level: f64) -> PrivacyMetrics {
+        PrivacyMetrics {
+            exposure,
+            mask_level,
+            num_relevant: 1,
+            best_intention_rank: 0,
+            cycle_len: 4,
+            generation_secs: 0.0,
+        }
+    }
+
+    fn auditor() -> PrivacyAuditor {
+        PrivacyAuditor::new(Arc::new(MetricsRegistry::new()), AuditConfig::default())
+    }
+
+    #[test]
+    fn masked_cycle_audits_clean() {
+        let a = auditor();
+        a.register_cycle("t", 0, &metrics(0.02, 0.05), 0.01, 0.001, 0.02);
+        a.on_outcome("t", 0);
+        a.on_outcome("t", 0);
+        assert_eq!(a.cycles_audited(), 1, "first evaluator only");
+        assert_eq!(a.log().breaches(), 0);
+        assert!(a.health().healthy);
+        assert!((a.health().worst_headroom - 0.009).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breach_emits_exactly_one_event() {
+        let a = auditor();
+        a.register_cycle("t", 3, &metrics(0.5, 0.0), 0.01, 0.5, 0.5);
+        for _ in 0..8 {
+            a.on_outcome("t", 3);
+        }
+        assert_eq!(a.log().breaches(), 1);
+        let h = a.health();
+        assert!(!h.healthy);
+        assert_eq!(h.breaches, 1);
+        assert_eq!(
+            a.registry.counter_total(M_AUDIT_EVENTS),
+            1,
+            "counter matches journal"
+        );
+    }
+
+    #[test]
+    fn negligible_exposure_is_not_a_breach() {
+        // Satisfied cycle: exposure above the decoys but under ε2.
+        let a = auditor();
+        a.register_cycle("t", 0, &metrics(0.005, 0.001), 0.01, 0.002, 0.005);
+        a.on_outcome("t", 0);
+        assert_eq!(a.log().breaches(), 0);
+    }
+
+    #[test]
+    fn low_headroom_warns_once() {
+        let a = auditor();
+        // headroom 0.01 − 0.009 = 0.001 < 0.25 × 0.01.
+        a.register_cycle("t", 0, &metrics(0.002, 0.05), 0.01, 0.009, 0.002);
+        a.on_outcome("t", 0);
+        a.on_outcome("t", 0);
+        assert_eq!(a.log().warnings(), 1);
+        assert_eq!(a.log().breaches(), 0);
+        assert!(a.health().healthy, "warnings do not degrade health");
+    }
+
+    #[test]
+    fn rigged_cycle_breaches_within_one_audit() {
+        let a = auditor();
+        a.register_cycle("t", 0, &metrics(0.002, 0.05), 0.01, 0.001, 0.002);
+        a.rig_cycle("t", 0, 0.5, 0.0);
+        a.on_outcome("t", 0);
+        assert_eq!(a.log().breaches(), 1);
+    }
+
+    #[test]
+    fn gauges_publish_micro_units() {
+        let a = auditor();
+        a.register_cycle("alice", 0, &metrics(0.004, 0.05), 0.01, 0.0025, 0.004);
+        let g = a.registry.gauge(M_TENANT_HEADROOM, &[("tenant", "alice")]);
+        assert_eq!(g.get(), to_micro(0.01 - 0.0025));
+        assert_eq!(
+            a.registry
+                .gauge(M_TENANT_WORST_EXPOSURE, &[("tenant", "alice")])
+                .get(),
+            to_micro(0.004)
+        );
+        a.forget_session("alice");
+        assert_eq!(g.get(), 0, "departing tenants zero their gauges");
+        assert_eq!(a.health().tenants, 0);
+    }
+
+    #[test]
+    fn burn_rate_estimates_cycles_to_exhaustion() {
+        let a = auditor();
+        // Trace exposure climbs 0.001 per cycle toward ε2 = 0.01.
+        a.register_cycle("t", 0, &metrics(0.002, 0.05), 0.01, 0.001, 0.002);
+        a.register_cycle("t", 1, &metrics(0.002, 0.05), 0.01, 0.002, 0.002);
+        a.register_cycle("t", 2, &metrics(0.002, 0.05), 0.01, 0.003, 0.002);
+        let h = a.health();
+        assert!(
+            h.burn_cycles_min > 0,
+            "a climbing trace exposure must yield a finite burn estimate, got {}",
+            h.burn_cycles_min
+        );
+        // Flat trace exposure decays the slope toward no-burn.
+        let b = auditor();
+        b.register_cycle("t", 0, &metrics(0.002, 0.05), 0.01, 0.001, 0.002);
+        b.register_cycle("t", 1, &metrics(0.002, 0.05), 0.01, 0.001, 0.002);
+        let hb = b.health();
+        assert!(hb.burn_cycles_min == -1 || hb.burn_cycles_min > h.burn_cycles_min);
+    }
+
+    #[test]
+    fn finish_drain_prunes_audited_facts() {
+        let a = auditor();
+        a.register_cycle("t", 0, &metrics(0.002, 0.05), 0.01, 0.001, 0.002);
+        a.on_outcome("t", 0);
+        a.finish_drain();
+        a.on_outcome("t", 0); // pruned: no-op, not a re-audit
+        assert_eq!(a.cycles_audited(), 1);
+        assert!(recover_lock(&a.pending).is_empty());
+    }
+}

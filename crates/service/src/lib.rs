@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+pub mod auditor;
 pub mod cache;
 pub mod metrics;
 pub mod persist;
@@ -62,11 +63,12 @@ pub mod server;
 pub mod session;
 pub mod tier;
 
+pub use auditor::{AuditConfig, PrivacyAuditor};
 pub use cache::{CacheKey, ResultCache};
 pub use metrics::{GlobalMetrics, MetricsSnapshot, ServiceMetrics, SessionMetrics};
 pub use persist::{
-    seal_query_log, seal_session_state, unseal_query_log, unseal_session_state, PersistError,
-    SessionState,
+    seal_audit_journal, seal_query_log, seal_session_state, unseal_audit_journal, unseal_query_log,
+    unseal_session_state, PersistError, SessionState,
 };
 pub use protocol::{Op, Request, Response};
 pub use scheduler::{CycleScheduler, DrainError, PlannedQuery, ShardFailure, SubmitOutcome};

@@ -28,6 +28,7 @@
 
 use crate::session::SessionConfig;
 use toppriv_core::{GhostConfig, PacingConfig, PacingStrategy, PrivacyRequirement, TermSelection};
+use toppriv_obs::{AuditEvent, AuditSeverity};
 use tsearch_search::LoggedQuery;
 use tsearch_store::{kind, seal, unseal_kind, StoreError};
 
@@ -431,6 +432,108 @@ pub fn unseal_query_log(container: &[u8]) -> Result<Vec<LoggedQuery>, PersistErr
     Ok(entries)
 }
 
+/// Codec version stamped into every audit-journal spill.
+pub const AUDIT_JOURNAL_VERSION: u32 = 1;
+
+/// Magic bytes opening an audit-journal payload (inside the sealed
+/// container).
+pub const AUDIT_JOURNAL_MAGIC: [u8; 4] = *b"TPAJ";
+
+fn severity_tag(s: AuditSeverity) -> u8 {
+    match s {
+        AuditSeverity::Info => 0,
+        AuditSeverity::Warning => 1,
+        AuditSeverity::Breach => 2,
+    }
+}
+
+/// Encodes an audit-journal spill into its raw binary payload (no
+/// container framing — see [`seal_audit_journal`] for the CRC-checked
+/// form).
+pub fn encode_audit_journal(events: &[AuditEvent]) -> Vec<u8> {
+    let mut w = Writer(Vec::new());
+    w.0.extend_from_slice(&AUDIT_JOURNAL_MAGIC);
+    w.u32(AUDIT_JOURNAL_VERSION);
+    w.u32(events.len() as u32);
+    for e in events {
+        w.u64(e.seq);
+        w.u8(severity_tag(e.severity));
+        w.bytes(e.code.as_bytes());
+        w.bytes(e.tenant.as_bytes());
+        w.u64(e.cycle);
+        w.bytes(e.detail.as_bytes());
+    }
+    w.0
+}
+
+/// Decodes a raw audit-journal payload (inverse of
+/// [`encode_audit_journal`]).
+pub fn decode_audit_journal(payload: &[u8]) -> Result<Vec<AuditEvent>, PersistError> {
+    let mut r = Reader {
+        buf: payload,
+        at: 0,
+    };
+    if r.take(4)? != AUDIT_JOURNAL_MAGIC {
+        return Err(PersistError::Malformed("bad magic".into()));
+    }
+    let version = r.u32()?;
+    if version != AUDIT_JOURNAL_VERSION {
+        return Err(PersistError::Malformed(format!(
+            "unsupported audit journal version {version}"
+        )));
+    }
+    let n = r.len()?;
+    let utf8 = |bytes: &[u8]| {
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Malformed("audit string is not UTF-8".into()))
+    };
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let seq = r.u64()?;
+        let severity = match r.u8()? {
+            0 => AuditSeverity::Info,
+            1 => AuditSeverity::Warning,
+            2 => AuditSeverity::Breach,
+            t => {
+                return Err(PersistError::Malformed(format!(
+                    "unknown audit severity tag {t}"
+                )))
+            }
+        };
+        let code = utf8(r.bytes()?)?;
+        let tenant = utf8(r.bytes()?)?;
+        let cycle = r.u64()?;
+        let detail = utf8(r.bytes()?)?;
+        events.push(AuditEvent {
+            seq,
+            severity,
+            code,
+            tenant,
+            cycle,
+            detail,
+        });
+    }
+    if r.at != payload.len() {
+        return Err(PersistError::Malformed("trailing bytes".into()));
+    }
+    Ok(events)
+}
+
+/// Seals an audit-journal spill into a CRC-checked `tsearch-store`
+/// container (kind [`kind::AUDIT_JOURNAL`]), so breach evidence
+/// survives restarts with the same integrity guarantees as session
+/// state.
+pub fn seal_audit_journal(events: &[AuditEvent]) -> Vec<u8> {
+    seal(kind::AUDIT_JOURNAL, &encode_audit_journal(events))
+}
+
+/// Unseals and decodes an audit-journal container, verifying its CRC32
+/// and kind tag first.
+pub fn unseal_audit_journal(container: &[u8]) -> Result<Vec<AuditEvent>, PersistError> {
+    let payload = unseal_kind(container, kind::AUDIT_JOURNAL)?;
+    decode_audit_journal(payload)
+}
+
 /// Seals a [`SessionState`] into a CRC-checked `tsearch-store`
 /// container (kind [`kind::SESSION_STATE`]).
 pub fn seal_session_state(state: &SessionState) -> Vec<u8> {
@@ -503,6 +606,69 @@ mod tests {
         assert!(matches!(
             unseal_session_state(&sealed),
             Err(PersistError::Store(_))
+        ));
+    }
+
+    #[test]
+    fn audit_journal_roundtrips_and_detects_corruption() {
+        let events = vec![
+            AuditEvent {
+                seq: 0,
+                severity: AuditSeverity::Info,
+                code: "journal_spill".into(),
+                tenant: String::new(),
+                cycle: 0,
+                detail: "3 event(s) sealed".into(),
+            },
+            AuditEvent {
+                seq: 1,
+                severity: AuditSeverity::Warning,
+                code: "low_headroom".into(),
+                tenant: "tenant-2".into(),
+                cycle: 9,
+                detail: "headroom 1.2e-3 below 25% of ε2".into(),
+            },
+            AuditEvent {
+                seq: 2,
+                severity: AuditSeverity::Breach,
+                code: "eps2_breach".into(),
+                tenant: "tenant-0".into(),
+                cycle: 4,
+                detail: "exposure 0.5 above mask 0.0 and ε2 0.01".into(),
+            },
+        ];
+        let back = decode_audit_journal(&encode_audit_journal(&events)).unwrap();
+        assert_eq!(back, events);
+        let mut sealed = seal_audit_journal(&events);
+        assert_eq!(unseal_audit_journal(&sealed).unwrap(), events);
+        let mid = sealed.len() / 2;
+        sealed[mid] ^= 0x10;
+        assert!(matches!(
+            unseal_audit_journal(&sealed),
+            Err(PersistError::Store(_))
+        ));
+    }
+
+    #[test]
+    fn audit_journal_rejects_bad_tags() {
+        let events = vec![AuditEvent {
+            seq: 0,
+            severity: AuditSeverity::Breach,
+            code: "eps2_breach".into(),
+            tenant: "t".into(),
+            cycle: 1,
+            detail: "d".into(),
+        }];
+        let mut payload = encode_audit_journal(&events);
+        // Corrupt the severity tag (first byte after magic+version+count+seq).
+        payload[4 + 4 + 4 + 8] = 9;
+        assert!(matches!(
+            decode_audit_journal(&payload),
+            Err(PersistError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_audit_journal(b"nope"),
+            Err(PersistError::Malformed(_))
         ));
     }
 

@@ -9,6 +9,8 @@
 //! {"op":"Metrics"}
 //! {"op":"MetricsNdjson"}
 //! {"op":"MetricsProm"}
+//! {"op":"Health"}
+//! {"op":{"AuditTail":{"limit":16}}}
 //! {"op":{"Close":{"session":"alice"}}}
 //! ```
 //!
@@ -58,6 +60,14 @@ pub enum Op {
     MetricsNdjson,
     /// Dumps the metrics registry in the Prometheus text format.
     MetricsProm,
+    /// Reads the privacy-audit plane's aggregated health verdict
+    /// (requires an attached auditor; errors otherwise).
+    Health,
+    /// Reads the most recent privacy-audit journal events.
+    AuditTail {
+        /// Maximum events to return (omitted means 32).
+        limit: Option<usize>,
+    },
     /// Closes a session, returning its final metrics.
     Close {
         /// Session id.
@@ -118,6 +128,13 @@ pub enum Response {
     MetricsProm {
         /// The exposition text.
         text: String,
+    },
+    /// Audit-plane health verdict.
+    Health(toppriv_obs::HealthReport),
+    /// Most recent audit-journal events, oldest first.
+    AuditTail {
+        /// The journal tail.
+        events: Vec<toppriv_obs::AuditEvent>,
     },
     /// Session closed; final per-session metrics.
     Closed(SessionMetrics),

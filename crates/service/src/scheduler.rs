@@ -141,6 +141,10 @@ pub struct CycleScheduler {
     /// Chaos hook: submissions this predicate selects panic their
     /// worker mid-resolve, exercising the failure-surfacing path.
     worker_fault: Option<WorkerFault>,
+    /// The privacy auditor, when the audit plane is attached: every
+    /// drained submission is audited via
+    /// [`crate::PrivacyAuditor::on_outcome`].
+    auditor: Option<Arc<crate::auditor::PrivacyAuditor>>,
 }
 
 impl CycleScheduler {
@@ -159,7 +163,18 @@ impl CycleScheduler {
             metrics,
             workers: workers.max(1),
             worker_fault: None,
+            auditor: None,
         }
+    }
+
+    /// Attaches a privacy auditor: drain workers audit every drained
+    /// submission against its registered cycle facts, and each drain
+    /// ends with the auditor's epilogue (fact pruning, periodic journal
+    /// spill). [`CycleScheduler::for_manager`] inherits the manager's
+    /// auditor automatically.
+    pub fn with_auditor(mut self, auditor: Arc<crate::auditor::PrivacyAuditor>) -> Self {
+        self.auditor = Some(auditor);
+        self
     }
 
     /// Installs a fault-injection predicate: any submission it selects
@@ -175,12 +190,16 @@ impl CycleScheduler {
     /// A scheduler sharing a [`SessionManager`]'s search tier, cache, and
     /// metrics registry.
     pub fn for_manager(manager: &SessionManager, workers: usize) -> Self {
-        Self::new(
+        let scheduler = Self::new(
             manager.tier(),
             manager.cache().cloned(),
             manager.metrics_registry().clone(),
             workers,
-        )
+        );
+        match manager.auditor() {
+            Some(auditor) => scheduler.with_auditor(auditor.clone()),
+            None => scheduler,
+        }
     }
 
     /// Merges per-session plans into one globally time-ordered queue —
@@ -282,7 +301,7 @@ impl CycleScheduler {
                     let submit_counter = &submit_counters[s];
                     let drain_span = &drain_span;
                     scope.spawn(move || {
-                        let _shard_span = drain_span.child("drain_shard");
+                        let shard_span = drain_span.child("drain_shard");
                         loop {
                             let at = cursor.fetch_add(1, Ordering::Relaxed);
                             if at >= shard_queue.len() {
@@ -336,8 +355,18 @@ impl CycleScheduler {
                                     continue;
                                 }
                             };
-                            service_hist.record(t0.elapsed().as_micros() as u64);
+                            // The service-time histogram keeps this
+                            // worker's span id as the bucket's trace
+                            // exemplar, so a p99 outlier links straight
+                            // to its `drain_shard` span.
+                            service_hist.record_with_exemplar(
+                                t0.elapsed().as_micros() as u64,
+                                shard_span.id(),
+                            );
                             submit_counter.inc();
+                            if let Some(auditor) = &self.auditor {
+                                auditor.on_outcome(&plan.session, plan.scheduled.cycle_id);
+                            }
                             let outcome = SubmitOutcome {
                                 session: plan.session.clone(),
                                 cycle_id: plan.scheduled.cycle_id,
@@ -362,6 +391,9 @@ impl CycleScheduler {
         self.metrics.set_queue_depth(0);
         for gauge in &depth_gauges {
             gauge.set(0);
+        }
+        if let Some(auditor) = &self.auditor {
+            auditor.finish_drain();
         }
         let mut outcomes: Vec<(usize, SubmitOutcome)> = collectors
             .into_iter()

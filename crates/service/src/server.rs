@@ -66,6 +66,20 @@ pub fn handle(manager: &SessionManager, request: Request) -> Response {
         Op::MetricsProm => Response::MetricsProm {
             text: toppriv_obs::render_prometheus(manager.metrics_registry().registry()),
         },
+        Op::Health => match manager.auditor() {
+            Some(auditor) => Response::Health(auditor.health()),
+            None => Response::Error {
+                message: "audit plane not attached".into(),
+            },
+        },
+        Op::AuditTail { limit } => match manager.auditor() {
+            Some(auditor) => Response::AuditTail {
+                events: auditor.tail(limit.unwrap_or(32)),
+            },
+            None => Response::Error {
+                message: "audit plane not attached".into(),
+            },
+        },
         Op::Close { session } => match manager.close_session(&session) {
             Ok(metrics) => Response::Closed(metrics),
             Err(e) => error(e),

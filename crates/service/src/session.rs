@@ -341,6 +341,9 @@ pub struct SessionManager {
     model_epoch: AtomicU64,
     cache: Option<Arc<ResultCache>>,
     metrics: Arc<ServiceMetrics>,
+    /// The online privacy auditor, when the audit plane is attached
+    /// (see [`SessionManager::with_auditor`]).
+    auditor: Option<Arc<crate::auditor::PrivacyAuditor>>,
     defaults: SessionConfig,
     /// Service-wide secret mixed into every session's ghost seed.
     fleet_seed: u64,
@@ -368,6 +371,7 @@ impl SessionManager {
             model_epoch: AtomicU64::new(0),
             cache: None,
             metrics: Arc::new(ServiceMetrics::new()),
+            auditor: None,
             defaults: SessionConfig::default(),
             fleet_seed: random_fleet_seed(),
             sessions: RwLock::new(HashMap::new()),
@@ -396,6 +400,26 @@ impl SessionManager {
             ));
         }
         self
+    }
+
+    /// Attaches the online privacy-audit plane: every formulated cycle
+    /// registers its privacy facts with a [`crate::PrivacyAuditor`]
+    /// publishing into this manager's metrics registry, every drain (via
+    /// a [`crate::CycleScheduler::for_manager`] scheduler) audits them,
+    /// and `Health` / `AuditTail` read out the verdict. Attach **after**
+    /// [`SessionManager::with_metrics_registry`] so the auditor's gauges
+    /// land on the final registry.
+    pub fn with_auditor(mut self, config: crate::auditor::AuditConfig) -> Self {
+        self.auditor = Some(Arc::new(crate::auditor::PrivacyAuditor::new(
+            self.metrics.registry().clone(),
+            config,
+        )));
+        self
+    }
+
+    /// The attached privacy auditor, if the audit plane is on.
+    pub fn auditor(&self) -> Option<&Arc<crate::auditor::PrivacyAuditor>> {
+        self.auditor.as_ref()
     }
 
     /// Overrides the default per-session configuration.
@@ -500,6 +524,9 @@ impl SessionManager {
             .remove(id)
             .ok_or_else(|| ServiceError::UnknownSession(id.to_string()))?;
         let session = session.lock().expect("session poisoned");
+        if let Some(auditor) = &self.auditor {
+            auditor.forget_session(id);
+        }
         Ok(session.metrics(id))
     }
 
@@ -594,6 +621,20 @@ impl SessionManager {
             let _formulate = span.child("formulate");
             session.formulate(tokens)
         };
+        if let Some(auditor) = &self.auditor {
+            // The synchronous path has no drain to audit it later:
+            // register and audit the cycle right here, under the
+            // session lock, keyed by the session's own cycle counter.
+            let m = session.metrics(id);
+            auditor.observe_cycle(
+                id,
+                (session.cycles - 1) as usize,
+                &report.metrics,
+                session.config.requirement.eps2,
+                m.trace_exposure,
+                m.worst_exposure,
+            );
+        }
         let mut genuine_hits = Vec::new();
         let mut cache_hits = 0usize;
         let resolve_span = span.child("resolve");
@@ -666,6 +707,22 @@ impl SessionManager {
         let start = session.clock_secs;
         session.clock_secs += session.config.think_time_secs;
         let schedule = session.pacer.schedule(&report, start);
+        if let Some(auditor) = &self.auditor {
+            if let Some(cycle_id) = schedule.first().map(|s| s.cycle_id) {
+                // Register the cycle's privacy facts while the ground
+                // truth is in hand; the scheduler's drain workers audit
+                // them via `PrivacyAuditor::on_outcome`.
+                let m = session.metrics(id);
+                auditor.register_cycle(
+                    id,
+                    cycle_id,
+                    &report.metrics,
+                    session.config.requirement.eps2,
+                    m.trace_exposure,
+                    m.worst_exposure,
+                );
+            }
+        }
         let plan = schedule
             .into_iter()
             .map(|scheduled| {

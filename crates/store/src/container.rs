@@ -43,6 +43,9 @@ pub mod kind {
     pub const SESSION_STATE: u32 = 6;
     /// A spilled per-shard query log for post-crash replay.
     pub const QUERY_LOG: u32 = 7;
+    /// A spilled privacy-audit journal (breach/warning evidence that
+    /// must survive restarts).
+    pub const AUDIT_JOURNAL: u32 = 8;
 }
 
 /// Container decoding failure.

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 use toppriv::corpus::{generate_workload, SyntheticCorpus, WorkloadConfig};
-use toppriv::service::{CycleScheduler, SessionConfig, SessionManager};
+use toppriv::service::{AuditConfig, CycleScheduler, SessionConfig, SessionManager};
 use toppriv::{CorpusConfig, LdaModel, SearchTier};
 
 struct Args {
@@ -35,6 +35,7 @@ struct Args {
     topics: usize,
     lda_iterations: usize,
     metrics_interval: Option<u64>,
+    audit_interval: Option<u64>,
 }
 
 impl Default for Args {
@@ -52,6 +53,7 @@ impl Default for Args {
             topics: 24,
             lda_iterations: 40,
             metrics_interval: None,
+            audit_interval: None,
         }
     }
 }
@@ -87,6 +89,9 @@ fn parse_args() -> Result<Args, String> {
                 args.metrics_interval =
                     Some(parse_usize(&argv, &mut i, "--metrics-interval")? as u64)
             }
+            "--audit-interval" => {
+                args.audit_interval = Some(parse_usize(&argv, &mut i, "--audit-interval")? as u64)
+            }
             "--no-cache" => args.no_cache = true,
             "--demo" => args.demo = true,
             "--stdin" => args.demo = false,
@@ -111,7 +116,11 @@ fn parse_args() -> Result<Args, String> {
                      --lda-iterations N Gibbs iterations (default 40)\n\
                      --metrics-interval SECS\n\
                      \u{20}                  emit the metrics registry as NDJSON every SECS\n\
-                     \u{20}                  seconds (demo: stdout + final dump; server: stderr)"
+                     \u{20}                  seconds (demo: stdout + final dump; server: stderr)\n\
+                     --audit-interval SECS\n\
+                     \u{20}                  print the privacy-audit health line to stderr every\n\
+                     \u{20}                  SECS seconds; the demo additionally exits non-zero\n\
+                     \u{20}                  when the audit plane reports degraded"
                 );
                 std::process::exit(0);
             }
@@ -151,15 +160,59 @@ fn build_stack(args: &Args) -> (SyntheticCorpus, SearchTier, Arc<LdaModel>) {
 fn build_manager(args: &Args, tier: SearchTier, model: Arc<LdaModel>) -> SessionManager {
     // Bind the service metrics to the process-global registry so the
     // engine-layer histograms (scatter/gather, pacing) and the service
-    // counters surface through one exposition endpoint.
+    // counters surface through one exposition endpoint. The audit plane
+    // is always attached (after the registry, so its gauges land there
+    // too): it serves the `Health` / `AuditTail` protocol ops and the
+    // `--audit-interval` health line.
     let manager = SessionManager::with_tier(tier, model)
         .with_defaults(SessionConfig::default())
-        .with_metrics_registry(toppriv::obs::global().clone());
+        .with_metrics_registry(toppriv::obs::global().clone())
+        .with_auditor(AuditConfig::default());
     if args.no_cache {
         manager
     } else {
         manager.with_cache(args.cache_capacity)
     }
+}
+
+/// Prints one audit health line to stderr and returns whether the plane
+/// is healthy (`true` when no auditor is attached — nothing to degrade).
+fn emit_audit_health(manager: &SessionManager) -> bool {
+    let Some(auditor) = manager.auditor() else {
+        return true;
+    };
+    let h = auditor.health();
+    eprintln!(
+        "[toppriv-serve] audit {}: {} (worst headroom {:.3e}, burn min {})",
+        h.verdict(),
+        h.detail,
+        h.worst_headroom,
+        h.burn_cycles_min,
+    );
+    h.healthy
+}
+
+/// Spawns the periodic audit health-line emitter (stderr).
+fn spawn_audit_emitter(
+    interval_secs: u64,
+    manager: Arc<SessionManager>,
+) -> (
+    Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::spawn(move || {
+        let interval = std::time::Duration::from_secs(interval_secs.max(1));
+        loop {
+            std::thread::sleep(interval);
+            if stop_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                break;
+            }
+            emit_audit_health(&manager);
+        }
+    });
+    (stop, handle)
 }
 
 /// Spawns the periodic NDJSON metrics emitter: every `interval_secs` the
@@ -201,7 +254,7 @@ fn emit_metrics_ndjson(to_stdout: bool) {
 
 fn run_demo(args: &Args) {
     let (corpus, tier, model) = build_stack(args);
-    let manager = build_manager(args, tier, model);
+    let manager = Arc::new(build_manager(args, tier, model));
 
     // Tenants share a realistic workload: each session draws its queries
     // from a common pool (overlap across tenants is what a shared search
@@ -232,6 +285,9 @@ fn run_demo(args: &Args) {
     let emitter = args
         .metrics_interval
         .map(|secs| spawn_metrics_emitter(secs, true));
+    let audit_emitter = args
+        .audit_interval
+        .map(|secs| spawn_audit_emitter(secs, manager.clone()));
 
     // Plan every tenant's paced cycles, merge, and drain on the pool.
     let t0 = std::time::Instant::now();
@@ -255,6 +311,10 @@ fn run_demo(args: &Args) {
         // Final dump so even sub-interval demo runs leave one complete
         // registry snapshot on stdout.
         emit_metrics_ndjson(true);
+        let _ = handle.join();
+    }
+    if let Some((stop, handle)) = audit_emitter {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
         let _ = handle.join();
     }
 
@@ -317,6 +377,15 @@ fn run_demo(args: &Args) {
         all_satisfied * 100.0,
         snapshot.global.cache_hit_rate,
     );
+    // With `--audit-interval`, the demo's exit status is the audit
+    // plane's verdict: a breached fleet invariant fails the run.
+    if args.audit_interval.is_some() {
+        let healthy = emit_audit_health(&manager);
+        if !healthy {
+            eprintln!("[toppriv-serve] audit plane degraded — exiting non-zero");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -342,6 +411,9 @@ fn main() {
     let _emitter = args
         .metrics_interval
         .map(|secs| spawn_metrics_emitter(secs, false));
+    let _audit_emitter = args
+        .audit_interval
+        .map(|secs| spawn_audit_emitter(secs, manager.clone()));
     match &args.tcp {
         Some(addr) => {
             if let Err(e) = toppriv::service::serve_tcp(manager, addr.as_str()) {
