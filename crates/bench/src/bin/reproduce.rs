@@ -5,14 +5,14 @@
 //! reproduce [EXPERIMENT ...]
 //!           [--exp all|fig2|fig3|fig4|fig5|fig6|tables|stats|ablations|adversary|
 //!                  classifier|mc|session|reduced|pacing|quality|load|service|sharding|
-//!                  staleness|scenarios|audit|appendix]
+//!                  staleness|scenarios|audit|planner|appendix]
 //!           [diff [--baseline-dir D] [--bench-dir D] [--threshold PCT]]
 //!           [--scale quick|standard] [--out results] [--no-cache] [--quiet]
 //! ```
 //!
 //! Bare positional names select experiments (`reproduce -- service
-//! sharding`); the `service`, `sharding`, `staleness`, `scenarios`, and
-//! `audit` experiments additionally write machine-readable
+//! sharding`); the `service`, `sharding`, `staleness`, `scenarios`,
+//! `audit`, and `planner` experiments additionally write machine-readable
 //! `BENCH_<name>.json` snapshots (per-stage p50/p99 from the
 //! toppriv-obs histograms) to the current directory or
 //! `$TOPPRIV_BENCH_DIR`.
@@ -58,6 +58,7 @@ const ALL_EXPS: &[&str] = &[
     "staleness",
     "scenarios",
     "audit",
+    "planner",
     "appendix",
 ];
 
@@ -238,6 +239,7 @@ fn main() {
             "staleness" => experiments::staleness::run(&ctx),
             "scenarios" => experiments::scenarios::run(&ctx),
             "audit" => experiments::audit::run(&ctx),
+            "planner" => experiments::planner::run(&ctx),
             "appendix" => experiments::appendix::run(&ctx),
             _ => unreachable!("validated in parse_args"),
         };

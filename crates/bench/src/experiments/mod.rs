@@ -17,6 +17,7 @@ pub mod fig6;
 pub mod load;
 pub mod mc;
 pub mod pacing;
+pub mod planner;
 pub mod quality;
 pub mod reduced;
 pub mod scenarios;

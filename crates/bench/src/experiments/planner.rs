@@ -1,0 +1,341 @@
+//! Experiment `planner` (extension beyond the paper): the fleet-level
+//! cost of decoy traffic with and without the cross-session
+//! [`toppriv_service::GhostPlanner`].
+//!
+//! The paper's per-user cycle multiplies engine load by the cycle
+//! length υ (~7× at the defaults); at fleet scale most of those decoys
+//! are redundant across tenants. The experiment runs the same planned
+//! workload at 8/64/256 sessions twice per size — planner off
+//! (every tenant pays its full cycle) and planner on (ghost reuse +
+//! coalesced shared submissions) — and records the **fleet cost
+//! ratio**: engine-side submissions per genuine query served. The
+//! acceptance bar is ratio ≤ 3.0 at 64 sessions with the planner on,
+//! against ~υ× off, with the audit plane green throughout.
+//!
+//! The privacy half replays the colluding-shards naive-Bayes attack on
+//! the merged shard logs of the 64-session planner-on run: sharing
+//! decoys across tenants must leave every single session inside the
+//! paper's `(ε1, ε2)` bounds.
+//!
+//! Output: `BENCH_planner.json` (via `$TOPPRIV_BENCH_DIR`) plus one
+//! result table.
+
+use crate::context::ExperimentContext;
+use crate::obsbench;
+use crate::scenarios::{masking_violation, sharded_tier, FLEET_SEED, SHARDS, TOP_K, WORKERS};
+use crate::table::{f3, ResultTable};
+use std::sync::Arc;
+use std::time::Instant;
+use toppriv_adversary::{merge_shard_logs, run_classifier_attack, NaiveBayes};
+use toppriv_core::{CycleResult, PrivacyRequirement};
+use toppriv_obs::InvariantBlock;
+use toppriv_service::{AuditConfig, CycleScheduler, GhostPlanner, PlannedQuery, SessionManager};
+
+/// Fleet sizes swept (sessions sharing one tier).
+pub const SESSIONS: [usize; 3] = [8, 64, 256];
+/// Cycles each tenant plans.
+const CYCLES_PER_TENANT: usize = 2;
+/// Acceptance bar for the 64-session planner-on fleet cost ratio.
+const TARGET_RATIO: f64 = 3.0;
+
+/// One measured run: a fleet of `sessions` tenants, planner on or off.
+struct RunStats {
+    sessions: usize,
+    planner_on: bool,
+    engine_submits: u64,
+    genuine: u64,
+    ratio: f64,
+    ratio_gauge_micro: i64,
+    reused: u64,
+    coalesced: u64,
+    drained: usize,
+    qps: f64,
+    worst_violation: f64,
+    audit_healthy: bool,
+}
+
+/// Ground truth kept from the 64-session planner-on run for the
+/// adversary evaluation.
+struct Artifacts {
+    manager: Arc<SessionManager>,
+    cycles: Vec<CycleResult>,
+    truths: Vec<usize>,
+}
+
+/// Runs one fleet: plan everything (through the planner when on), one
+/// timed drain, then read the ratio off the live metrics.
+fn run_fleet(
+    ctx: &ExperimentContext,
+    sessions: usize,
+    planner_on: bool,
+    keep: bool,
+) -> (RunStats, Option<Artifacts>) {
+    let manager = Arc::new(
+        SessionManager::with_tier(sharded_tier(ctx, SHARDS), ctx.default_model().clone())
+            .with_cache(4096)
+            .with_fleet_seed(FLEET_SEED)
+            .with_auditor(AuditConfig::default()),
+    );
+    for s in 0..sessions {
+        manager
+            .open_session(&format!("plan-{s}"))
+            .expect("fresh id");
+    }
+    // A shared query pool about a quarter the fleet size: several
+    // tenants researching the same things concurrently — the overlap a
+    // cross-session planner exists to exploit.
+    let queries = ctx.sweep_queries();
+    let pool = (sessions / 4).clamp(2, queries.len());
+    let planner = planner_on.then(|| GhostPlanner::new(manager.clone()));
+    let eps2 = PrivacyRequirement::paper_default().eps2;
+    let mut worst_violation = f64::NEG_INFINITY;
+    let mut cycles = Vec::new();
+    let mut truths = Vec::new();
+    let mut plans: Vec<Vec<PlannedQuery>> = Vec::new();
+    for c in 0..CYCLES_PER_TENANT {
+        for s in 0..sessions {
+            let id = format!("plan-{s}");
+            let q = &queries[(s + c * 3) % pool];
+            let report = match &planner {
+                Some(p) => p.plan_cycle(&id, &q.tokens, TOP_K).expect("open"),
+                None => {
+                    let (report, plan) = manager
+                        .plan_cycle_with_report(&id, &q.tokens, TOP_K)
+                        .expect("open");
+                    plans.push(plan);
+                    report
+                }
+            };
+            worst_violation = worst_violation.max(masking_violation(&report.metrics, eps2));
+            if keep {
+                cycles.push(report);
+                truths.push(q.target_topics[0]);
+            }
+        }
+    }
+    let queue = match &planner {
+        Some(p) => p.take_queue(),
+        None => CycleScheduler::merge(plans),
+    };
+    let expected: usize = queue.iter().map(|p| p.fanout()).sum();
+    let scheduler = CycleScheduler::for_manager(&manager, WORKERS);
+    let t0 = Instant::now();
+    let outcomes = scheduler.drain(queue);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(outcomes.len(), expected, "every subscriber outcome drains");
+
+    let metrics = manager.metrics_registry();
+    let global = metrics.snapshot();
+    let stats = RunStats {
+        sessions,
+        planner_on,
+        engine_submits: global.engine_submits,
+        genuine: global.genuine_served,
+        ratio: metrics.fleet_cost_ratio(),
+        ratio_gauge_micro: metrics
+            .registry()
+            .gauge(toppriv_service::metrics::M_FLEET_COST_RATIO, &[])
+            .get(),
+        reused: global.planner_reuse,
+        coalesced: global.planner_coalesced,
+        drained: outcomes.len(),
+        qps: outcomes.len() as f64 / secs.max(1e-9),
+        worst_violation,
+        audit_healthy: manager
+            .auditor()
+            .is_some_and(|a| a.health().healthy && a.cycles_audited() > 0),
+    };
+    let artifacts = keep.then(|| Artifacts {
+        manager,
+        cycles,
+        truths,
+    });
+    (stats, artifacts)
+}
+
+/// Runs the cross-session planner experiment.
+pub fn run(ctx: &ExperimentContext) -> Vec<ResultTable> {
+    obsbench::reset_engine_stages();
+    let mut runs: Vec<RunStats> = Vec::new();
+    let mut artifacts: Option<Artifacts> = None;
+    for &sessions in &SESSIONS {
+        let (off, _) = run_fleet(ctx, sessions, false, false);
+        let keep = sessions == 64;
+        let (on, art) = run_fleet(ctx, sessions, true, keep);
+        if keep {
+            artifacts = art;
+        }
+        runs.push(off);
+        runs.push(on);
+    }
+
+    let mut inv = InvariantBlock::default();
+    let at = |sessions: usize, on: bool| {
+        runs.iter()
+            .find(|r| r.sessions == sessions && r.planner_on == on)
+            .expect("run matrix is exhaustive")
+    };
+    let off64 = at(64, false);
+    let on64 = at(64, true);
+    inv.check(
+        "fleet_cost_ratio_within_target",
+        format!(
+            "64 sessions: {:.2}x engine submissions per genuine query with the planner on \
+             (target <= {TARGET_RATIO}x) vs {:.2}x off",
+            on64.ratio, off64.ratio
+        ),
+        on64.ratio <= TARGET_RATIO && off64.ratio > TARGET_RATIO,
+    );
+    inv.check(
+        "planner_cuts_engine_submissions_at_every_size",
+        runs.chunks(2)
+            .map(|pair| {
+                format!(
+                    "{} sessions: {} -> {} submits",
+                    pair[0].sessions, pair[0].engine_submits, pair[1].engine_submits
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; "),
+        SESSIONS
+            .iter()
+            .all(|&s| at(s, true).engine_submits < at(s, false).engine_submits),
+    );
+    inv.check(
+        "ratio_gauge_live_in_micro_units",
+        format!(
+            "fleet_cost_ratio gauge {} µ-units vs computed {:.4}",
+            on64.ratio_gauge_micro, on64.ratio
+        ),
+        (on64.ratio_gauge_micro as f64 - on64.ratio * 1e6).abs() < 1.0,
+    );
+    inv.check(
+        "sharing_actually_happened",
+        format!(
+            "64 sessions on: {} coalesced subscriptions, {} ghost reuses",
+            on64.coalesced, on64.reused
+        ),
+        on64.coalesced > 0,
+    );
+    let worst = runs
+        .iter()
+        .map(|r| r.worst_violation)
+        .fold(f64::NEG_INFINITY, f64::max);
+    inv.check(
+        "every_cycle_passes_fleet_invariant",
+        format!("worst min(exposure − mask_level, exposure − ε2) = {worst:.3e} across all runs"),
+        worst <= 1e-9,
+    );
+    inv.check(
+        "audit_plane_healthy_under_sharing",
+        format!(
+            "planner-on audit verdicts: {}",
+            runs.iter()
+                .filter(|r| r.planner_on)
+                .map(|r| format!(
+                    "{} sessions {}",
+                    r.sessions,
+                    if r.audit_healthy { "ok" } else { "BREACHED" }
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        runs.iter()
+            .filter(|r| r.planner_on)
+            .all(|r| r.audit_healthy),
+    );
+
+    // --- Adversary: colluding shards attack the 64-on merged logs. -----
+    let art = artifacts.expect("64-session planner-on artifacts kept");
+    let tier = art.manager.tier();
+    let shard_logs = tier.as_sharded().expect("sharded tier").shard_logs();
+    let merged = merge_shard_logs(&shard_logs);
+    let labeled: Vec<(&[u32], usize)> = ctx
+        .corpus
+        .docs
+        .iter()
+        .map(|d| {
+            let label = d
+                .mixture
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weight"))
+                .map(|&(t, _)| t)
+                .expect("non-empty mixture");
+            (d.tokens.as_slice(), label)
+        })
+        .collect();
+    let nb = NaiveBayes::train(
+        &labeled,
+        ctx.corpus.num_topics(),
+        ctx.corpus.vocab.len(),
+        1.0,
+    );
+    let report = run_classifier_attack(&nb, &art.cycles, &art.truths);
+    let eps1 = PrivacyRequirement::paper_default().eps1;
+    inv.check(
+        "per_session_privacy_holds_on_merged_logs",
+        format!(
+            "{} merged submissions, {} cycles: genuine id {:.3} (chance {:.3} + ε1 {eps1}), \
+             cycle recovery {:.3} vs unprotected {:.3}",
+            merged.len(),
+            report.cycles,
+            report.genuine_identification,
+            report.genuine_chance,
+            report.cycle_recovery,
+            report.unprotected_recovery
+        ),
+        !merged.is_empty()
+            && report.genuine_identification <= report.genuine_chance + eps1
+            && report.cycle_recovery < report.unprotected_recovery,
+    );
+
+    // --- Emit the bench trail from the 64-on fleet. --------------------
+    let mut snap = obsbench::service_bench_snapshot(
+        "planner",
+        art.manager.metrics_registry().registry(),
+        on64.qps,
+        format!(
+            "{:?} sessions x {CYCLES_PER_TENANT} cycles, {SHARDS} shards, {WORKERS} workers, \
+             scale {}; fleet cost ratio off {:.2}x -> on {:.2}x at 64 sessions \
+             ({} coalesced, {} reused)",
+            SESSIONS, ctx.scale.name, off64.ratio, on64.ratio, on64.coalesced, on64.reused
+        ),
+    );
+    snap.invariants = inv;
+    obsbench::emit_bench(&snap);
+    for c in snap.invariants.checks.iter().filter(|c| !c.pass) {
+        eprintln!("  planner invariant FAILED {}: {}", c.name, c.detail);
+    }
+    art.manager.tier().clear_query_logs();
+
+    let mut table = ResultTable::new(
+        "ext9_cross_session_planner",
+        "Cross-session ghost planner: engine submissions per genuine query (fleet cost \
+         ratio), ghost reuse, and drain throughput at 8/64/256 sessions, planner off vs on",
+        vec![
+            "sessions".into(),
+            "planner".into(),
+            "engine_submits".into(),
+            "genuine".into(),
+            "fleet_cost_ratio".into(),
+            "coalesced".into(),
+            "reused".into(),
+            "drained".into(),
+            "drain_qps".into(),
+        ],
+    );
+    for r in &runs {
+        table.push_row(vec![
+            r.sessions.to_string(),
+            if r.planner_on { "on" } else { "off" }.into(),
+            r.engine_submits.to_string(),
+            r.genuine.to_string(),
+            f3(r.ratio),
+            r.coalesced.to_string(),
+            r.reused.to_string(),
+            r.drained.to_string(),
+            f3(r.qps),
+        ]);
+    }
+    vec![table]
+}

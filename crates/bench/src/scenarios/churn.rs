@@ -28,7 +28,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use toppriv_core::CycleResult;
 use toppriv_obs::InvariantBlock;
-use toppriv_service::{CycleScheduler, PlannedQuery, SessionManager};
+use toppriv_service::{CycleScheduler, GhostPlanner, PlannedQuery, PlannerConfig, SessionManager};
 use tsearch_corpus::BenchmarkQuery;
 
 /// Churn storm shape.
@@ -83,6 +83,31 @@ pub fn run_fleet(
     queries: &[BenchmarkQuery],
     cfg: &ChurnConfig,
 ) -> ChurnArtifacts {
+    run_fleet_with(manager, queries, cfg, None)
+}
+
+/// [`run_fleet`] with the cross-session [`GhostPlanner`] enabled: every
+/// cycle routes through the planner (ghost reuse + coalesced shared
+/// submissions), each wave drains the planner queue, and the drain
+/// accounting counts **per-subscriber** outcomes — a shared submission
+/// resolves once at the engine but must surface one outcome per
+/// subscribing tenant.
+pub fn run_fleet_planned(
+    manager: Arc<SessionManager>,
+    queries: &[BenchmarkQuery],
+    cfg: &ChurnConfig,
+    planner_cfg: PlannerConfig,
+) -> ChurnArtifacts {
+    run_fleet_with(manager, queries, cfg, Some(planner_cfg))
+}
+
+fn run_fleet_with(
+    manager: Arc<SessionManager>,
+    queries: &[BenchmarkQuery],
+    cfg: &ChurnConfig,
+    planner_cfg: Option<PlannerConfig>,
+) -> ChurnArtifacts {
+    let planner = planner_cfg.map(|pc| GhostPlanner::with_config(manager.clone(), pc));
     assert!(!queries.is_empty(), "churn needs a workload");
     let scheduler = CycleScheduler::for_manager(&manager, WORKERS);
     let mut inv = InvariantBlock::default();
@@ -117,9 +142,18 @@ pub fn run_fleet(
         for (s, id) in ids.iter().enumerate() {
             for c in 0..cfg.cycles_per_session {
                 let q = &queries[(wave * 7 + s * 3 + c) % queries.len()];
-                let (report, plan) = manager
-                    .plan_cycle_with_report(id, &q.tokens, TOP_K)
-                    .expect("session is open");
+                let report = match &planner {
+                    Some(planner) => planner
+                        .plan_cycle(id, &q.tokens, TOP_K)
+                        .expect("session is open"),
+                    None => {
+                        let (report, plan) = manager
+                            .plan_cycle_with_report(id, &q.tokens, TOP_K)
+                            .expect("session is open");
+                        plans.push(plan);
+                        report
+                    }
+                };
                 let m = &report.metrics;
                 worst_violation = worst_violation.max(super::masking_violation(m, eps2));
                 if report.satisfied && !report.intention.is_empty() {
@@ -128,11 +162,15 @@ pub fn run_fleet(
                 }
                 cycles.push(report);
                 truths.push(q.target_topics[0]);
-                plans.push(plan);
             }
         }
-        let queue = CycleScheduler::merge(plans);
-        let expected = queue.len();
+        let queue = match &planner {
+            Some(planner) => planner.take_queue(),
+            None => CycleScheduler::merge(plans),
+        };
+        // With the planner on, a coalesced entry drains one outcome per
+        // subscribing tenant; without it every fanout is 1.
+        let expected: usize = queue.iter().map(|p| p.fanout()).sum();
         let t0 = Instant::now();
         match scheduler.try_drain(queue) {
             Ok(outcomes) => {

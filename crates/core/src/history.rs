@@ -79,6 +79,27 @@ impl SessionTracker {
         }
     }
 
+    /// Records one protected cycle from **already-inferred** per-member
+    /// posteriors (aligned with `result.cycle`). Equivalent to
+    /// [`SessionTracker::record_cycle`] when the posteriors came from the
+    /// same belief engine — inference is deterministic — but lets callers
+    /// that already hold the posteriors (the service's plan/commit split,
+    /// or a planner that substituted members with cross-tenant donors)
+    /// account the cycle without inferring every member a second time.
+    pub fn record_cycle_posteriors(&mut self, result: &CycleResult, posteriors: &[Vec<f64>]) {
+        assert_eq!(
+            result.cycle.len(),
+            posteriors.len(),
+            "posteriors must align with the cycle members"
+        );
+        for (i, q) in result.cycle.iter().enumerate() {
+            if q.is_genuine {
+                self.genuine.push(self.posteriors.len() + i);
+            }
+        }
+        self.posteriors.extend(posteriors.iter().cloned());
+    }
+
     /// Records a single unprotected query.
     pub fn record_plain(&mut self, belief: &BeliefEngine, tokens: &[TermId]) {
         self.genuine.push(self.posteriors.len());
@@ -324,5 +345,30 @@ mod tests {
         assert_eq!(boosts.len(), 4);
         let sum: f64 = boosts.iter().sum();
         assert!(sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_cycle_posteriors_matches_record_cycle() {
+        // Recording from pre-inferred posteriors must produce exactly the
+        // state record_cycle builds by inferring each member itself.
+        let model = trained_model();
+        let belief = BeliefEngine::new(model.clone());
+        let generator = GhostGenerator::new(
+            BeliefEngine::new(model.clone()),
+            PrivacyRequirement::new(0.10, 0.03).unwrap(),
+            GhostConfig::default(),
+        );
+        let result = generator.generate(&[0, 1, 2]);
+        let posteriors: Vec<Vec<f64>> = result
+            .cycle
+            .iter()
+            .map(|q| belief.posterior(&q.tokens))
+            .collect();
+        let mut inferred = SessionTracker::new();
+        inferred.record_cycle(&belief, &result);
+        let mut precomputed = SessionTracker::new();
+        precomputed.record_cycle_posteriors(&result, &posteriors);
+        assert_eq!(inferred.genuine(), precomputed.genuine());
+        assert_eq!(inferred.posteriors(), precomputed.posteriors());
     }
 }

@@ -46,7 +46,7 @@ pub use ghost::{CycleQuery, CycleResult, GhostConfig, GhostGenerator, TermSelect
 pub use history::{SessionTracker, TraceReport};
 pub use metrics::{
     exposure, intention_ranks, mask_level, max_rank_of_intention, semantic_coherence,
-    PrivacyMetrics,
+    substitute_in_cycle_boosts, PrivacyMetrics,
 };
 pub use oblivious::{oblivious_fetch, CommutativeKey, ObliviousClient, ObliviousServer};
 pub use pacing::{

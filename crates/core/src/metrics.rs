@@ -82,6 +82,32 @@ pub fn semantic_coherence(model: &tsearch_lda::LdaModel, tokens: &[tsearch_text:
     best.exp()
 }
 
+/// Recomputes a cycle's boost vector after one member's posterior is
+/// replaced, in O(K) instead of a full re-inference of the cycle.
+///
+/// The cycle boost is `B(t|C) = mean_q P(t|q) − P(t)` (Equation 1 over
+/// the cycle), so swapping one member's posterior `p_old` for `p_new`
+/// shifts every topic's boost by exactly `(p_new[t] − p_old[t]) / υ`.
+/// The cross-session planner uses this to re-certify a cycle after
+/// substituting a ghost member with another tenant's already-planned
+/// submission — the result is bit-for-bit what a full recomputation
+/// over the substituted cycle would produce (up to float associativity).
+pub fn substitute_in_cycle_boosts(
+    cycle_boosts: &[f64],
+    old_posterior: &[f64],
+    new_posterior: &[f64],
+    cycle_len: usize,
+) -> Vec<f64> {
+    assert!(cycle_len > 0, "empty cycle has no boosts to substitute");
+    let n = cycle_len as f64;
+    cycle_boosts
+        .iter()
+        .zip(old_posterior)
+        .zip(new_posterior)
+        .map(|((&b, &p_old), &p_new)| b + (p_new - p_old) / n)
+        .collect()
+}
+
 /// A bundle of per-query privacy metrics.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct PrivacyMetrics {
@@ -166,6 +192,44 @@ mod tests {
         let mixed = semantic_coherence(&model, &[0, 3, 1]);
         assert!(coherent > mixed, "coherent {coherent} vs mixed {mixed}");
         assert_eq!(semantic_coherence(&model, &[]), 0.0);
+    }
+
+    #[test]
+    fn substitution_matches_full_recompute() {
+        // Three members over four topics; boosts are mean posterior −
+        // prior. Replacing member 1's posterior via the O(K) update must
+        // equal recomputing the mean from scratch.
+        let prior = [0.25, 0.25, 0.3, 0.2];
+        let members = [
+            vec![0.7, 0.1, 0.1, 0.1],
+            vec![0.2, 0.5, 0.2, 0.1],
+            vec![0.1, 0.1, 0.6, 0.2],
+        ];
+        let boosts_of = |ms: &[Vec<f64>]| -> Vec<f64> {
+            (0..prior.len())
+                .map(|t| ms.iter().map(|p| p[t]).sum::<f64>() / ms.len() as f64 - prior[t])
+                .collect()
+        };
+        let old_boosts = boosts_of(&members);
+        let replacement = vec![0.05, 0.05, 0.05, 0.85];
+        let fast =
+            substitute_in_cycle_boosts(&old_boosts, &members[1], &replacement, members.len());
+        let mut substituted = members.to_vec();
+        substituted[1] = replacement;
+        let slow = boosts_of(&substituted);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() < 1e-12, "fast {f} vs slow {s}");
+        }
+    }
+
+    #[test]
+    fn substitution_with_identical_posterior_is_identity() {
+        let boosts = vec![0.1, -0.05, 0.2];
+        let p = vec![0.3, 0.3, 0.4];
+        let out = substitute_in_cycle_boosts(&boosts, &p, &p, 5);
+        for (a, b) in out.iter().zip(&boosts) {
+            assert!((a - b).abs() < 1e-15);
+        }
     }
 
     #[test]

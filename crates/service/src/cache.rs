@@ -339,6 +339,36 @@ impl ResultCache {
         (hits, false)
     }
 
+    /// Fan-out-aware [`ResultCache::get_or_compute`] for submissions
+    /// shared by `subscribers` tenants (the planner's coalesced entries).
+    ///
+    /// Hit-rate accounting is **per subscribing tenant**, not per
+    /// physical lookup: from each tenant's point of view its submission
+    /// was served without touching the engine, so beyond the first
+    /// subscriber (who pays the real lookup, hit or miss) every further
+    /// subscriber counts as one cache hit — globally and on the entry's
+    /// cache shard. Per-submission counting here would silently
+    /// understate the hit rate under coalescing. Returns the first
+    /// subscriber's `(hits, was_cache_hit)`.
+    pub fn get_or_compute_shared(
+        &self,
+        tokens: &[TermId],
+        k: usize,
+        subscribers: usize,
+        compute: impl FnOnce() -> Vec<SearchHit>,
+    ) -> (Vec<SearchHit>, bool) {
+        let (hits, was_hit) = self.get_or_compute(tokens, k, compute);
+        let extra = subscribers.saturating_sub(1) as u64;
+        if extra > 0 {
+            self.hits.fetch_add(extra, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                let key = CacheKey::new(tokens, k);
+                obs.hits[key.shard_of(self.shards.len())].add(extra);
+            }
+        }
+        (hits, was_hit)
+    }
+
     /// Entries currently cached.
     pub fn len(&self) -> usize {
         self.shards
@@ -463,6 +493,30 @@ mod tests {
         assert!(was_hit);
         assert_eq!(r2[0].doc_id, 42);
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_hits_count_once_per_subscriber() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let cache = ResultCache::with_shards(8, 1).with_registry(registry.clone());
+        // Miss shared by 3 tenants: 1 physical miss + 2 per-tenant hits.
+        let (_, was_hit) = cache.get_or_compute_shared(&[1, 2], 10, 3, || vec![hit(1)]);
+        assert!(!was_hit);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        // Hit shared by 4 tenants: all 4 count as hits.
+        let (_, was_hit) = cache.get_or_compute_shared(&[2, 1], 10, 4, || unreachable!());
+        assert!(was_hit);
+        assert_eq!(cache.hits(), 6);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 6.0 / 7.0).abs() < 1e-12);
+        // The per-shard obs counters agree with the global atomics.
+        assert_eq!(registry.counter_total(M_CACHE_SHARD_HITS), 6);
+        assert_eq!(registry.counter_total(M_CACHE_SHARD_MISSES), 1);
+        // A single subscriber degenerates to plain get_or_compute.
+        let (_, was_hit) = cache.get_or_compute_shared(&[1, 2], 10, 1, || unreachable!());
+        assert!(was_hit);
+        assert_eq!(cache.hits(), 7);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod auditor;
 pub mod cache;
 pub mod metrics;
 pub mod persist;
+pub mod planner;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
@@ -70,10 +71,13 @@ pub use persist::{
     seal_audit_journal, seal_query_log, seal_session_state, unseal_audit_journal, unseal_query_log,
     unseal_session_state, PersistError, SessionState,
 };
+pub use planner::{GhostPlanner, PlannerConfig};
 pub use protocol::{Op, Request, Response};
-pub use scheduler::{CycleScheduler, DrainError, PlannedQuery, ShardFailure, SubmitOutcome};
+pub use scheduler::{
+    CycleScheduler, DrainError, PlannedQuery, ShardFailure, SubmissionTag, SubmitOutcome,
+};
 pub use server::{handle, serve_lines, serve_tcp};
-pub use session::{SearchOutcome, ServiceError, SessionConfig, SessionManager};
+pub use session::{FormulatedCycle, SearchOutcome, ServiceError, SessionConfig, SessionManager};
 pub use tier::SearchTier;
 
 // Re-export the observability substrate so service consumers can reach

@@ -42,6 +42,22 @@ pub const M_QUEUE_DEPTH: &str = "scheduler_queue_depth";
 pub const M_QUEUE_DEPTH_MAX: &str = "scheduler_queue_depth_max";
 /// Metric name: submit resolution latency histogram (µs).
 pub const M_SUBMIT_US: &str = "service_submit_us";
+/// Metric name: unique engine-side submissions — one per queue entry
+/// resolved against the cache/tier, regardless of how many tenants
+/// subscribe to it.
+pub const M_ENGINE_SUBMITS: &str = "service_engine_submits_total";
+/// Metric name: live fleet cost ratio gauge — engine submissions per
+/// genuine query, in micro-units (`ratio × 1e6`, gauges being integral).
+pub const M_FLEET_COST_RATIO: &str = "fleet_cost_ratio";
+/// Metric name: ghost members the planner replaced with another tenant's
+/// already-planned submission (donor reuse).
+pub const M_PLANNER_REUSE: &str = "planner_reuse_total";
+/// Metric name: planned submissions coalesced into an existing shared
+/// queue entry instead of being enqueued (engine submissions avoided).
+pub const M_PLANNER_COALESCED: &str = "planner_coalesced_total";
+
+/// Fixed-point scale of the [`M_FLEET_COST_RATIO`] gauge.
+pub const RATIO_MICRO: f64 = 1e6;
 
 /// Shared counters and the submit-latency histogram, backed by a
 /// metrics registry.
@@ -56,6 +72,10 @@ pub struct ServiceMetrics {
     queue_depth: Gauge,
     max_queue_depth: Gauge,
     submit_us: HistogramHandle,
+    engine_submits: Counter,
+    fleet_cost_ratio: Gauge,
+    planner_reuse: Counter,
+    planner_coalesced: Counter,
     /// High-water count of per-shard depth gauges handed out, so
     /// snapshots know how many `shard=` gauges to read back.
     shards_seen: AtomicUsize,
@@ -87,6 +107,10 @@ impl ServiceMetrics {
             queue_depth: registry.gauge(M_QUEUE_DEPTH, &[]),
             max_queue_depth: registry.gauge(M_QUEUE_DEPTH_MAX, &[]),
             submit_us: registry.histogram(M_SUBMIT_US, &[]),
+            engine_submits: registry.counter(M_ENGINE_SUBMITS, &[]),
+            fleet_cost_ratio: registry.gauge(M_FLEET_COST_RATIO, &[]),
+            planner_reuse: registry.counter(M_PLANNER_REUSE, &[]),
+            planner_coalesced: registry.counter(M_PLANNER_COALESCED, &[]),
             shards_seen: AtomicUsize::new(0),
             registry,
         }
@@ -107,10 +131,47 @@ impl ServiceMetrics {
         }
         if is_genuine {
             self.genuine_served.inc();
+            self.refresh_fleet_cost_ratio();
         } else {
             self.ghosts_processed.inc();
         }
         self.submit_us.record(latency_us);
+    }
+
+    /// Records one **unique** engine-side submission: a queue entry
+    /// resolved against the cache/tier, counted once no matter how many
+    /// tenants subscribe to its results. The live fleet cost ratio is
+    /// this counter over genuine queries served.
+    pub fn record_engine_submission(&self) {
+        self.engine_submits.inc();
+        self.refresh_fleet_cost_ratio();
+    }
+
+    /// Counts one planner donor-reuse substitution.
+    pub fn record_planner_reuse(&self) {
+        self.planner_reuse.inc();
+    }
+
+    /// Counts one planned submission coalesced into a shared queue entry.
+    pub fn record_planner_coalesced(&self) {
+        self.planner_coalesced.inc();
+    }
+
+    /// Engine submissions per genuine query (the fleet cost ratio υ_eff);
+    /// 0 before any genuine query was served.
+    pub fn fleet_cost_ratio(&self) -> f64 {
+        let genuine = self.genuine_served.get();
+        if genuine == 0 {
+            0.0
+        } else {
+            self.engine_submits.get() as f64 / genuine as f64
+        }
+    }
+
+    /// Republishes the [`M_FLEET_COST_RATIO`] gauge in micro-units.
+    fn refresh_fleet_cost_ratio(&self) {
+        self.fleet_cost_ratio
+            .set((self.fleet_cost_ratio() * RATIO_MICRO) as i64);
     }
 
     /// Sets the instantaneous queue depth (and bumps the high-water mark).
@@ -179,6 +240,10 @@ impl ServiceMetrics {
             shard_queue_depths: self.shard_queue_depths(),
             p50_submit_us: self.submit_us.percentile(0.50),
             p99_submit_us: self.submit_us.percentile(0.99),
+            engine_submits: self.engine_submits.get(),
+            fleet_cost_ratio: self.fleet_cost_ratio(),
+            planner_reuse: self.planner_reuse.get(),
+            planner_coalesced: self.planner_coalesced.get(),
         }
     }
 }
@@ -209,6 +274,14 @@ pub struct GlobalMetrics {
     pub p50_submit_us: u64,
     /// 99th-percentile submit latency (µs).
     pub p99_submit_us: u64,
+    /// Unique engine-side submissions (one per resolved queue entry).
+    pub engine_submits: u64,
+    /// Engine submissions per genuine query (υ_eff; 0 before traffic).
+    pub fleet_cost_ratio: f64,
+    /// Planner donor-reuse substitutions.
+    pub planner_reuse: u64,
+    /// Planned submissions coalesced into shared queue entries.
+    pub planner_coalesced: u64,
 }
 
 /// Per-session privacy accounting, maintained by the session itself.
@@ -318,6 +391,40 @@ mod tests {
             g.set(0);
         }
         assert_eq!(m.snapshot().shard_queue_depths, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn fleet_cost_ratio_tracks_engine_submissions_per_genuine() {
+        let m = ServiceMetrics::new();
+        assert_eq!(m.fleet_cost_ratio(), 0.0);
+        // One genuine query whose cycle resolved 7 unique queue entries.
+        for _ in 0..7 {
+            m.record_engine_submission();
+        }
+        m.record_submit(10, false, true);
+        for _ in 0..6 {
+            m.record_submit(10, false, false);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.engine_submits, 7);
+        assert!((snap.fleet_cost_ratio - 7.0).abs() < 1e-12);
+        // The live gauge carries the same value in micro-units.
+        assert_eq!(
+            m.registry().gauge(M_FLEET_COST_RATIO, &[]).get(),
+            (7.0 * RATIO_MICRO) as i64
+        );
+        // Coalescing: the next genuine query shares entries, so only 2
+        // fresh engine submissions land; the ratio drops to 9/2.
+        m.record_engine_submission();
+        m.record_engine_submission();
+        m.record_submit(10, true, true);
+        assert!((m.fleet_cost_ratio() - 4.5).abs() < 1e-12);
+        m.record_planner_reuse();
+        m.record_planner_coalesced();
+        m.record_planner_coalesced();
+        let snap = m.snapshot();
+        assert_eq!(snap.planner_reuse, 1);
+        assert_eq!(snap.planner_coalesced, 2);
     }
 
     #[test]

@@ -42,6 +42,24 @@ pub const M_SERVICE_US: &str = "scheduler_service_us";
 /// Metric name: per-shard drained submission counter.
 pub const M_SHARD_SUBMITS: &str = "scheduler_submits_total";
 
+/// One subscribing tenant of a (possibly shared) planned submission.
+///
+/// The cross-session planner coalesces identical submissions from
+/// several tenants into one queue entry; each subscriber keeps its own
+/// ground-truth cycle id and genuine flag, so the drain can fan the
+/// single resolution out into per-tenant outcomes and audit facts.
+/// Tags exist only inside the trusted service boundary — the engine
+/// sees one untagged submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmissionTag {
+    /// Subscribing session id.
+    pub session: String,
+    /// That session's ground-truth cycle id (evaluation/audit only).
+    pub cycle_id: usize,
+    /// Whether the submission is this subscriber's genuine query.
+    pub is_genuine: bool,
+}
+
 /// One scheduled submission, tagged with its tenant and shard set.
 #[derive(Debug, Clone)]
 pub struct PlannedQuery {
@@ -55,12 +73,36 @@ pub struct PlannedQuery {
     /// single-engine tier). The scheduler queues the submission on its
     /// primary — lowest — shard.
     pub shards: Vec<usize>,
+    /// All subscribing tenants when the planner coalesced this entry
+    /// (owner included). Empty for the common unshared case — the owner
+    /// fields above are the single implicit subscriber.
+    pub subscribers: Vec<SubmissionTag>,
 }
 
 impl PlannedQuery {
     /// The shard whose queue carries this submission.
     pub fn primary_shard(&self) -> usize {
         self.shards.first().copied().unwrap_or(0)
+    }
+
+    /// The subscriber list this entry resolves for: the explicit
+    /// `subscribers` when the planner shared it, else the implicit
+    /// owner-only tag.
+    pub fn subscriber_tags(&self) -> Vec<SubmissionTag> {
+        if self.subscribers.is_empty() {
+            vec![SubmissionTag {
+                session: self.session.clone(),
+                cycle_id: self.scheduled.cycle_id,
+                is_genuine: self.scheduled.is_genuine,
+            }]
+        } else {
+            self.subscribers.clone()
+        }
+    }
+
+    /// How many per-tenant outcomes this entry fans out into.
+    pub fn fanout(&self) -> usize {
+        self.subscribers.len().max(1)
     }
 }
 
@@ -102,7 +144,9 @@ pub struct DrainError {
     pub failures: Vec<ShardFailure>,
     /// Outcomes of the submissions that completed.
     pub completed: Vec<SubmitOutcome>,
-    /// Submissions the drain was asked to resolve.
+    /// Per-tenant outcomes the drain was asked to produce — the sum of
+    /// every queue entry's subscriber fan-out (equal to the queue length
+    /// when nothing was coalesced).
     pub expected: usize,
 }
 
@@ -243,6 +287,10 @@ impl CycleScheduler {
     /// session, panic message) plus the outcomes that did complete.
     pub fn try_drain(&self, queue: Vec<PlannedQuery>) -> Result<Vec<SubmitOutcome>, DrainError> {
         let total = queue.len();
+        // Shared (planner-coalesced) entries resolve once but produce one
+        // outcome per subscribing tenant; a drain succeeds when every
+        // expected per-tenant outcome materialized.
+        let expected: usize = queue.iter().map(|p| p.fanout()).sum();
         self.metrics.set_queue_depth(total);
         let num_shards = self.tier.num_shards();
         let drain_span = toppriv_obs::tracer().span("drain");
@@ -310,6 +358,7 @@ impl CycleScheduler {
                             wait_hist.record(drain_start.elapsed().as_micros() as u64);
                             let i = shard_queue[at];
                             let plan = &queue[i];
+                            let tags = plan.subscriber_tags();
                             let t0 = Instant::now();
                             // Resolution runs under catch_unwind so one
                             // poisoned submission cannot anonymously take
@@ -325,13 +374,13 @@ impl CycleScheduler {
                                             plan.session
                                         );
                                     }
-                                    SessionManager::resolve(
+                                    SessionManager::resolve_shared(
                                         &self.tier,
                                         self.cache.as_deref(),
                                         &self.metrics,
                                         &plan.scheduled.tokens,
                                         plan.k,
-                                        plan.scheduled.is_genuine,
+                                        &tags,
                                     )
                                 }));
                             // Depth accounting covers failed submissions
@@ -364,25 +413,32 @@ impl CycleScheduler {
                                 shard_span.id(),
                             );
                             submit_counter.inc();
-                            if let Some(auditor) = &self.auditor {
-                                auditor.on_outcome(&plan.session, plan.scheduled.cycle_id);
+                            // One resolution fans out into one outcome —
+                            // and one audit fact — per subscribing tenant.
+                            // Subscribers beyond the first were served
+                            // from the shared resolution, which is a
+                            // cache hit from their point of view.
+                            for (j, tag) in tags.iter().enumerate() {
+                                if let Some(auditor) = &self.auditor {
+                                    auditor.on_outcome(&tag.session, tag.cycle_id);
+                                }
+                                let outcome = SubmitOutcome {
+                                    session: tag.session.clone(),
+                                    cycle_id: tag.cycle_id,
+                                    time_secs: plan.scheduled.time_secs,
+                                    is_genuine: tag.is_genuine,
+                                    cache_hit: cache_hit || j > 0,
+                                    // Ghost results are discarded inside the
+                                    // trusted boundary; only genuine hits leave
+                                    // the scheduler.
+                                    hits: if tag.is_genuine {
+                                        hits.clone()
+                                    } else {
+                                        Vec::new()
+                                    },
+                                };
+                                recover_lock(collector).push((i, outcome));
                             }
-                            let outcome = SubmitOutcome {
-                                session: plan.session.clone(),
-                                cycle_id: plan.scheduled.cycle_id,
-                                time_secs: plan.scheduled.time_secs,
-                                is_genuine: plan.scheduled.is_genuine,
-                                cache_hit,
-                                // Ghost results are discarded inside the
-                                // trusted boundary; only genuine hits leave
-                                // the scheduler.
-                                hits: if plan.scheduled.is_genuine {
-                                    hits
-                                } else {
-                                    Vec::new()
-                                },
-                            };
-                            recover_lock(collector).push((i, outcome));
                         }
                     });
                 }
@@ -402,13 +458,13 @@ impl CycleScheduler {
         outcomes.sort_by_key(|&(i, _)| i);
         let completed: Vec<SubmitOutcome> = outcomes.into_iter().map(|(_, o)| o).collect();
         let failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
-        if failures.is_empty() && completed.len() == total {
+        if failures.is_empty() && completed.len() == expected {
             Ok(completed)
         } else {
             Err(DrainError {
                 failures,
                 completed,
-                expected: total,
+                expected,
             })
         }
     }
@@ -443,8 +499,44 @@ mod tests {
                 },
                 k: 10,
                 shards: vec![0],
+                subscribers: Vec::new(),
             })
             .collect()
+    }
+
+    #[test]
+    fn subscriber_tags_default_to_the_owner() {
+        let p = plan("a", &[0.0]).remove(0);
+        assert_eq!(p.fanout(), 1);
+        let tags = p.subscriber_tags();
+        assert_eq!(
+            tags,
+            vec![SubmissionTag {
+                session: "a".into(),
+                cycle_id: 0,
+                is_genuine: true,
+            }]
+        );
+    }
+
+    #[test]
+    fn explicit_subscribers_fan_out() {
+        let mut p = plan("a", &[0.0]).remove(0);
+        p.subscribers = vec![
+            SubmissionTag {
+                session: "a".into(),
+                cycle_id: 0,
+                is_genuine: true,
+            },
+            SubmissionTag {
+                session: "b".into(),
+                cycle_id: 3,
+                is_genuine: false,
+            },
+        ];
+        assert_eq!(p.fanout(), 2);
+        assert_eq!(p.subscriber_tags().len(), 2);
+        assert_eq!(p.subscriber_tags()[1].session, "b");
     }
 
     #[test]

@@ -49,7 +49,7 @@
 
 use crate::cache::ResultCache;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics, SessionMetrics};
-use crate::scheduler::PlannedQuery;
+use crate::scheduler::{PlannedQuery, SubmissionTag};
 use crate::tier::SearchTier;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -127,6 +127,54 @@ pub struct SearchOutcome {
     pub report: CycleResult,
     /// How many cycle members were served from the result cache.
     pub cache_hits: usize,
+}
+
+/// A cycle that has been formulated (generated and certified) but not
+/// yet committed to its session's trace accounting, pacing clock, or
+/// audit plane — the unit of work the cross-session
+/// [`crate::planner::GhostPlanner`] rewrites between
+/// [`SessionManager::formulate_cycle`] and
+/// [`SessionManager::commit_cycle`].
+#[derive(Debug, Clone)]
+pub struct FormulatedCycle {
+    pub(crate) session: String,
+    /// The original user tokens, kept so a model swap between formulate
+    /// and commit can regenerate instead of committing stale posteriors.
+    pub(crate) user_tokens: Vec<TermId>,
+    pub(crate) report: CycleResult,
+    /// Per-member posteriors aligned with `report.cycle`.
+    pub(crate) posteriors: Vec<Vec<f64>>,
+    pub(crate) requirement: PrivacyRequirement,
+    /// How many posteriors the reported `cycle_boosts` average over: the
+    /// cycle length in per-cycle mode, but history length + cycle length
+    /// in history-aware mode (the generator certifies trace boosts).
+    /// Planner substitutions must divide by this support, not the cycle
+    /// length, for the O(K) boost update to stay exact.
+    pub(crate) boost_support: usize,
+    pub(crate) k: usize,
+    pub(crate) model_epoch: u64,
+}
+
+impl FormulatedCycle {
+    /// The owning session id.
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+
+    /// The formulated cycle (after any planner rewrites).
+    pub fn report(&self) -> &CycleResult {
+        &self.report
+    }
+
+    /// The `(ε1, ε2)` requirement the cycle was certified against.
+    pub fn requirement(&self) -> PrivacyRequirement {
+        self.requirement
+    }
+
+    /// Result depth the cycle will fetch.
+    pub fn k(&self) -> usize {
+        self.k
+    }
 }
 
 /// One tenant's state. All fields live behind the manager's per-session
@@ -231,41 +279,52 @@ impl Session {
         self.model_epoch = epoch;
     }
 
-    /// Formulates (and records) one cycle for `tokens`.
-    fn formulate(&mut self, tokens: &[TermId]) -> CycleResult {
+    /// Formulates one cycle for `tokens` **without** recording it, and
+    /// infers each member's posterior (aligned with `result.cycle`).
+    /// Accounting happens separately in [`Session::account`] so a
+    /// cross-session planner can substitute cycle members between
+    /// generation and accounting — the session then debits exactly what
+    /// was actually planned for submission.
+    fn generate(&self, tokens: &[TermId]) -> (CycleResult, Vec<Vec<f64>>) {
         let result = if self.config.history_aware && !self.tracker.is_empty() {
             self.generator
                 .generate_with_history(tokens, self.tracker.posteriors())
         } else {
             self.generator.generate(tokens)
         };
+        // Inference is deterministic, so these posteriors are exactly
+        // what any later re-inference of the same members would produce.
+        let belief = self.generator.belief();
+        let posteriors = result
+            .cycle
+            .iter()
+            .map(|q| belief.posterior(&q.tokens))
+            .collect();
+        (result, posteriors)
+    }
+
+    /// Records one formulated cycle into the session's trace accounting.
+    /// `posteriors` must align with `result.cycle` — for a shared
+    /// (planner-substituted) cycle these are the posteriors of the
+    /// members **as submitted**, so a shared submission debits this
+    /// session's trace exactly as an owned decoy would.
+    fn account(&mut self, result: &CycleResult, posteriors: &[Vec<f64>]) {
+        debug_assert_eq!(result.cycle_len(), posteriors.len());
         // Trace accounting. History-aware mode needs the full posterior
         // history (the generator certifies against it); per-cycle mode
         // only ever consumes the mean, so a running sum suffices and the
         // session does not grow with its age.
-        let belief = self.generator.belief();
         if self.posterior_sum.is_empty() {
-            self.posterior_sum = vec![0.0; belief.num_topics()];
+            self.posterior_sum = vec![0.0; self.generator.belief().num_topics()];
         }
         if self.config.history_aware {
-            // The tracker just inferred every member; fold its tail in
-            // rather than inferring a second time.
-            self.tracker.record_cycle(belief, &result);
-            let tail_start = self.tracker.len() - result.cycle_len();
-            for posterior in &self.tracker.posteriors()[tail_start..] {
-                for (acc, p) in self.posterior_sum.iter_mut().zip(posterior) {
-                    *acc += p;
-                }
-                self.posterior_count += 1;
+            self.tracker.record_cycle_posteriors(result, posteriors);
+        }
+        for posterior in posteriors {
+            for (acc, p) in self.posterior_sum.iter_mut().zip(posterior) {
+                *acc += p;
             }
-        } else {
-            for q in &result.cycle {
-                let posterior = belief.posterior(&q.tokens);
-                for (acc, p) in self.posterior_sum.iter_mut().zip(&posterior) {
-                    *acc += p;
-                }
-                self.posterior_count += 1;
-            }
+            self.posterior_count += 1;
         }
         self.intention_union
             .extend(result.intention.iter().copied());
@@ -278,6 +337,12 @@ impl Session {
         if result.satisfied {
             self.satisfied += 1;
         }
+    }
+
+    /// Formulates (and records) one cycle for `tokens`.
+    fn formulate(&mut self, tokens: &[TermId]) -> CycleResult {
+        let (result, posteriors) = self.generate(tokens);
+        self.account(&result, &posteriors);
         result
     }
 
@@ -581,7 +646,47 @@ impl SessionManager {
             Some(cache) => cache.get_or_compute(tokens, k, || tier.search_tokens(tokens, k)),
             None => (tier.search_tokens(tokens, k), false),
         };
+        metrics.record_engine_submission();
         metrics.record_submit(t0.elapsed().as_micros() as u64, cache_hit, is_genuine);
+        (hits, cache_hit)
+    }
+
+    /// Fan-out variant of [`SessionManager::resolve`] for a submission
+    /// shared by several subscribing tenants (a planner-coalesced queue
+    /// entry): the cache/tier is consulted **once** — one engine
+    /// submission — and per-tenant submit metrics are recorded for every
+    /// tag. Subscribers beyond the first are served from the shared
+    /// resolution, which is a cache hit from their point of view (see
+    /// [`ResultCache::get_or_compute_shared`]).
+    pub(crate) fn resolve_shared(
+        tier: &SearchTier,
+        cache: Option<&ResultCache>,
+        metrics: &ServiceMetrics,
+        tokens: &[TermId],
+        k: usize,
+        tags: &[SubmissionTag],
+    ) -> (Vec<SearchHit>, bool) {
+        if tags.len() <= 1 {
+            let is_genuine = tags.first().is_some_and(|t| t.is_genuine);
+            return Self::resolve(tier, cache, metrics, tokens, k, is_genuine);
+        }
+        let t0 = Instant::now();
+        let (hits, cache_hit) = match cache {
+            Some(cache) => {
+                cache.get_or_compute_shared(tokens, k, tags.len(), || tier.search_tokens(tokens, k))
+            }
+            None => (tier.search_tokens(tokens, k), false),
+        };
+        metrics.record_engine_submission();
+        let latency_us = t0.elapsed().as_micros() as u64;
+        for (j, tag) in tags.iter().enumerate() {
+            let (lat, hit) = if j == 0 {
+                (latency_us, cache_hit)
+            } else {
+                (0, true)
+            };
+            metrics.record_submit(lat, hit, tag.is_genuine);
+        }
         (hits, cache_hit)
     }
 
@@ -700,10 +805,26 @@ impl SessionManager {
         let mut session = session.lock().expect("session poisoned");
         self.refresh_session(&mut session);
         let k = if k == 0 { session.config.top_k } else { k };
-        let report = {
+        let (report, posteriors) = {
             let _formulate = span.child("formulate");
-            session.formulate(tokens)
+            session.generate(tokens)
         };
+        Ok(self.plan_locked(id, &mut session, &tier, report, &posteriors, k))
+    }
+
+    /// Accounts a formulated cycle and turns it into a paced plan — the
+    /// shared tail of [`SessionManager::plan_cycle_with_report`] and
+    /// [`SessionManager::commit_cycle`]. Runs under the session lock.
+    fn plan_locked(
+        &self,
+        id: &str,
+        session: &mut Session,
+        tier: &SearchTier,
+        report: CycleResult,
+        posteriors: &[Vec<f64>],
+        k: usize,
+    ) -> (CycleResult, Vec<PlannedQuery>) {
+        session.account(&report, posteriors);
         let start = session.clock_secs;
         session.clock_secs += session.config.think_time_secs;
         let schedule = session.pacer.schedule(&report, start);
@@ -732,10 +853,87 @@ impl SessionManager {
                     scheduled,
                     k,
                     shards,
+                    subscribers: Vec::new(),
                 }
             })
             .collect();
-        Ok((report, plan))
+        (report, plan)
+    }
+
+    /// Formulates one cycle **without** committing it: the cycle is
+    /// generated and certified, but nothing is recorded in the session's
+    /// trace accounting, pacing clock, or audit plane yet. The returned
+    /// [`FormulatedCycle`] is what the cross-session
+    /// [`crate::planner::GhostPlanner`] rewrites (substituting ghost
+    /// members with other tenants' already-planned submissions) before
+    /// handing it back to [`SessionManager::commit_cycle`]. Callers that
+    /// don't rewrite anything should just use
+    /// [`SessionManager::plan_cycle`].
+    pub fn formulate_cycle(
+        &self,
+        id: &str,
+        tokens: &[TermId],
+        k: usize,
+    ) -> Result<FormulatedCycle, ServiceError> {
+        let session = self.session(id)?;
+        if tokens.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "query analyzed to zero tokens".into(),
+            ));
+        }
+        let span = toppriv_obs::tracer().span("plan_cycle");
+        let mut session = session.lock().expect("session poisoned");
+        self.refresh_session(&mut session);
+        let k = if k == 0 { session.config.top_k } else { k };
+        let (report, posteriors) = {
+            let _formulate = span.child("formulate");
+            session.generate(tokens)
+        };
+        // Mirror `Session::generate`'s branch: history-aware cycles carry
+        // trace boosts averaged over history ∪ cycle, so that is the
+        // support planner substitutions must divide by.
+        let boost_support = if session.config.history_aware && !session.tracker.is_empty() {
+            session.tracker.posteriors().len() + report.cycle_len()
+        } else {
+            report.cycle_len()
+        };
+        Ok(FormulatedCycle {
+            session: id.to_string(),
+            user_tokens: tokens.to_vec(),
+            report,
+            posteriors,
+            requirement: session.config.requirement,
+            boost_support,
+            k,
+            model_epoch: session.model_epoch,
+        })
+    }
+
+    /// Commits a formulated (and possibly planner-rewritten) cycle: the
+    /// **final** members are accounted into the session's trace — a
+    /// shared submission debits this subscriber's running posterior sums
+    /// exactly as an owned decoy would — the cycle is paced onto the
+    /// session clock, its privacy facts are registered with the audit
+    /// plane, and the per-submission plan is returned.
+    ///
+    /// If the shared model was swapped between formulation and commit,
+    /// the held posteriors (and any cross-tenant substitutions) are
+    /// stale; the cycle is silently regenerated from the original user
+    /// tokens under the current model instead.
+    pub fn commit_cycle(
+        &self,
+        fc: FormulatedCycle,
+    ) -> Result<(CycleResult, Vec<PlannedQuery>), ServiceError> {
+        let session = self.session(&fc.session)?;
+        let tier = self.tier();
+        let mut session = session.lock().expect("session poisoned");
+        self.refresh_session(&mut session);
+        let (report, posteriors) = if session.model_epoch != fc.model_epoch {
+            session.generate(&fc.user_tokens)
+        } else {
+            (fc.report, fc.posteriors)
+        };
+        Ok(self.plan_locked(&fc.session, &mut session, &tier, report, &posteriors, fc.k))
     }
 
     /// Spills one session's complete state (see

@@ -12,6 +12,9 @@
 //!
 //! All modes accept `--shards N` to term-shard the search tier: postings
 //! split across N shards, per-shard scheduler queues and adversary logs.
+//! The demo additionally accepts `--planner` to route cycles through the
+//! cross-session ghost planner (decoy reuse + coalesced shared
+//! submissions) and prints the resulting fleet cost ratio.
 //!
 //! ```text
 //! cargo run --release --bin toppriv-serve -- --sessions 64 --shards 4 --demo
@@ -19,7 +22,7 @@
 
 use std::sync::Arc;
 use toppriv::corpus::{generate_workload, SyntheticCorpus, WorkloadConfig};
-use toppriv::service::{AuditConfig, CycleScheduler, SessionConfig, SessionManager};
+use toppriv::service::{AuditConfig, CycleScheduler, GhostPlanner, SessionConfig, SessionManager};
 use toppriv::{CorpusConfig, LdaModel, SearchTier};
 
 struct Args {
@@ -36,6 +39,7 @@ struct Args {
     lda_iterations: usize,
     metrics_interval: Option<u64>,
     audit_interval: Option<u64>,
+    planner: bool,
 }
 
 impl Default for Args {
@@ -54,6 +58,7 @@ impl Default for Args {
             lda_iterations: 40,
             metrics_interval: None,
             audit_interval: None,
+            planner: false,
         }
     }
 }
@@ -93,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
                 args.audit_interval = Some(parse_usize(&argv, &mut i, "--audit-interval")? as u64)
             }
             "--no-cache" => args.no_cache = true,
+            "--planner" => args.planner = true,
             "--demo" => args.demo = true,
             "--stdin" => args.demo = false,
             "--tcp" => {
@@ -109,6 +115,8 @@ fn parse_args() -> Result<Args, String> {
                      --queries N        queries per tenant in the demo (default 4)\n\
                      --cache-capacity N result cache entries (default 4096)\n\
                      --no-cache         disable the result cache\n\
+                     --planner          route demo cycles through the cross-session ghost\n\
+                     \u{20}                  planner (decoy reuse + coalesced shared submissions)\n\
                      --workers N        scheduler worker threads (default 4)\n\
                      --shards N         term-shard the search tier across N shards (default 1)\n\
                      --docs N           synthetic corpus size (default 800)\n\
@@ -290,20 +298,34 @@ fn run_demo(args: &Args) {
         .map(|secs| spawn_audit_emitter(secs, manager.clone()));
 
     // Plan every tenant's paced cycles, merge, and drain on the pool.
+    // With `--planner` the cycles route through the cross-session ghost
+    // planner instead: decoys are rewritten to match other tenants'
+    // queued submissions and identical submissions coalesce into shared
+    // queue entries, so the engine sees less than υ× the genuine volume.
     let t0 = std::time::Instant::now();
+    let planner = args.planner.then(|| GhostPlanner::new(manager.clone()));
     let mut plans = Vec::new();
     for (s, id) in manager.session_ids().iter().enumerate() {
         for q in 0..args.queries_per_session {
             let query = &pool[(s * args.queries_per_session + q * 7) % pool.len()];
-            plans.push(
-                manager
+            if let Some(planner) = &planner {
+                planner
                     .plan_cycle(id, &query.tokens, 10)
-                    .expect("session open"),
-            );
+                    .expect("session open");
+            } else {
+                plans.push(
+                    manager
+                        .plan_cycle(id, &query.tokens, 10)
+                        .expect("session open"),
+                );
+            }
         }
     }
     let scheduler = CycleScheduler::for_manager(&manager, args.workers);
-    let outcomes = scheduler.run(plans);
+    let outcomes = match &planner {
+        Some(planner) => scheduler.drain(planner.take_queue()),
+        None => scheduler.run(plans),
+    };
     let wall = t0.elapsed().as_secs_f64();
 
     if let Some((stop, handle)) = emitter {
@@ -334,6 +356,16 @@ fn run_demo(args: &Args) {
         snapshot.global.cache_misses,
         snapshot.global.cache_hits,
     );
+    if args.planner {
+        println!(
+            "    planner: fleet cost ratio {:.2}x ({} engine submissions for {} genuine; {} coalesced, {} decoys reused)",
+            snapshot.global.fleet_cost_ratio,
+            snapshot.global.engine_submits,
+            genuine,
+            snapshot.global.planner_coalesced,
+            snapshot.global.planner_reuse,
+        );
+    }
     println!(
         "    cache hit rate {:.1}%  |  submit latency p50 {}us p99 {}us  |  max queue depth {}",
         snapshot.global.cache_hit_rate * 100.0,
