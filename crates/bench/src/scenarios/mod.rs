@@ -16,11 +16,12 @@
 //!   [`toppriv_obs::InvariantBlock`] verdict.
 //!
 //! The matrix ([`SCENARIOS`]): `churn`, `hotswap`, `evolution`,
-//! `flashcrowd`, `recovery`. `cargo run --bin reproduce -- scenarios`
-//! runs all five; the driver exits non-zero if any invariant fails, so
-//! CI's nightly `scenarios` job is a fleet regression gate, not just a
-//! perf recorder.
+//! `flashcrowd`, `recovery`, `chaos`. `cargo run --bin reproduce --
+//! scenarios` runs all six; the driver exits non-zero if any invariant
+//! fails, so CI's nightly `scenarios` job is a fleet regression gate,
+//! not just a perf recorder.
 
+pub mod chaos;
 pub mod churn;
 pub mod evolution;
 pub mod flashcrowd;
@@ -36,7 +37,14 @@ use tsearch_search::ShardedEngine;
 use tsearch_text::Analyzer;
 
 /// The scenario matrix, in run order.
-pub const SCENARIOS: [&str; 5] = ["churn", "hotswap", "evolution", "flashcrowd", "recovery"];
+pub const SCENARIOS: [&str; 6] = [
+    "churn",
+    "hotswap",
+    "evolution",
+    "flashcrowd",
+    "recovery",
+    "chaos",
+];
 
 /// Fixed fleet secret: every scenario plans the identical ghost
 /// workload run to run, so snapshots are comparable across commits.
@@ -203,6 +211,7 @@ pub fn run_one(ctx: &ExperimentContext, name: &str) -> Option<ScenarioReport> {
         "evolution" => Some(evolution::run(ctx)),
         "flashcrowd" => Some(flashcrowd::run(ctx)),
         "recovery" => Some(recovery::run(ctx)),
+        "chaos" => Some(chaos::run(ctx)),
         _ => None,
     }
 }

@@ -35,6 +35,7 @@
 //! `audit` bench experiment can prove an ε2 breach is surfaced within
 //! one drain without building a deliberately broken ghost generator.
 
+use crate::fault::{FaultKind, FaultPlane};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -168,6 +169,9 @@ pub struct PrivacyAuditor {
     pending: Mutex<HashMap<String, HashMap<usize, CycleFact>>>,
     cycles_audited: AtomicU64,
     cycles_at_last_spill: AtomicU64,
+    /// The deterministic fault plane, when attached: journal spills
+    /// consult its `StoreWrite` schedule before touching disk.
+    fault: Mutex<Option<Arc<FaultPlane>>>,
 }
 
 impl PrivacyAuditor {
@@ -182,7 +186,16 @@ impl PrivacyAuditor {
             pending: Mutex::new(HashMap::new()),
             cycles_audited: AtomicU64::new(0),
             cycles_at_last_spill: AtomicU64::new(0),
+            fault: Mutex::new(None),
         }
+    }
+
+    /// Attaches a deterministic [`FaultPlane`]: journal spills draw
+    /// `StoreWrite` faults from it (keyed by the spill path), failing
+    /// before any bytes reach disk. Wired up automatically by
+    /// [`crate::SessionManager::with_fault_plane`].
+    pub fn attach_fault_plane(&self, plane: Arc<FaultPlane>) {
+        *recover_lock(&self.fault) = Some(plane);
     }
 
     /// The auditor's configuration.
@@ -319,6 +332,68 @@ impl PrivacyAuditor {
             );
     }
 
+    /// Releases a rolled-back cycle's pending fact and rebinds the
+    /// tenant's accounting to the post-rollback session metrics. The
+    /// fact is removed outright — **not** reset — so its exactly-once
+    /// audit flag survives the rollback: a breach already journaled for
+    /// the cycle stays journaled exactly once, and a replanned
+    /// incarnation registers a *new* fact under a *new* cycle id. The
+    /// release itself is journaled as an `Info` `cycle_rolled_back`
+    /// event.
+    pub fn release_cycle(
+        &self,
+        session: &str,
+        cycle_id: usize,
+        trace_exposure: f64,
+        worst_exposure: f64,
+    ) {
+        {
+            let mut pending = recover_lock(&self.pending);
+            if let Some(by_cycle) = pending.get_mut(session) {
+                by_cycle.remove(&cycle_id);
+                if by_cycle.is_empty() {
+                    pending.remove(session);
+                }
+            }
+        }
+        {
+            let mut tenants = recover_lock(&self.tenants);
+            if let Some(t) = tenants.get_mut(session) {
+                t.cycles = t.cycles.saturating_sub(1);
+                t.trace_exposure = trace_exposure;
+                t.worst_exposure = worst_exposure;
+                t.gauge_worst.set(to_micro(t.worst_exposure));
+                t.gauge_trace.set(to_micro(t.trace_exposure));
+                t.gauge_headroom.set(to_micro(t.headroom()));
+                t.gauge_burn.set(t.burn_cycles());
+            }
+        }
+        self.emit(
+            AuditSeverity::Info,
+            "cycle_rolled_back",
+            session,
+            cycle_id as u64,
+            format!(
+                "cycle {cycle_id} rolled back: trace debits reversed bit-exactly \
+                 (trace exposure now {trace_exposure:.6})"
+            ),
+        );
+    }
+
+    /// Journals one scheduler-plane event (`shard_quarantined`,
+    /// `degraded_drain`, ...) through the same exactly-once-free emit
+    /// path as the invariant events. Scheduler-internal.
+    pub(crate) fn note(
+        &self,
+        severity: AuditSeverity,
+        code: &str,
+        tenant: &str,
+        cycle: usize,
+        detail: String,
+    ) {
+        self.emit(severity, code, tenant, cycle as u64, detail);
+    }
+
     /// Audits one drained submission: evaluates the registered cycle
     /// fact's fleet invariant `min(exposure − mask_level, exposure − ε2)
     /// ≤ 0` and, on the **first** evaluation of that cycle, journals a
@@ -427,6 +502,18 @@ impl PrivacyAuditor {
         let path = self.config.spill_path.clone().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::NotFound, "no spill path configured")
         })?;
+        // Injection point *before* any bytes move: a scheduled
+        // `StoreWrite` fault fails the spill like a full disk would,
+        // leaving the previous container untouched; the caller's
+        // `spill_failed` warning path and the next periodic spill take
+        // over from there.
+        let plane = recover_lock(&self.fault).clone();
+        if let Some(plane) = plane {
+            let key = FaultPlane::key_of(path.as_os_str().as_encoded_bytes());
+            if let Some(err) = plane.io_error(FaultKind::StoreWrite, key) {
+                return Err(err);
+            }
+        }
         let sealed = self.seal_journal();
         std::fs::write(&path, &sealed)?;
         self.registry.counter(M_AUDIT_SPILLS, &[]).inc();

@@ -55,6 +55,7 @@
 
 pub mod auditor;
 pub mod cache;
+pub mod fault;
 pub mod metrics;
 pub mod persist;
 pub mod planner;
@@ -66,6 +67,7 @@ pub mod tier;
 
 pub use auditor::{AuditConfig, PrivacyAuditor};
 pub use cache::{CacheKey, ResultCache};
+pub use fault::{FaultKind, FaultPlane, FaultSpec, SubmissionPredicate, ALL_FAULT_KINDS};
 pub use metrics::{GlobalMetrics, MetricsSnapshot, ServiceMetrics, SessionMetrics};
 pub use persist::{
     seal_audit_journal, seal_query_log, seal_session_state, unseal_audit_journal, unseal_query_log,
@@ -74,10 +76,13 @@ pub use persist::{
 pub use planner::{GhostPlanner, PlannerConfig};
 pub use protocol::{Op, Request, Response};
 pub use scheduler::{
-    CycleScheduler, DrainError, PlannedQuery, ShardFailure, SubmissionTag, SubmitOutcome,
+    CycleScheduler, DrainError, DrainPolicy, PlannedQuery, ResilientReport, ShardFailure,
+    SubmissionTag, SubmitOutcome,
 };
 pub use server::{handle, serve_lines, serve_tcp};
-pub use session::{FormulatedCycle, SearchOutcome, ServiceError, SessionConfig, SessionManager};
+pub use session::{
+    FormulatedCycle, RolledBackCycle, SearchOutcome, ServiceError, SessionConfig, SessionManager,
+};
 pub use tier::SearchTier;
 
 // Re-export the observability substrate so service consumers can reach

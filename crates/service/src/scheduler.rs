@@ -25,14 +25,16 @@
 //! one `drain_shard` child per worker into the global tracer.
 
 use crate::cache::ResultCache;
+use crate::fault::{FaultKind, FaultPlane};
 use crate::metrics::ServiceMetrics;
-use crate::session::SessionManager;
+use crate::session::{RolledBackCycle, SessionManager};
 use crate::tier::SearchTier;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use toppriv_core::ScheduledQuery;
-use toppriv_obs::recover_lock;
+use toppriv_obs::{recover_lock, AuditSeverity};
 use tsearch_search::SearchHit;
 
 /// Metric name: per-shard queue wait (claim time − drain start, µs).
@@ -41,6 +43,51 @@ pub const M_QUEUE_WAIT_US: &str = "scheduler_queue_wait_us";
 pub const M_SERVICE_US: &str = "scheduler_service_us";
 /// Metric name: per-shard drained submission counter.
 pub const M_SHARD_SUBMITS: &str = "scheduler_submits_total";
+/// Metric name: per-shard submission retry counter.
+pub const M_SHARD_RETRIES: &str = "scheduler_retries_total";
+
+/// Retry, watchdog, and quarantine knobs for a drain.
+///
+/// The defaults keep pre-fault-plane behaviour intact for healthy
+/// queues: retries only trigger after a panic, the 30 s deadline is far
+/// beyond any test drain, and quarantine needs repeated same-shard
+/// failures in one drain.
+#[derive(Debug, Clone)]
+pub struct DrainPolicy {
+    /// Attempts per submission (first try included) before the failure
+    /// is terminal.
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per attempt (bounded exponential).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Per-drain deadline: workers stop claiming once it passes, and an
+    /// injected stall that outlives it panics into the retry path — a
+    /// hung shard can no longer block [`CycleScheduler::try_drain`]
+    /// forever. Unclaimed entries come back in
+    /// [`DrainError::unresolved`].
+    pub deadline: Duration,
+    /// Terminal failures on one shard within a single drain at (or
+    /// past) which the shard is quarantined for the next drains.
+    pub quarantine_threshold: usize,
+    /// How many subsequent drains a quarantined shard sits out before
+    /// its re-admission probe (the first drain at or past the expiry
+    /// epoch readmits the shard; failing again re-quarantines it).
+    pub quarantine_drains: u64,
+}
+
+impl Default for DrainPolicy {
+    fn default() -> Self {
+        DrainPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+            deadline: Duration::from_secs(30),
+            quarantine_threshold: 3,
+            quarantine_drains: 2,
+        }
+    }
+}
 
 /// One subscribing tenant of a (possibly shared) planned submission.
 ///
@@ -124,24 +171,41 @@ pub struct SubmitOutcome {
     pub hits: Vec<SearchHit>,
 }
 
-/// One worker failure surfaced by [`CycleScheduler::try_drain`].
+/// One worker failure surfaced by [`CycleScheduler::try_drain`] —
+/// terminal, i.e. the submission exhausted its retry budget.
 #[derive(Debug, Clone)]
 pub struct ShardFailure {
     /// Shard whose worker panicked.
     pub shard: usize,
     /// Session owning the submission that triggered the panic.
     pub session: String,
+    /// The owning session's cycle id (what a rollback reverses).
+    pub cycle_id: usize,
+    /// Attempts made before giving up.
+    pub attempts: u32,
     /// The panic payload, when it was a string (the common case).
     pub message: String,
 }
 
 /// A drain that lost submissions to worker panics. The submissions that
 /// did complete are preserved in `completed` (sorted like a successful
-/// drain), so callers can still account for the partial trace.
+/// drain), so callers can still account for the partial trace; the
+/// submissions that did **not** come back as plans the caller can retry
+/// or roll back (see [`CycleScheduler::drain_resilient`]) — nothing is
+/// silently dropped.
 #[derive(Debug)]
 pub struct DrainError {
-    /// Per-submission worker failures, in claim order per shard.
+    /// Per-submission terminal failures, in claim order per shard.
     pub failures: Vec<ShardFailure>,
+    /// The failed entries themselves (aligned with no particular order;
+    /// each produced exactly one entry in `failures`). Re-draining them
+    /// verbatim replays the same deterministic fault decisions — these
+    /// are rollback candidates, not retry candidates.
+    pub failed: Vec<PlannedQuery>,
+    /// Entries never attempted: skipped because their primary shard is
+    /// quarantined, or unclaimed when the drain deadline cut the drain
+    /// short. Safe to re-queue into a later drain verbatim.
+    pub unresolved: Vec<PlannedQuery>,
     /// Outcomes of the submissions that completed.
     pub completed: Vec<SubmitOutcome>,
     /// Per-tenant outcomes the drain was asked to produce — the sum of
@@ -158,6 +222,13 @@ impl std::fmt::Display for DrainError {
             self.failures.len(),
             self.expected
         )?;
+        if !self.unresolved.is_empty() {
+            write!(
+                f,
+                " ({} unresolved entries re-queued)",
+                self.unresolved.len()
+            )?;
+        }
         if let Some(first) = self.failures.first() {
             write!(
                 f,
@@ -170,6 +241,27 @@ impl std::fmt::Display for DrainError {
 }
 
 impl std::error::Error for DrainError {}
+
+/// What [`CycleScheduler::drain_resilient`] produces: the delivered
+/// outcomes plus a full ledger of everything the self-healing path did.
+#[derive(Debug)]
+pub struct ResilientReport {
+    /// Outcomes of every *fully delivered* cycle, sorted by simulated
+    /// time like a plain drain.
+    pub outcomes: Vec<SubmitOutcome>,
+    /// Outcomes that resolved against the engine but belong to cycles
+    /// later rolled back — discarded from `outcomes` (cycle atomicity)
+    /// but kept here so engine-side accounting identities (`merged +
+    /// cache_hits == drained`) remain checkable.
+    pub discarded: Vec<SubmitOutcome>,
+    /// Every cycle whose trace debits were reversed.
+    pub rolled_back: Vec<RolledBackCycle>,
+    /// `(session, old cycle id, new cycle id)` for every rolled-back
+    /// cycle that was replanned as a fresh cycle.
+    pub replanned: Vec<(String, usize, usize)>,
+    /// Drain rounds it took (1 for a fault-free queue).
+    pub rounds: usize,
+}
 
 /// Fault-injection predicate: a submission it returns `true` for makes
 /// its worker panic (test/chaos harness hook, see
@@ -185,6 +277,19 @@ pub struct CycleScheduler {
     /// Chaos hook: submissions this predicate selects panic their
     /// worker mid-resolve, exercising the failure-surfacing path.
     worker_fault: Option<WorkerFault>,
+    /// The deterministic fault plane, when attached: worker panics and
+    /// shard stalls are drawn from its seeded schedule per (submission,
+    /// attempt), so retries flip fresh coins and rate faults heal.
+    fault: Option<Arc<FaultPlane>>,
+    /// Retry / watchdog / quarantine knobs.
+    policy: DrainPolicy,
+    /// Quarantined shards: shard → first drain epoch that readmits it.
+    /// Quarantine spans *across* drains, never within one — a shard's
+    /// failures in one drain surface in that drain's [`DrainError`] and
+    /// only then gate the next drains.
+    quarantine: Mutex<HashMap<usize, u64>>,
+    /// Monotone drain counter (the quarantine epoch clock).
+    drain_epoch: AtomicU64,
     /// The privacy auditor, when the audit plane is attached: every
     /// drained submission is audited via
     /// [`crate::PrivacyAuditor::on_outcome`].
@@ -207,8 +312,43 @@ impl CycleScheduler {
             metrics,
             workers: workers.max(1),
             worker_fault: None,
+            fault: None,
+            policy: DrainPolicy::default(),
+            quarantine: Mutex::new(HashMap::new()),
+            drain_epoch: AtomicU64::new(0),
             auditor: None,
         }
+    }
+
+    /// Attaches a deterministic [`FaultPlane`]: its `WorkerPanic` and
+    /// `ShardStall` specs drive this scheduler's workers.
+    /// [`CycleScheduler::for_manager`] inherits the manager's plane
+    /// automatically.
+    pub fn with_fault_plane(mut self, plane: Arc<FaultPlane>) -> Self {
+        self.fault = Some(plane);
+        self
+    }
+
+    /// Overrides the default [`DrainPolicy`].
+    pub fn with_policy(mut self, policy: DrainPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The scheduler's drain policy.
+    pub fn policy(&self) -> &DrainPolicy {
+        &self.policy
+    }
+
+    /// Currently quarantined shards (sorted), with the drain epoch that
+    /// readmits each.
+    pub fn quarantined_shards(&self) -> Vec<(usize, u64)> {
+        let mut out: Vec<(usize, u64)> = recover_lock(&self.quarantine)
+            .iter()
+            .map(|(&s, &e)| (s, e))
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Attaches a privacy auditor: drain workers audit every drained
@@ -231,19 +371,22 @@ impl CycleScheduler {
         self
     }
 
-    /// A scheduler sharing a [`SessionManager`]'s search tier, cache, and
-    /// metrics registry.
+    /// A scheduler sharing a [`SessionManager`]'s search tier, cache,
+    /// metrics registry, auditor, and fault plane.
     pub fn for_manager(manager: &SessionManager, workers: usize) -> Self {
-        let scheduler = Self::new(
+        let mut scheduler = Self::new(
             manager.tier(),
             manager.cache().cloned(),
             manager.metrics_registry().clone(),
             workers,
         );
-        match manager.auditor() {
-            Some(auditor) => scheduler.with_auditor(auditor.clone()),
-            None => scheduler,
+        if let Some(auditor) = manager.auditor() {
+            scheduler = scheduler.with_auditor(auditor.clone());
         }
+        if let Some(plane) = manager.fault_plane() {
+            scheduler = scheduler.with_fault_plane(plane.clone());
+        }
+        scheduler
     }
 
     /// Merges per-session plans into one globally time-ordered queue —
@@ -282,9 +425,13 @@ impl CycleScheduler {
     }
 
     /// [`CycleScheduler::drain`] with structured failure reporting:
-    /// worker panics are caught per submission, the rest of the queue
-    /// keeps draining, and the error carries every failure (shard,
-    /// session, panic message) plus the outcomes that did complete.
+    /// worker panics are caught per submission and retried with bounded
+    /// exponential backoff (each attempt flips a fresh deterministic
+    /// fault coin, so transient rate faults heal), the rest of the queue
+    /// keeps draining under the per-drain deadline watchdog, and the
+    /// error carries every terminal failure (shard, session, panic
+    /// message) plus the outcomes that did complete and the entries that
+    /// were never attempted.
     pub fn try_drain(&self, queue: Vec<PlannedQuery>) -> Result<Vec<SubmitOutcome>, DrainError> {
         let total = queue.len();
         // Shared (planner-coalesced) entries resolve once but produce one
@@ -294,11 +441,27 @@ impl CycleScheduler {
         self.metrics.set_queue_depth(total);
         let num_shards = self.tier.num_shards();
         let drain_span = toppriv_obs::tracer().span("drain");
+        let epoch = self.drain_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        // Quarantine gate: expired entries are readmitted *before* the
+        // partition (their first drain back is the re-admission probe);
+        // still-quarantined shards have their entries skipped into the
+        // unresolved remainder instead of queued.
+        let quarantined: HashSet<usize> = {
+            let mut map = recover_lock(&self.quarantine);
+            map.retain(|_, &mut until| epoch < until);
+            map.keys().copied().collect()
+        };
         // Partition by primary shard; each per-shard queue stays in the
         // merged (time) order.
         let mut shard_queues: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        let mut skipped_idx: Vec<usize> = Vec::new();
         for (i, plan) in queue.iter().enumerate() {
-            shard_queues[plan.primary_shard().min(num_shards - 1)].push(i);
+            let shard = plan.primary_shard().min(num_shards - 1);
+            if quarantined.contains(&shard) {
+                skipped_idx.push(i);
+            } else {
+                shard_queues[shard].push(i);
+            }
         }
         // Per-shard handles, fetched once up front: depth gauges, wait /
         // service histograms, and submit counters. Workers then publish
@@ -313,6 +476,9 @@ impl CycleScheduler {
             .collect();
         let submit_counters: Vec<_> = (0..num_shards)
             .map(|s| registry.counter(M_SHARD_SUBMITS, &[("shard", &s.to_string())]))
+            .collect();
+        let retry_counters: Vec<_> = (0..num_shards)
+            .map(|s| registry.counter(M_SHARD_RETRIES, &[("shard", &s.to_string())]))
             .collect();
         for (s, gauge) in depth_gauges.iter().enumerate() {
             gauge.set(shard_queues[s].len() as i64);
@@ -332,6 +498,8 @@ impl CycleScheduler {
             .map(|s| Mutex::new(Vec::with_capacity(shard_queues[s].len())))
             .collect();
         let failures: Mutex<Vec<ShardFailure>> = Mutex::new(Vec::new());
+        let failed_idx: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let deadline = self.policy.deadline;
         let queue = &queue;
         let drain_start = Instant::now();
         std::thread::scope(|scope| {
@@ -342,15 +510,24 @@ impl CycleScheduler {
                     let cursor = &cursors[s];
                     let collector = &collectors[s];
                     let failures = &failures;
+                    let failed_idx = &failed_idx;
                     let remaining = &remaining;
                     let depth_gauge = &depth_gauges[s];
                     let wait_hist = &wait_hists[s];
                     let service_hist = &service_hists[s];
                     let submit_counter = &submit_counters[s];
+                    let retry_counter = &retry_counters[s];
                     let drain_span = &drain_span;
                     scope.spawn(move || {
                         let shard_span = drain_span.child("drain_shard");
                         loop {
+                            // Cooperative deadline watchdog: a worker
+                            // past the drain deadline stops claiming —
+                            // the unclaimed remainder comes back as
+                            // `unresolved` instead of blocking forever.
+                            if drain_start.elapsed() > deadline {
+                                break;
+                            }
                             let at = cursor.fetch_add(1, Ordering::Relaxed);
                             if at >= shard_queue.len() {
                                 break;
@@ -363,26 +540,81 @@ impl CycleScheduler {
                             // Resolution runs under catch_unwind so one
                             // poisoned submission cannot anonymously take
                             // the whole shard's collected outcomes with
-                            // it: the panic is recorded per submission
-                            // and the worker moves on to the next claim.
-                            let resolved =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    if let Some(fault) = &self.worker_fault {
-                                        assert!(
-                                            !fault(plan),
-                                            "injected worker fault (session '{}')",
-                                            plan.session
-                                        );
+                            // it: a panic is retried with bounded
+                            // exponential backoff (a fresh fault coin per
+                            // attempt), recorded once per submission when
+                            // terminal, and the worker moves on.
+                            let mut attempt = 0u32;
+                            let resolved = loop {
+                                let once =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        if let Some(fault) = &self.worker_fault {
+                                            assert!(
+                                                !fault(plan),
+                                                "injected worker fault (session '{}')",
+                                                plan.session
+                                            );
+                                        }
+                                        if let Some(plane) = &self.fault {
+                                            if let Some(stall) = plane.stall_for(s, plan, attempt) {
+                                                // An injected stall sleeps in
+                                                // small slices so the deadline
+                                                // can preempt it: a stall that
+                                                // outlives the drain deadline
+                                                // panics into the failure path
+                                                // instead of hanging the shard.
+                                                let mut left = stall;
+                                                while !left.is_zero() {
+                                                    let slice = left.min(Duration::from_millis(1));
+                                                    std::thread::sleep(slice);
+                                                    left -= slice;
+                                                    assert!(
+                                                        drain_start.elapsed() <= deadline,
+                                                        "injected shard stall exceeded the \
+                                                         drain deadline (session '{}')",
+                                                        plan.session
+                                                    );
+                                                }
+                                            }
+                                            assert!(
+                                                !plane.fires_submission(
+                                                    FaultKind::WorkerPanic,
+                                                    s,
+                                                    plan,
+                                                    attempt
+                                                ),
+                                                "injected worker_panic fault (session '{}')",
+                                                plan.session
+                                            );
+                                        }
+                                        SessionManager::resolve_shared(
+                                            &self.tier,
+                                            self.cache.as_deref(),
+                                            &self.metrics,
+                                            &plan.scheduled.tokens,
+                                            plan.k,
+                                            &tags,
+                                        )
+                                    }));
+                                match once {
+                                    Ok(r) => break Ok(r),
+                                    Err(payload) => {
+                                        attempt += 1;
+                                        if attempt >= self.policy.max_attempts
+                                            || drain_start.elapsed() > deadline
+                                        {
+                                            break Err(payload);
+                                        }
+                                        retry_counter.inc();
+                                        let backoff = self
+                                            .policy
+                                            .backoff_base
+                                            .saturating_mul(1u32 << (attempt - 1).min(16))
+                                            .min(self.policy.backoff_cap);
+                                        std::thread::sleep(backoff);
                                     }
-                                    SessionManager::resolve_shared(
-                                        &self.tier,
-                                        self.cache.as_deref(),
-                                        &self.metrics,
-                                        &plan.scheduled.tokens,
-                                        plan.k,
-                                        &tags,
-                                    )
-                                }));
+                                }
+                            };
                             // Depth accounting covers failed submissions
                             // too — they left the queue either way.
                             depth_gauge.add(-1);
@@ -399,8 +631,11 @@ impl CycleScheduler {
                                     recover_lock(failures).push(ShardFailure {
                                         shard: s,
                                         session: plan.session.clone(),
+                                        cycle_id: plan.scheduled.cycle_id,
+                                        attempts: attempt,
                                         message,
                                     });
+                                    recover_lock(failed_idx).push(i);
                                     continue;
                                 }
                             };
@@ -458,11 +693,77 @@ impl CycleScheduler {
         outcomes.sort_by_key(|&(i, _)| i);
         let completed: Vec<SubmitOutcome> = outcomes.into_iter().map(|(_, o)| o).collect();
         let failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
-        if failures.is_empty() && completed.len() == expected {
+        // Entries past a shard cursor's final position were never
+        // claimed (the deadline watchdog cut the drain short): together
+        // with the quarantine-skipped entries they form the unresolved
+        // remainder handed back for a later drain.
+        let mut unresolved_idx: HashSet<usize> = skipped_idx.iter().copied().collect();
+        for (s, shard_queue) in shard_queues.iter().enumerate() {
+            let claimed = cursors[s].load(Ordering::Relaxed).min(shard_queue.len());
+            unresolved_idx.extend(shard_queue[claimed..].iter().copied());
+        }
+        let failed_idx: HashSet<usize> = failed_idx
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner())
+            .into_iter()
+            .collect();
+        let mut failed = Vec::with_capacity(failed_idx.len());
+        let mut unresolved = Vec::with_capacity(unresolved_idx.len());
+        for (i, plan) in queue.iter().enumerate() {
+            if failed_idx.contains(&i) {
+                failed.push(plan.clone());
+            } else if unresolved_idx.contains(&i) {
+                unresolved.push(plan.clone());
+            }
+        }
+        // Quarantine bookkeeping happens strictly *after* the drain so a
+        // shard's failures never change this drain's own outcome — they
+        // gate the next drains (and are probed back in epoch-style).
+        let mut shard_fail_counts: HashMap<usize, usize> = HashMap::new();
+        for f in &failures {
+            *shard_fail_counts.entry(f.shard).or_insert(0) += 1;
+        }
+        for (&shard, &count) in &shard_fail_counts {
+            if count >= self.policy.quarantine_threshold {
+                let until = epoch + self.policy.quarantine_drains;
+                recover_lock(&self.quarantine).insert(shard, until);
+                if let Some(auditor) = &self.auditor {
+                    auditor.note(
+                        AuditSeverity::Warning,
+                        "shard_quarantined",
+                        "fleet",
+                        shard,
+                        format!(
+                            "shard {shard} quarantined after {count} terminal failures in \
+                             drain {epoch}; re-admission probe at drain {until}"
+                        ),
+                    );
+                }
+            }
+        }
+        if !unresolved.is_empty() {
+            if let Some(auditor) = &self.auditor {
+                auditor.note(
+                    AuditSeverity::Warning,
+                    "degraded_drain",
+                    "fleet",
+                    epoch as usize,
+                    format!(
+                        "drain {epoch} degraded: {} entries unresolved ({} quarantine-skipped), \
+                         surviving shards kept serving",
+                        unresolved.len(),
+                        skipped_idx.len()
+                    ),
+                );
+            }
+        }
+        if failures.is_empty() && unresolved.is_empty() && completed.len() == expected {
             Ok(completed)
         } else {
             Err(DrainError {
                 failures,
+                failed,
+                unresolved,
                 completed,
                 expected,
             })
@@ -477,6 +778,135 @@ impl CycleScheduler {
     /// Convenience: merge then [`CycleScheduler::try_drain`].
     pub fn try_run(&self, plans: Vec<Vec<PlannedQuery>>) -> Result<Vec<SubmitOutcome>, DrainError> {
         self.try_drain(Self::merge(plans))
+    }
+
+    /// Self-healing drain: [`CycleScheduler::try_drain`] in rounds, with
+    /// **cycle-atomic degradation**. Unresolved entries (quarantined
+    /// shards, deadline cuts) are re-queued into the next round; cycles
+    /// with a terminally failed submission are rolled back through
+    /// `manager` — trace debits reversed bit-exactly, pending audit
+    /// facts released, their already-resolved outcomes discarded (kept
+    /// in [`ResilientReport::discarded`] for engine-side accounting) —
+    /// and replanned once as fresh cycles. A replanned cycle that fails
+    /// again is rolled back for good. Fully delivered cycles are
+    /// confirmed, sealing their accounting against rollback.
+    ///
+    /// `manager` must be the manager the queue was planned on (cycle
+    /// ids are resolved against its sessions).
+    pub fn drain_resilient(
+        &self,
+        manager: &SessionManager,
+        queue: Vec<PlannedQuery>,
+    ) -> ResilientReport {
+        /// Round cap: with one replan per cycle and monotone quarantine
+        /// expiry this converges long before, but a bound keeps a
+        /// pathological fault schedule from looping the drain forever.
+        const MAX_ROUNDS: usize = 6;
+        let mut outcomes: Vec<SubmitOutcome> = Vec::new();
+        let mut rolled_back: Vec<RolledBackCycle> = Vec::new();
+        let mut replanned: Vec<(String, usize, usize)> = Vec::new();
+        let mut victims: HashSet<(String, usize)> = HashSet::new();
+        // Cycles that already got their one replan: a second failure is
+        // terminal.
+        let mut no_replan: HashSet<(String, usize)> = HashSet::new();
+        let mut pending = queue;
+        let mut rounds = 0usize;
+        while !pending.is_empty() && rounds < MAX_ROUNDS {
+            rounds += 1;
+            let err = match self.try_drain(std::mem::take(&mut pending)) {
+                Ok(mut done) => {
+                    outcomes.append(&mut done);
+                    break;
+                }
+                Err(err) => err,
+            };
+            outcomes.extend(err.completed);
+            let mut round_victims: HashSet<(String, usize)> = HashSet::new();
+            for plan in &err.failed {
+                for tag in plan.subscriber_tags() {
+                    round_victims.insert((tag.session, tag.cycle_id));
+                }
+            }
+            // Release victim fan-out tags from the unresolved remainder:
+            // an entry subscribed only by rolled-back cycles is dropped
+            // outright, a shared entry keeps serving its survivors.
+            let mut next: Vec<PlannedQuery> = Vec::with_capacity(err.unresolved.len());
+            for mut plan in err.unresolved {
+                if plan.subscribers.is_empty() {
+                    let key = (plan.session.clone(), plan.scheduled.cycle_id);
+                    if round_victims.contains(&key) {
+                        continue;
+                    }
+                } else {
+                    plan.subscribers
+                        .retain(|t| !round_victims.contains(&(t.session.clone(), t.cycle_id)));
+                    if plan.subscribers.is_empty() {
+                        continue;
+                    }
+                }
+                next.push(plan);
+            }
+            for (session, cycle_id) in round_victims {
+                if !victims.insert((session.clone(), cycle_id)) {
+                    continue;
+                }
+                let Ok(rb) = manager.rollback_cycle(&session, cycle_id) else {
+                    // Already confirmed or unknown (e.g. rolled back via
+                    // another scheduler): nothing to reverse.
+                    continue;
+                };
+                if !no_replan.contains(&(session.clone(), cycle_id)) {
+                    if let Ok(plan) = manager.plan_cycle(&session, &rb.user_tokens, rb.k) {
+                        if let Some(new_id) = plan.first().map(|p| p.scheduled.cycle_id) {
+                            no_replan.insert((session.clone(), new_id));
+                            replanned.push((session.clone(), cycle_id, new_id));
+                        }
+                        next.extend(plan);
+                    }
+                }
+                rolled_back.push(rb);
+            }
+            pending = next;
+        }
+        // Rounds exhausted with work still pending: those cycles cannot
+        // be delivered this drain — roll them back rather than leave
+        // them half-debited.
+        for plan in pending {
+            for (session, cycle_id) in plan
+                .subscriber_tags()
+                .into_iter()
+                .map(|t| (t.session, t.cycle_id))
+            {
+                if victims.insert((session.clone(), cycle_id)) {
+                    if let Ok(rb) = manager.rollback_cycle(&session, cycle_id) {
+                        rolled_back.push(rb);
+                    }
+                }
+            }
+        }
+        // Cycle atomicity: outcomes of rolled-back cycles never leave
+        // the scheduler as delivered work.
+        let (delivered, discarded): (Vec<_>, Vec<_>) = outcomes
+            .into_iter()
+            .partition(|o| !victims.contains(&(o.session.clone(), o.cycle_id)));
+        let mut outcomes = delivered;
+        outcomes.sort_by(|a, b| a.time_secs.partial_cmp(&b.time_secs).expect("finite time"));
+        // Everything delivered is fully delivered: confirm it, sealing
+        // the accounting against any later rollback attempt.
+        let confirmed: HashSet<(String, usize)> = outcomes
+            .iter()
+            .map(|o| (o.session.clone(), o.cycle_id))
+            .collect();
+        for (session, cycle_id) in &confirmed {
+            let _ = manager.confirm_cycle(session, *cycle_id);
+        }
+        ResilientReport {
+            outcomes,
+            discarded,
+            rolled_back,
+            replanned,
+            rounds: rounds.max(1),
+        }
     }
 }
 

@@ -48,10 +48,12 @@
 //! preserved.
 
 use crate::cache::ResultCache;
+use crate::fault::{FaultKind, FaultPlane};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics, SessionMetrics};
 use crate::scheduler::{PlannedQuery, SubmissionTag};
 use crate::tier::SearchTier;
 use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -104,6 +106,9 @@ pub enum ServiceError {
     DuplicateSession(String),
     /// Malformed request (empty query, bad thresholds, ...).
     BadRequest(String),
+    /// A transient infrastructure failure (injected or real I/O error,
+    /// failed swap); the operation is safe to retry.
+    Unavailable(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -112,6 +117,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownSession(id) => write!(f, "unknown session '{id}'"),
             ServiceError::DuplicateSession(id) => write!(f, "session '{id}' already open"),
             ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::Unavailable(m) => write!(f, "temporarily unavailable: {m}"),
         }
     }
 }
@@ -177,23 +183,41 @@ impl FormulatedCycle {
     }
 }
 
-/// One tenant's state. All fields live behind the manager's per-session
-/// mutex; the heavyweight model/engine state is shared through `Arc`s
-/// inside `client`.
-struct Session {
-    generator: GhostGenerator,
-    /// The manager model epoch this session's generator was built
-    /// against; lazily rebound when the manager's epoch moves on.
-    model_epoch: u64,
+/// What [`SessionManager::rollback_cycle`] hands back: enough to replan
+/// the reversed search as a brand-new cycle.
+#[derive(Debug, Clone)]
+pub struct RolledBackCycle {
+    /// The owning session id.
+    pub session: String,
+    /// The pacer cycle id that was reversed (a replan draws a fresh one).
+    pub cycle_id: usize,
+    /// The genuine user tokens of the reversed cycle.
+    pub user_tokens: Vec<TermId>,
+    /// The result depth the reversed cycle would have fetched.
+    pub k: usize,
+}
+
+/// The complete trace accounting of one session, extracted into one
+/// foldable value so cycle **rollback** can be bit-exact.
+///
+/// `f64` accumulation is not associative, so a rolled-back cycle cannot
+/// be subtracted back out of running sums without leaving rounding
+/// residue. Instead the session keeps *two* copies plus a journal: a
+/// `base` accounting holding only confirmed-delivered cycles, and the
+/// live accounting, which equals `base` folded with every in-flight
+/// cycle **in commitment order**. Rolling a cycle back removes its
+/// journal record and replays `base ⊕ remaining in-flight` — the exact
+/// same sequence of float operations a session that never formulated
+/// the cycle would have performed, so the post-rollback accounting is
+/// `to_bits`-identical to never-formulated (what the chaos proptests
+/// assert).
+#[derive(Debug, Clone, Default)]
+struct TraceAccounting {
     /// Full per-query posterior history. Only populated when
     /// `history_aware` — it is what `generate_with_history` certifies
     /// against; in the default per-cycle mode the running sum below is
     /// enough and the session stays O(1) in memory per search.
     tracker: SessionTracker,
-    pacer: PacingScheduler,
-    config: SessionConfig,
-    /// Session-local simulated clock for schedule planning.
-    clock_secs: f64,
     /// Union of every certified intention (for trace exposure).
     intention_union: BTreeSet<usize>,
     /// Running sum of every submitted query's posterior (genuine and
@@ -210,6 +234,93 @@ struct Session {
     worst_exposure: f64,
     sum_mask: f64,
     satisfied: u64,
+}
+
+impl TraceAccounting {
+    /// Folds one cycle's debits in — the single accounting primitive
+    /// both the live fold and rollback replay go through, so the float
+    /// operation sequence is identical on every path.
+    fn fold(&mut self, record: &CycleRecord, history_aware: bool, num_topics: usize) {
+        let result = &record.report;
+        let posteriors = &record.posteriors;
+        debug_assert_eq!(result.cycle_len(), posteriors.len());
+        if self.posterior_sum.is_empty() {
+            self.posterior_sum = vec![0.0; num_topics];
+        }
+        if history_aware {
+            self.tracker.record_cycle_posteriors(result, posteriors);
+        }
+        for posterior in posteriors {
+            for (acc, p) in self.posterior_sum.iter_mut().zip(posterior) {
+                *acc += p;
+            }
+            self.posterior_count += 1;
+        }
+        self.intention_union
+            .extend(result.intention.iter().copied());
+        self.cycles += 1;
+        self.queries_emitted += result.cycle_len() as u64;
+        self.sum_cycle_len += result.cycle_len() as f64;
+        self.sum_exposure += result.metrics.exposure;
+        self.worst_exposure = self.worst_exposure.max(result.metrics.exposure);
+        self.sum_mask += result.metrics.mask_level;
+        if result.satisfied {
+            self.satisfied += 1;
+        }
+    }
+
+    /// Drops the Equation-2 trace state (topic ids changed meaning after
+    /// a K-changing model swap) while the work aggregates keep counting.
+    fn reset_trace(&mut self) {
+        self.tracker = SessionTracker::new();
+        self.intention_union.clear();
+        self.posterior_sum.clear();
+        self.posterior_count = 0;
+    }
+}
+
+/// One journaled in-flight (or sync-confirmed) cycle: everything needed
+/// to replay its accounting fold, plus what a rollback caller needs to
+/// replan it.
+#[derive(Debug, Clone)]
+struct CycleRecord {
+    /// The pacer cycle id its planned submissions carry (`None` for the
+    /// synchronous search path, which resolves inline and can never be
+    /// half-delivered).
+    cycle_id: Option<usize>,
+    /// The genuine user tokens, for replanning after a rollback.
+    user_tokens: Vec<TermId>,
+    report: CycleResult,
+    posteriors: Vec<Vec<f64>>,
+    k: usize,
+    confirmed: bool,
+}
+
+/// In-flight journal cap: past this many unconfirmed cycles the oldest
+/// is force-confirmed (callers that never confirm — every pre-fault-
+/// plane call site — must not leak memory; those cycles simply stop
+/// being rollbackable, which is the pre-rollback status quo).
+const MAX_INFLIGHT_CYCLES: usize = 256;
+
+/// One tenant's state. All fields live behind the manager's per-session
+/// mutex; the heavyweight model/engine state is shared through `Arc`s
+/// inside `client`.
+struct Session {
+    generator: GhostGenerator,
+    /// The manager model epoch this session's generator was built
+    /// against; lazily rebound when the manager's epoch moves on.
+    model_epoch: u64,
+    pacer: PacingScheduler,
+    config: SessionConfig,
+    /// Session-local simulated clock for schedule planning.
+    clock_secs: f64,
+    /// Live accounting: `base ⊕ inflight` in journal order.
+    acc: TraceAccounting,
+    /// Accounting of confirmed-delivered cycles only.
+    base: TraceAccounting,
+    /// Commitment-ordered journal of cycles not yet compacted into
+    /// `base` (see [`TraceAccounting`]).
+    inflight: Vec<CycleRecord>,
 }
 
 impl Session {
@@ -238,20 +349,12 @@ impl Session {
         Session {
             generator,
             model_epoch,
-            tracker: SessionTracker::new(),
             pacer: PacingScheduler::new(pacing),
             config,
             clock_secs: 0.0,
-            intention_union: BTreeSet::new(),
-            posterior_sum: Vec::new(),
-            posterior_count: 0,
-            cycles: 0,
-            queries_emitted: 0,
-            sum_cycle_len: 0.0,
-            sum_exposure: 0.0,
-            worst_exposure: 0.0,
-            sum_mask: 0.0,
-            satisfied: 0,
+            acc: TraceAccounting::default(),
+            base: TraceAccounting::default(),
+            inflight: Vec::new(),
         }
     }
 
@@ -271,12 +374,37 @@ impl Session {
         self.generator =
             GhostGenerator::new(BeliefEngine::new(model), self.config.requirement, ghost);
         if self.generator.belief().num_topics() != old_topics {
-            self.tracker = SessionTracker::new();
-            self.intention_union.clear();
-            self.posterior_sum.clear();
-            self.posterior_count = 0;
+            // The old topic space is gone, so every in-flight cycle's
+            // posteriors are meaningless for rollback replay: fold them
+            // into the base as-is (their work aggregates still count),
+            // drop the trace state, and restart the journal.
+            self.compact_all();
+            self.base.reset_trace();
+            self.acc = self.base.clone();
         }
         self.model_epoch = epoch;
+    }
+
+    /// Folds the confirmed prefix of the in-flight journal into `base`.
+    /// Only a *prefix* may compact: `acc` must stay reproducible as
+    /// `base ⊕ inflight` in order, so an unconfirmed record blocks every
+    /// record behind it.
+    fn compact(&mut self) {
+        let confirmed_prefix = self.inflight.iter().take_while(|r| r.confirmed).count();
+        let num_topics = self.generator.belief().num_topics();
+        for record in self.inflight.drain(..confirmed_prefix) {
+            self.base
+                .fold(&record, self.config.history_aware, num_topics);
+        }
+    }
+
+    /// Force-confirms and compacts the whole journal (model rebind with
+    /// a K change, or journal overflow past [`MAX_INFLIGHT_CYCLES`]).
+    fn compact_all(&mut self) {
+        for record in &mut self.inflight {
+            record.confirmed = true;
+        }
+        self.compact();
     }
 
     /// Formulates one cycle for `tokens` **without** recording it, and
@@ -286,9 +414,9 @@ impl Session {
     /// generation and accounting — the session then debits exactly what
     /// was actually planned for submission.
     fn generate(&self, tokens: &[TermId]) -> (CycleResult, Vec<Vec<f64>>) {
-        let result = if self.config.history_aware && !self.tracker.is_empty() {
+        let result = if self.config.history_aware && !self.acc.tracker.is_empty() {
             self.generator
-                .generate_with_history(tokens, self.tracker.posteriors())
+                .generate_with_history(tokens, self.acc.tracker.posteriors())
         } else {
             self.generator.generate(tokens)
         };
@@ -308,72 +436,109 @@ impl Session {
     /// (planner-substituted) cycle these are the posteriors of the
     /// members **as submitted**, so a shared submission debits this
     /// session's trace exactly as an owned decoy would.
-    fn account(&mut self, result: &CycleResult, posteriors: &[Vec<f64>]) {
-        debug_assert_eq!(result.cycle_len(), posteriors.len());
-        // Trace accounting. History-aware mode needs the full posterior
-        // history (the generator certifies against it); per-cycle mode
-        // only ever consumes the mean, so a running sum suffices and the
-        // session does not grow with its age.
-        if self.posterior_sum.is_empty() {
-            self.posterior_sum = vec![0.0; self.generator.belief().num_topics()];
+    ///
+    /// `cycle_id` ties the record to its paced submissions so a drain
+    /// failure can [`Session::rollback`] it; `confirmed` cycles (the
+    /// synchronous path, which can never be half-delivered) skip the
+    /// rollback window entirely.
+    fn account(
+        &mut self,
+        result: &CycleResult,
+        posteriors: &[Vec<f64>],
+        cycle_id: Option<usize>,
+        user_tokens: &[TermId],
+        k: usize,
+        confirmed: bool,
+    ) {
+        let record = CycleRecord {
+            cycle_id,
+            user_tokens: user_tokens.to_vec(),
+            report: result.clone(),
+            posteriors: posteriors.to_vec(),
+            k,
+            confirmed,
+        };
+        let num_topics = self.generator.belief().num_topics();
+        self.acc
+            .fold(&record, self.config.history_aware, num_topics);
+        self.inflight.push(record);
+        if self.inflight.len() > MAX_INFLIGHT_CYCLES {
+            self.inflight[0].confirmed = true;
         }
-        if self.config.history_aware {
-            self.tracker.record_cycle_posteriors(result, posteriors);
-        }
-        for posterior in posteriors {
-            for (acc, p) in self.posterior_sum.iter_mut().zip(posterior) {
-                *acc += p;
-            }
-            self.posterior_count += 1;
-        }
-        self.intention_union
-            .extend(result.intention.iter().copied());
-        self.cycles += 1;
-        self.queries_emitted += result.cycle_len() as u64;
-        self.sum_cycle_len += result.cycle_len() as f64;
-        self.sum_exposure += result.metrics.exposure;
-        self.worst_exposure = self.worst_exposure.max(result.metrics.exposure);
-        self.sum_mask += result.metrics.mask_level;
-        if result.satisfied {
-            self.satisfied += 1;
-        }
+        self.compact();
     }
 
-    /// Formulates (and records) one cycle for `tokens`.
+    /// Marks an in-flight cycle fully delivered; it leaves the rollback
+    /// window (and is compacted into `base` once every cycle committed
+    /// before it is confirmed too).
+    fn confirm(&mut self, cycle_id: usize) {
+        for record in &mut self.inflight {
+            if record.cycle_id == Some(cycle_id) {
+                record.confirmed = true;
+                break;
+            }
+        }
+        self.compact();
+    }
+
+    /// Reverses one in-flight cycle's trace debits **bit-exactly** by
+    /// replaying `base ⊕ remaining in-flight` — the same float operation
+    /// sequence a session that never formulated the cycle would have
+    /// run. Returns the removed record (its `user_tokens` are what the
+    /// caller replans from), or `None` when the cycle is unknown or
+    /// already confirmed (delivered work is never rolled back).
+    fn rollback(&mut self, cycle_id: usize) -> Option<CycleRecord> {
+        let pos = self
+            .inflight
+            .iter()
+            .position(|r| r.cycle_id == Some(cycle_id) && !r.confirmed)?;
+        let record = self.inflight.remove(pos);
+        let num_topics = self.generator.belief().num_topics();
+        let mut acc = self.base.clone();
+        for r in &self.inflight {
+            acc.fold(r, self.config.history_aware, num_topics);
+        }
+        self.acc = acc;
+        Some(record)
+    }
+
+    /// Formulates (and records) one cycle for `tokens` (synchronous
+    /// path: resolved inline, so it is born confirmed).
     fn formulate(&mut self, tokens: &[TermId]) -> CycleResult {
         let (result, posteriors) = self.generate(tokens);
-        self.account(&result, &posteriors);
+        self.account(&result, &posteriors, None, tokens, 0, true);
         result
     }
 
     fn metrics(&self, id: &str) -> SessionMetrics {
-        let n = self.cycles.max(1) as f64;
-        let intention: Vec<usize> = self.intention_union.iter().copied().collect();
+        let acc = &self.acc;
+        let n = acc.cycles.max(1) as f64;
+        let intention: Vec<usize> = acc.intention_union.iter().copied().collect();
         // Equation 2 over the whole trace from the running sum: trace
         // boost = mean posterior − prior; exposure is its max over the
         // union of certified intentions.
-        let trace_exposure = if self.posterior_count == 0 {
+        let trace_exposure = if acc.posterior_count == 0 {
             0.0
         } else {
             let belief = self.generator.belief();
             let prior = belief.prior();
-            let trace_boosts: Vec<f64> = self
+            let trace_boosts: Vec<f64> = acc
                 .posterior_sum
                 .iter()
                 .zip(prior)
-                .map(|(&sum, &pri)| sum / self.posterior_count as f64 - pri)
+                .map(|(&sum, &pri)| sum / acc.posterior_count as f64 - pri)
                 .collect();
             toppriv_core::exposure(&trace_boosts, &intention)
         };
         SessionMetrics {
             session: id.to_string(),
-            cycles: self.cycles,
-            queries_emitted: self.queries_emitted,
-            mean_cycle_len: self.sum_cycle_len / n,
-            mean_exposure: self.sum_exposure / n,
-            worst_exposure: self.worst_exposure,
-            mean_mask_level: self.sum_mask / n,
-            satisfied_rate: self.satisfied as f64 / n,
+            cycles: acc.cycles,
+            queries_emitted: acc.queries_emitted,
+            mean_cycle_len: acc.sum_cycle_len / n,
+            mean_exposure: acc.sum_exposure / n,
+            worst_exposure: acc.worst_exposure,
+            mean_mask_level: acc.sum_mask / n,
+            satisfied_rate: acc.satisfied as f64 / n,
             trace_exposure,
         }
     }
@@ -409,6 +574,10 @@ pub struct SessionManager {
     /// The online privacy auditor, when the audit plane is attached
     /// (see [`SessionManager::with_auditor`]).
     auditor: Option<Arc<crate::auditor::PrivacyAuditor>>,
+    /// The deterministic fault-injection plane, when attached (see
+    /// [`SessionManager::with_fault_plane`]). `None` in production —
+    /// every injection check compiles to a branch on `None`.
+    fault: Option<Arc<FaultPlane>>,
     defaults: SessionConfig,
     /// Service-wide secret mixed into every session's ghost seed.
     fleet_seed: u64,
@@ -437,6 +606,7 @@ impl SessionManager {
             cache: None,
             metrics: Arc::new(ServiceMetrics::new()),
             auditor: None,
+            fault: None,
             defaults: SessionConfig::default(),
             fleet_seed: random_fleet_seed(),
             sessions: RwLock::new(HashMap::new()),
@@ -487,6 +657,24 @@ impl SessionManager {
         self.auditor.as_ref()
     }
 
+    /// Attaches a deterministic [`FaultPlane`]: the scheduler, the
+    /// session/audit spill paths, and [`SessionManager::try_swap_model`]
+    /// consult it before touching real state. Attach **after**
+    /// [`SessionManager::with_auditor`] so the auditor's own spill path
+    /// sees the plane too.
+    pub fn with_fault_plane(mut self, plane: Arc<FaultPlane>) -> Self {
+        if let Some(auditor) = &self.auditor {
+            auditor.attach_fault_plane(plane.clone());
+        }
+        self.fault = Some(plane);
+        self
+    }
+
+    /// The attached fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
+        self.fault.as_ref()
+    }
+
     /// Overrides the default per-session configuration.
     pub fn with_defaults(mut self, defaults: SessionConfig) -> Self {
         self.defaults = defaults;
@@ -534,6 +722,24 @@ impl SessionManager {
         // together: a session can never observe the new epoch paired
         // with the old model.
         self.model_epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Fallible variant of [`SessionManager::swap_model`] for fleet
+    /// rollout loops: when the attached [`FaultPlane`] schedules a
+    /// transient [`FaultKind::ModelSwapFail`], the swap is rejected
+    /// *before* any state moves — the old `(model, epoch)` pair stays
+    /// fully intact and the caller retries. Without a fault plane this
+    /// is exactly `swap_model`.
+    pub fn try_swap_model(&self, model: Arc<LdaModel>) -> Result<u64, ServiceError> {
+        if let Some(plane) = &self.fault {
+            let key = FaultPlane::key_of(&self.model_epoch().to_le_bytes());
+            if plane.fires_key(FaultKind::ModelSwapFail, key, 0) {
+                return Err(ServiceError::Unavailable(
+                    "injected model_swap_fail fault: swap rejected".into(),
+                ));
+            }
+        }
+        Ok(self.swap_model(model))
     }
 
     /// Swaps the search tier without closing sessions (zero-downtime
@@ -733,7 +939,7 @@ impl SessionManager {
             let m = session.metrics(id);
             auditor.observe_cycle(
                 id,
-                (session.cycles - 1) as usize,
+                (session.acc.cycles - 1) as usize,
                 &report.metrics,
                 session.config.requirement.eps2,
                 m.trace_exposure,
@@ -809,12 +1015,13 @@ impl SessionManager {
             let _formulate = span.child("formulate");
             session.generate(tokens)
         };
-        Ok(self.plan_locked(id, &mut session, &tier, report, &posteriors, k))
+        Ok(self.plan_locked(id, &mut session, &tier, report, &posteriors, tokens, k))
     }
 
     /// Accounts a formulated cycle and turns it into a paced plan — the
     /// shared tail of [`SessionManager::plan_cycle_with_report`] and
     /// [`SessionManager::commit_cycle`]. Runs under the session lock.
+    #[allow(clippy::too_many_arguments)]
     fn plan_locked(
         &self,
         id: &str,
@@ -822,14 +1029,26 @@ impl SessionManager {
         tier: &SearchTier,
         report: CycleResult,
         posteriors: &[Vec<f64>],
+        user_tokens: &[TermId],
         k: usize,
     ) -> (CycleResult, Vec<PlannedQuery>) {
-        session.account(&report, posteriors);
         let start = session.clock_secs;
         session.clock_secs += session.config.think_time_secs;
+        // Schedule first so the pacer's cycle id is known when the
+        // cycle's accounting record is journaled — that id is the handle
+        // [`SessionManager::rollback_cycle`] reverses the debits by.
         let schedule = session.pacer.schedule(&report, start);
+        let cycle_id = schedule.first().map(|s| s.cycle_id);
+        session.account(
+            &report,
+            posteriors,
+            cycle_id,
+            user_tokens,
+            k,
+            cycle_id.is_none(),
+        );
         if let Some(auditor) = &self.auditor {
-            if let Some(cycle_id) = schedule.first().map(|s| s.cycle_id) {
+            if let Some(cycle_id) = cycle_id {
                 // Register the cycle's privacy facts while the ground
                 // truth is in hand; the scheduler's drain workers audit
                 // them via `PrivacyAuditor::on_outcome`.
@@ -892,8 +1111,8 @@ impl SessionManager {
         // Mirror `Session::generate`'s branch: history-aware cycles carry
         // trace boosts averaged over history ∪ cycle, so that is the
         // support planner substitutions must divide by.
-        let boost_support = if session.config.history_aware && !session.tracker.is_empty() {
-            session.tracker.posteriors().len() + report.cycle_len()
+        let boost_support = if session.config.history_aware && !session.acc.tracker.is_empty() {
+            session.acc.tracker.posteriors().len() + report.cycle_len()
         } else {
             report.cycle_len()
         };
@@ -933,7 +1152,61 @@ impl SessionManager {
         } else {
             (fc.report, fc.posteriors)
         };
-        Ok(self.plan_locked(&fc.session, &mut session, &tier, report, &posteriors, fc.k))
+        Ok(self.plan_locked(
+            &fc.session,
+            &mut session,
+            &tier,
+            report,
+            &posteriors,
+            &fc.user_tokens,
+            fc.k,
+        ))
+    }
+
+    /// Marks a planned cycle fully delivered: it leaves the rollback
+    /// window, and its accounting record is compacted away once every
+    /// cycle planned before it is confirmed too. Schedulers call this
+    /// for every cycle whose submissions all resolved.
+    pub fn confirm_cycle(&self, id: &str, cycle_id: usize) -> Result<(), ServiceError> {
+        let session = self.session(id)?;
+        let mut session = session.lock().expect("session poisoned");
+        session.confirm(cycle_id);
+        Ok(())
+    }
+
+    /// **Cycle atomicity**: reverses a planned cycle whose submissions
+    /// could not all be delivered within the scheduler's retry budget.
+    /// The session's trace accounting is recomputed *without* the cycle
+    /// — bit-exactly equal to a session that never formulated it (base
+    /// accumulator plus a re-fold of the surviving in-flight journal,
+    /// never float subtraction) — the audit plane's pending fact for the
+    /// cycle is released (its exactly-once breach flag is preserved),
+    /// and the original user tokens come back so the caller can replan
+    /// the search as a fresh cycle. Rolling back an unknown or already
+    /// confirmed cycle fails with `BadRequest`: delivered work is never
+    /// reversed.
+    pub fn rollback_cycle(
+        &self,
+        id: &str,
+        cycle_id: usize,
+    ) -> Result<RolledBackCycle, ServiceError> {
+        let session = self.session(id)?;
+        let mut session = session.lock().expect("session poisoned");
+        let record = session.rollback(cycle_id).ok_or_else(|| {
+            ServiceError::BadRequest(format!(
+                "cycle {cycle_id} of '{id}' is not in the rollback window"
+            ))
+        })?;
+        if let Some(auditor) = &self.auditor {
+            let m = session.metrics(id);
+            auditor.release_cycle(id, cycle_id, m.trace_exposure, m.worst_exposure);
+        }
+        Ok(RolledBackCycle {
+            session: id.to_string(),
+            cycle_id,
+            user_tokens: record.user_tokens,
+            k: record.k,
+        })
     }
 
     /// Spills one session's complete state (see
@@ -943,24 +1216,28 @@ impl SessionManager {
     pub fn export_session(&self, id: &str) -> Result<crate::persist::SessionState, ServiceError> {
         let session = self.session(id)?;
         let s = session.lock().expect("session poisoned");
+        // The *live* accounting spills: a restore treats everything
+        // spilled as confirmed (the rollback window does not survive a
+        // crash — in-flight cycles at spill time are either audited by a
+        // later drain or lost with the process, never half-restored).
         Ok(crate::persist::SessionState {
             id: id.to_string(),
             config: s.config.clone(),
             model_epoch: s.model_epoch,
-            posteriors: s.tracker.posteriors().to_vec(),
-            genuine: s.tracker.genuine().to_vec(),
+            posteriors: s.acc.tracker.posteriors().to_vec(),
+            genuine: s.acc.tracker.genuine().to_vec(),
             clock_secs: s.clock_secs,
-            intention_union: s.intention_union.iter().copied().collect(),
-            posterior_sum: s.posterior_sum.clone(),
-            posterior_count: s.posterior_count,
+            intention_union: s.acc.intention_union.iter().copied().collect(),
+            posterior_sum: s.acc.posterior_sum.clone(),
+            posterior_count: s.acc.posterior_count,
             next_cycle_id: s.pacer.next_cycle_id() as u64,
-            cycles: s.cycles,
-            queries_emitted: s.queries_emitted,
-            sum_cycle_len: s.sum_cycle_len,
-            sum_exposure: s.sum_exposure,
-            worst_exposure: s.worst_exposure,
-            sum_mask: s.sum_mask,
-            satisfied: s.satisfied,
+            cycles: s.acc.cycles,
+            queries_emitted: s.acc.queries_emitted,
+            sum_cycle_len: s.acc.sum_cycle_len,
+            sum_exposure: s.acc.sum_exposure,
+            worst_exposure: s.acc.worst_exposure,
+            sum_mask: s.acc.sum_mask,
+            satisfied: s.acc.satisfied,
         })
     }
 
@@ -994,21 +1271,83 @@ impl SessionManager {
             self.fleet_seed,
             self.model_epoch(),
         );
-        session.tracker = tracker;
         session.pacer.resume_from(state.next_cycle_id as usize);
         session.clock_secs = state.clock_secs;
-        session.intention_union = state.intention_union.iter().copied().collect();
-        session.posterior_sum = state.posterior_sum.clone();
-        session.posterior_count = state.posterior_count;
-        session.cycles = state.cycles;
-        session.queries_emitted = state.queries_emitted;
-        session.sum_cycle_len = state.sum_cycle_len;
-        session.sum_exposure = state.sum_exposure;
-        session.worst_exposure = state.worst_exposure;
-        session.sum_mask = state.sum_mask;
-        session.satisfied = state.satisfied;
+        // Everything restored is confirmed state: base == acc, journal
+        // empty (see the export-side note).
+        session.base = TraceAccounting {
+            tracker,
+            intention_union: state.intention_union.iter().copied().collect(),
+            posterior_sum: state.posterior_sum.clone(),
+            posterior_count: state.posterior_count,
+            cycles: state.cycles,
+            queries_emitted: state.queries_emitted,
+            sum_cycle_len: state.sum_cycle_len,
+            sum_exposure: state.sum_exposure,
+            worst_exposure: state.worst_exposure,
+            sum_mask: state.sum_mask,
+            satisfied: state.satisfied,
+        };
+        session.acc = session.base.clone();
+        session.inflight.clear();
         sessions.insert(state.id.clone(), Arc::new(Mutex::new(session)));
         Ok(())
+    }
+
+    /// Spills one session's sealed state container to `path` via the
+    /// store's atomic write (temp file + rename, so a crash mid-spill
+    /// can never leave a torn container). An attached [`FaultPlane`]
+    /// scheduling a [`FaultKind::StoreWrite`] for this path fails the
+    /// spill *before* anything touches disk — the previous container
+    /// stays valid, mirroring a real `ENOSPC`.
+    pub fn spill_session(&self, id: &str, path: &Path) -> Result<(), ServiceError> {
+        let state = self.export_session(id)?;
+        if let Some(plane) = &self.fault {
+            let key = FaultPlane::key_of(path.as_os_str().as_encoded_bytes());
+            if let Some(err) = plane.io_error(FaultKind::StoreWrite, key) {
+                return Err(ServiceError::Unavailable(format!(
+                    "session spill to {} failed: {err}",
+                    path.display()
+                )));
+            }
+        }
+        let sealed = crate::persist::seal_session_state(&state);
+        tsearch_store::atomic_write(path, &sealed).map_err(|err| {
+            ServiceError::Unavailable(format!("session spill to {} failed: {err}", path.display()))
+        })
+    }
+
+    /// Reads a sealed container from `path` and restores the session it
+    /// holds (see [`SessionManager::restore_session`] for the recovery
+    /// contract). A scheduled [`FaultKind::StoreRead`] fails the read;
+    /// a corrupt or truncated container is rejected by the CRC seal
+    /// *before* any session state is touched — recovery never restores
+    /// half a spill.
+    pub fn load_session(&self, path: &Path) -> Result<String, ServiceError> {
+        if let Some(plane) = &self.fault {
+            let key = FaultPlane::key_of(path.as_os_str().as_encoded_bytes());
+            if let Some(err) = plane.io_error(FaultKind::StoreRead, key) {
+                return Err(ServiceError::Unavailable(format!(
+                    "session load from {} failed: {err}",
+                    path.display()
+                )));
+            }
+        }
+        let bytes = std::fs::read(path).map_err(|err| {
+            ServiceError::Unavailable(format!(
+                "session load from {} failed: {err}",
+                path.display()
+            ))
+        })?;
+        let state = crate::persist::unseal_session_state(&bytes).map_err(|err| {
+            ServiceError::BadRequest(format!(
+                "corrupt session container {}: {err}",
+                path.display()
+            ))
+        })?;
+        let id = state.id.clone();
+        self.restore_session(&state)?;
+        Ok(id)
     }
 
     /// Metrics for one session.

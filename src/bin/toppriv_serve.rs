@@ -22,7 +22,10 @@
 
 use std::sync::Arc;
 use toppriv::corpus::{generate_workload, SyntheticCorpus, WorkloadConfig};
-use toppriv::service::{AuditConfig, CycleScheduler, GhostPlanner, SessionConfig, SessionManager};
+use toppriv::service::{
+    AuditConfig, CycleScheduler, FaultKind, FaultPlane, FaultSpec, GhostPlanner, SessionConfig,
+    SessionManager,
+};
 use toppriv::{CorpusConfig, LdaModel, SearchTier};
 
 struct Args {
@@ -40,6 +43,8 @@ struct Args {
     metrics_interval: Option<u64>,
     audit_interval: Option<u64>,
     planner: bool,
+    fault_rate: f64,
+    fault_seed: u64,
 }
 
 impl Default for Args {
@@ -59,6 +64,8 @@ impl Default for Args {
             metrics_interval: None,
             audit_interval: None,
             planner: false,
+            fault_rate: 0.0,
+            fault_seed: 0xC4A0_5EED,
         }
     }
 }
@@ -97,6 +104,25 @@ fn parse_args() -> Result<Args, String> {
             "--audit-interval" => {
                 args.audit_interval = Some(parse_usize(&argv, &mut i, "--audit-interval")? as u64)
             }
+            "--fault-rate" => {
+                i += 1;
+                args.fault_rate = argv
+                    .get(i)
+                    .ok_or("--fault-rate needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--fault-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&args.fault_rate) {
+                    return Err("--fault-rate must be in [0, 1]".into());
+                }
+            }
+            "--fault-seed" => {
+                i += 1;
+                args.fault_seed = argv
+                    .get(i)
+                    .ok_or("--fault-seed needs a value")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--fault-seed: {e}"))?;
+            }
             "--no-cache" => args.no_cache = true,
             "--planner" => args.planner = true,
             "--demo" => args.demo = true,
@@ -122,6 +148,11 @@ fn parse_args() -> Result<Args, String> {
                      --docs N           synthetic corpus size (default 800)\n\
                      --topics N         LDA topic count (default 24)\n\
                      --lda-iterations N Gibbs iterations (default 40)\n\
+                     --fault-rate R     inject deterministic worker panics and short shard\n\
+                     \u{20}                  stalls at rate R in [0, 1]; the demo drains through\n\
+                     \u{20}                  the self-healing path and reports rollbacks (default 0)\n\
+                     --fault-seed N     fault-plane seed: the whole injected schedule is a\n\
+                     \u{20}                  pure function of this (default 3298844397)\n\
                      --metrics-interval SECS\n\
                      \u{20}                  emit the metrics registry as NDJSON every SECS\n\
                      \u{20}                  seconds (demo: stdout + final dump; server: stderr)\n\
@@ -172,15 +203,41 @@ fn build_manager(args: &Args, tier: SearchTier, model: Arc<LdaModel>) -> Session
     // is always attached (after the registry, so its gauges land there
     // too): it serves the `Health` / `AuditTail` protocol ops and the
     // `--audit-interval` health line.
-    let manager = SessionManager::with_tier(tier, model)
+    let mut manager = SessionManager::with_tier(tier, model)
         .with_defaults(SessionConfig::default())
         .with_metrics_registry(toppriv::obs::global().clone())
         .with_auditor(AuditConfig::default());
-    if args.no_cache {
-        manager
-    } else {
-        manager.with_cache(args.cache_capacity)
+    if !args.no_cache {
+        manager = manager.with_cache(args.cache_capacity);
     }
+    // Chaos mode: a deterministic fault plane (worker panics + short
+    // shard stalls at `--fault-rate`, schedule a pure function of
+    // `--fault-seed`). Attached after the auditor so injected faults
+    // land in the audit journal.
+    if args.fault_rate > 0.0 {
+        eprintln!(
+            "[toppriv-serve] fault injection on: rate {}, seed {:#x}",
+            args.fault_rate, args.fault_seed,
+        );
+        // The scheduler catches injected panics; keep the default hook's
+        // backtrace spam for *real* panics only.
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("injected "));
+            if !injected {
+                previous(info);
+            }
+        }));
+        manager = manager.with_fault_plane(Arc::new(
+            FaultPlane::new(args.fault_seed)
+                .with_spec(FaultSpec::rate(FaultKind::WorkerPanic, args.fault_rate))
+                .with_spec(FaultSpec::rate(FaultKind::ShardStall, args.fault_rate).stalling_ms(2)),
+        ));
+    }
+    manager
 }
 
 /// Prints one audit health line to stderr and returns whether the plane
@@ -322,9 +379,26 @@ fn run_demo(args: &Args) {
         }
     }
     let scheduler = CycleScheduler::for_manager(&manager, args.workers);
-    let outcomes = match &planner {
-        Some(planner) => scheduler.drain(planner.take_queue()),
-        None => scheduler.run(plans),
+    let queue = match &planner {
+        Some(planner) => planner.take_queue(),
+        None => CycleScheduler::merge(plans),
+    };
+    // Under injected faults the demo takes the self-healing path:
+    // retries, replans, and cycle rollbacks instead of lost work.
+    let outcomes = if manager.fault_plane().is_some() {
+        let report = scheduler.drain_resilient(&manager, queue);
+        eprintln!(
+            "[toppriv-serve] resilient drain: {} round(s), {} cycle(s) rolled back, {} replanned",
+            report.rounds,
+            report.rolled_back.len(),
+            report.replanned.len(),
+        );
+        if let Some(plane) = manager.fault_plane() {
+            eprintln!("[toppriv-serve]   fault plane: {}", plane.report());
+        }
+        report.outcomes
+    } else {
+        scheduler.drain(queue)
     };
     let wall = t0.elapsed().as_secs_f64();
 
